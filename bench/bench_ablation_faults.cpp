@@ -1,0 +1,77 @@
+// Ablation: stuck-at cell faults vs solver quality, and the silicon-area cost
+// of each benchmark macro. Quantifies how many dead/shorted cells the
+// bi-crossbar tolerates before the MAX-QUBO landscape degrades, and what the
+// Fig. 4 mapping costs in µm² per game.
+
+#include <cstdio>
+
+#include "core/metrics.hpp"
+#include "core/solver.hpp"
+#include "game/games.hpp"
+#include "game/support_enum.hpp"
+#include "util/table.hpp"
+#include "xbar/area.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cnash;
+
+  const std::size_t runs = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 80;
+
+  std::printf("=== Ablation: stuck-at faults (%s, %zu runs each) ===\n\n",
+              game::bird_game().name().c_str(), runs);
+  util::Table faults({"stuck-off %", "stuck-on %", "success %",
+                      "distinct found", "error %"});
+  const double rates[] = {0.0, 0.001, 0.005, 0.02, 0.05};
+  const auto g = game::bird_game();
+  const auto gt = game::all_equilibria(g);
+  for (const double off : rates) {
+    for (const double on : {0.0, off}) {
+      core::CNashConfig cfg;
+      cfg.intervals = 12;
+      cfg.sa.iterations = 8000;
+      cfg.seed = 4100 + static_cast<std::uint64_t>(off * 1e4) +
+                 static_cast<std::uint64_t>(on * 1e5);
+      cfg.hardware.array.stuck_off_rate = off;
+      cfg.hardware.array.stuck_on_rate = on;
+      core::CNashSolver solver(g, cfg);
+      std::vector<core::CandidateSolution> cands;
+      for (const auto& o : solver.run(runs)) cands.push_back({o.p, o.q});
+      const auto r = core::classify(g, gt, cands, 1e-9);
+      faults.add_row({util::Table::num(off * 100, 2),
+                      util::Table::num(on * 100, 2),
+                      core::percent(r.success_rate()),
+                      std::to_string(r.distinct_found()) + "/7",
+                      core::percent(r.error_fraction())});
+    }
+  }
+  std::printf("%s\n", faults.pretty().c_str());
+
+  std::printf("=== Macro area per benchmark game (28 nm-class model) ===\n\n");
+  util::Table area({"game", "array (um2)", "drivers", "ADC+WTA+sense",
+                    "SA logic", "total (mm2)"});
+  const xbar::AreaModel model;
+  for (const auto& inst : game::paper_benchmarks()) {
+    const auto shifted = inst.game.shifted_non_negative(0.0);
+    const auto t_m =
+        static_cast<std::uint32_t>(shifted.payoff1().max_element());
+    const auto t_nt =
+        static_cast<std::uint32_t>(shifted.payoff2().max_element());
+    const xbar::MappingGeometry gm{inst.game.num_actions1(),
+                                   inst.game.num_actions2(), inst.intervals,
+                                   std::max(t_m, 1u)};
+    const xbar::MappingGeometry gnt{inst.game.num_actions2(),
+                                    inst.game.num_actions1(), inst.intervals,
+                                    std::max(t_nt, 1u)};
+    const auto a = model.macro(gm, gnt);
+    area.add_row({inst.game.name(), util::Table::num(a.array_um2, 1),
+                  util::Table::num(a.drivers_um2, 1),
+                  util::Table::num(a.adc_um2 + a.wta_um2 + a.sense_um2, 1),
+                  util::Table::num(a.logic_um2, 1),
+                  util::Table::num(a.total_um2() / 1e6, 4)});
+  }
+  std::printf("%s\n", area.pretty().c_str());
+  std::printf(
+      "Shape: sub-0.1%% fault rates are invisible; percent-level stuck-off\n"
+      "rates distort the analog objective enough to cost success rate.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Ablation: strategy quantization interval I. Sweeps I for the Battle of the
+// Sexes and reports success rate and which equilibria are representable /
+// found — mixed NE require the grid to contain them (I divisible by 3 here).
+
+#include <cstdio>
+
+#include "core/metrics.hpp"
+#include "core/solver.hpp"
+#include "game/games.hpp"
+#include "game/support_enum.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cnash;
+
+  const std::size_t runs = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 120;
+  const auto g = game::battle_of_sexes();
+  const auto gt = game::all_equilibria(g);
+
+  std::printf("=== Ablation: quantization interval I (%s, %zu runs each) ===\n\n",
+              g.name().c_str(), runs);
+  util::Table table({"I", "mixed NE on grid", "success %", "distinct found",
+                     "mixed found %"});
+  for (const std::uint32_t intervals : {2u, 3u, 4u, 6u, 8u, 12u, 24u}) {
+    bool mixed_on_grid = true;
+    for (const auto& eq : gt) {
+      if (!game::QuantizedStrategy::representable(eq.p, intervals) ||
+          !game::QuantizedStrategy::representable(eq.q, intervals))
+        mixed_on_grid = false;
+    }
+    core::CNashConfig cfg;
+    cfg.intervals = intervals;
+    cfg.sa.iterations = 6000;
+    cfg.seed = 7000 + intervals;
+    core::CNashSolver solver(g, cfg);
+    std::vector<core::CandidateSolution> cands;
+    for (const auto& o : solver.run(runs)) cands.push_back({o.p, o.q});
+    const auto r = core::classify(g, gt, cands, 1e-9);
+    table.add_row({std::to_string(intervals), mixed_on_grid ? "yes" : "no",
+                   core::percent(r.success_rate()),
+                   std::to_string(r.distinct_found()) + "/3",
+                   core::percent(r.mixed_fraction())});
+  }
+  std::printf("%s\n", table.pretty().c_str());
+  std::printf(
+      "Shape: the mixed equilibrium (2/3,1/3)x(1/3,2/3) is only reachable\n"
+      "when 3 | I; success rate saturates once the grid contains all NE.\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+#pragma once
+// Shared harness for the solver-comparison benches (Table 1, Fig. 8, Fig. 9,
+// Fig. 10): runs the three paper instances through C-Nash (full hardware
+// model) and both D-Wave proxies, classifying every run against the exact
+// ground truth.
+//
+// Scale note: the paper uses 5000 SA runs per instance; the default here is
+// smaller so every bench binary finishes in seconds. Pass a run count as
+// argv[1] to scale up (e.g. `bench_table1_success_rate 5000`).
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/solver.hpp"
+#include "game/games.hpp"
+#include "game/support_enum.hpp"
+#include "qubo/dwave_proxy.hpp"
+
+namespace cnash::bench {
+
+struct InstanceEvaluation {
+  game::BenchmarkInstance instance;
+  std::vector<game::Equilibrium> ground_truth;
+  core::SolverReport cnash;
+  core::SolverReport dwave_2000q;
+  core::SolverReport dwave_advantage;
+  std::size_t runs;
+};
+
+/// Paper-reported reference numbers (Table 1 / Fig. 10), kept alongside the
+/// measured proxies; "-1" where the paper reports no value.
+struct PaperReference {
+  double success_2000q;
+  double success_advantage;
+  double success_cnash;
+  double speedup_2000q;     // time-to-solution ratio vs C-Nash
+  double speedup_advantage;
+};
+
+inline PaperReference paper_reference(std::size_t instance_index) {
+  switch (instance_index) {
+    case 0:
+      return {99.62, 98.04, 100.0, 157.9, 79.0};
+    case 1:
+      return {88.16, 72.36, 88.94, 105.3, 52.6};
+    default:
+      return {-1.0, 13.30, 81.90, -1.0, 18.4};
+  }
+}
+
+inline std::size_t runs_from_argv(int argc, char** argv,
+                                  std::size_t default_runs) {
+  if (argc > 1) {
+    const long v = std::strtol(argv[1], nullptr, 10);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return default_runs;
+}
+
+inline InstanceEvaluation evaluate_instance(
+    const game::BenchmarkInstance& inst, std::size_t runs,
+    std::uint64_t seed = 0xDA11A5) {
+  InstanceEvaluation ev{inst, game::all_equilibria(inst.game), {}, {}, {}, runs};
+
+  // --- C-Nash on the full hardware model. ---------------------------------
+  core::CNashConfig cfg;
+  cfg.intervals = inst.intervals;
+  cfg.sa.iterations = inst.sa_iterations;
+  cfg.seed = seed;
+  core::CNashSolver solver(inst.game, cfg);
+  std::vector<core::CandidateSolution> cnash_cands;
+  for (const auto& o : solver.run(runs)) cnash_cands.push_back({o.p, o.q});
+  ev.cnash = core::classify(inst.game, ev.ground_truth, cnash_cands, 1e-9);
+
+  // --- D-Wave proxies. ------------------------------------------------------
+  auto run_proxy = [&](const qubo::DWaveConfig& cfg_proxy) {
+    util::Rng rng(seed ^ std::hash<std::string>{}(cfg_proxy.name));
+    const qubo::DWaveProxy proxy(inst.game, cfg_proxy);
+    std::vector<core::CandidateSolution> cands;
+    for (const auto& s : proxy.run(runs, rng)) cands.push_back({s.p, s.q});
+    return core::classify(inst.game, ev.ground_truth, cands, 1e-9);
+  };
+  ev.dwave_2000q = run_proxy(qubo::dwave_2000q6_config());
+  ev.dwave_advantage = run_proxy(qubo::dwave_advantage41_config());
+  return ev;
+}
+
+/// Default run counts per instance, sized so each bench finishes in seconds.
+inline std::size_t default_runs_for(std::size_t instance_index) {
+  return instance_index == 2 ? 60 : 200;
+}
+
+}  // namespace cnash::bench

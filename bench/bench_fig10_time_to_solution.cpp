@@ -1,0 +1,72 @@
+// Fig. 10: time-to-solution of the three Nash solvers. TTS = expected wall
+// clock until the first successful run: run_time / success_rate (C-Nash) or
+// job_time / success_rate (D-Wave job model). Success rates come from the
+// measured proxies; the paper's reported speedups are printed alongside.
+
+#include <cstdio>
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "core/timing.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cnash;
+
+  std::printf("=== Fig. 10: Time-to-Solution ===\n\n");
+  util::Table table({"game", "solver", "success %", "TTS (s)",
+                     "speedup vs C-Nash", "paper speedup"});
+
+  const core::CNashTimingModel cnash_timing;
+  const core::DWaveTimingModel t2000(core::dwave_2000q6_timing());
+  const core::DWaveTimingModel tadv(core::dwave_advantage41_timing());
+
+  const auto instances = game::paper_benchmarks();
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    const auto& inst = instances[i];
+    const std::size_t runs =
+        bench::runs_from_argv(argc, argv, bench::default_runs_for(i));
+    std::fprintf(stderr, "running %s (%zu runs)...\n", inst.game.name().c_str(),
+                 runs);
+    const auto ev = bench::evaluate_instance(inst, runs);
+    const auto ref = bench::paper_reference(i);
+
+    // Crossbar geometry for the C-Nash latency model.
+    const auto shifted = inst.game.shifted_non_negative(0.0);
+    const auto t_cells =
+        static_cast<std::uint32_t>(shifted.payoff1().max_element());
+    const xbar::MappingGeometry geom{inst.game.num_actions1(),
+                                     inst.game.num_actions2(), inst.intervals,
+                                     t_cells};
+
+    const double cnash_tts = cnash_timing.time_to_solution_s(
+        geom, inst.sa_iterations, ev.cnash.success_rate());
+    const double tts_2000 =
+        t2000.time_to_solution_s(ev.dwave_2000q.success_rate());
+    const double tts_adv =
+        tadv.time_to_solution_s(ev.dwave_advantage.success_rate());
+
+    auto add = [&](const std::string& solver, double success, double tts,
+                   double paper_speedup) {
+      table.add_row({inst.game.name(), solver, core::percent(success),
+                     std::isfinite(tts) ? util::Table::num(tts, 4) : "-",
+                     std::isfinite(tts) && tts > 0 && cnash_tts > 0
+                         ? util::Table::num(tts / cnash_tts, 1) + "X"
+                         : "-",
+                     paper_speedup < 0
+                         ? "-"
+                         : util::Table::num(paper_speedup, 1) + "X"});
+    };
+    add("D-Wave 2000 Q6 (proxy)", ev.dwave_2000q.success_rate(), tts_2000,
+        ref.speedup_2000q);
+    add("D-Wave Advantage 4.1 (proxy)", ev.dwave_advantage.success_rate(),
+        tts_adv, ref.speedup_advantage);
+    add("C-Nash (this work)", ev.cnash.success_rate(), cnash_tts, 1.0);
+  }
+  std::printf("%s\n", table.pretty().c_str());
+  std::printf(
+      "C-Nash TTS = SA iterations x iteration latency (1 MHz controller, "
+      "analog path\nin ns) / success rate; D-Wave TTS = (programming + 5000 "
+      "reads) / success rate.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Fig. 7(b): WTA output across process corners (ss, snfp, fnsp, ff, tt) —
+// the tree must keep selecting the true maximum with bounded offset and
+// corner-dependent settle time.
+
+#include <cstdio>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "wta/wta_tree.hpp"
+
+int main() {
+  using namespace cnash;
+
+  const std::vector<double> inputs{6e-6, 14e-6, 9e-6, 11e-6};
+  const double truth = 14e-6;
+
+  std::printf("=== Fig. 7(b): 4-input WTA tree across process corners ===\n");
+  util::Table table({"corner", "output (uA)", "error %", "latency (ns)",
+                     "winner stable"});
+  for (const auto corner : wta::kAllCorners) {
+    wta::WtaCellParams params;
+    params.corner = corner;
+    util::Rng rng(17);
+    util::RunningStats out;
+    bool stable = true;
+    double latency_s = 0.0;
+    // Monte-Carlo over fabricated tree instances (static mismatch per cell).
+    for (int t = 0; t < 2000; ++t) {
+      const wta::WtaTree tree(inputs.size(), params, &rng);
+      latency_s = tree.latency_s();
+      out.add(tree.reduce(inputs, &rng));
+      if (tree.winner(inputs, &rng) != 1u) stable = false;
+    }
+    table.add_row({std::string(wta::corner_name(corner)),
+                   util::Table::num(out.mean() * 1e6, 3),
+                   util::Table::num(100.0 * (out.mean() - truth) / truth, 3),
+                   util::Table::num(latency_s * 1e9, 3),
+                   stable ? "yes" : "NO"});
+  }
+  std::printf("%s\n", table.pretty().c_str());
+  std::printf(
+      "Paper shape: all five corners settle to the correct maximum; skewed\n"
+      "corners (snfp/fnsp) show larger offset, slow corner (ss) settles "
+      "later.\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Fig. 8: distribution of solutions (error / pure NE / mixed NE fractions)
+// found by each Nash solver across all SA runs, per game.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cnash;
+
+  std::printf("=== Fig. 8: Solution Distributions (error / pure / mixed) ===\n\n");
+  const auto instances = game::paper_benchmarks();
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    const std::size_t runs =
+        bench::runs_from_argv(argc, argv, bench::default_runs_for(i));
+    std::fprintf(stderr, "running %s (%zu runs)...\n",
+                 instances[i].game.name().c_str(), runs);
+    const auto ev = bench::evaluate_instance(instances[i], runs);
+
+    std::printf("--- (%c) %s ---\n", static_cast<char>('a' + i),
+                instances[i].game.name().c_str());
+    util::Table table({"solver", "error %", "pure NE %", "mixed NE %"});
+    auto add = [&](const std::string& name, const core::SolverReport& r) {
+      table.add_row({name, core::percent(r.error_fraction()),
+                     core::percent(r.pure_fraction()),
+                     core::percent(r.mixed_fraction())});
+    };
+    add("D-Wave 2000 Q6 (proxy)", ev.dwave_2000q);
+    add("D-Wave Advantage 4.1 (proxy)", ev.dwave_advantage);
+    add("C-Nash (this work)", ev.cnash);
+    std::printf("%s\n", table.pretty().c_str());
+  }
+  std::printf(
+      "Paper shape: only C-Nash reports a non-zero mixed-NE share; the\n"
+      "S-QUBO solvers are structurally pure-only and their error share grows\n"
+      "with problem size.\n");
+  return 0;
+}

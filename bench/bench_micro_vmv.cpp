@@ -1,0 +1,101 @@
+// Microbenchmarks (google-benchmark): cost of the simulator primitives — the
+// two-phase hardware evaluation, exact objective, crossbar reads, WTA
+// reductions and annealer sweeps.
+
+#include <benchmark/benchmark.h>
+
+#include "core/anneal.hpp"
+#include "core/solver.hpp"
+#include "core/two_phase.hpp"
+#include "game/games.hpp"
+#include "qubo/annealer.hpp"
+#include "qubo/squbo_builder.hpp"
+#include "util/rng.hpp"
+#include "wta/wta_tree.hpp"
+
+namespace {
+
+using namespace cnash;
+
+void BM_ExactObjective(benchmark::State& state) {
+  core::ExactMaxQubo f(game::modified_prisoners_dilemma());
+  util::Rng rng(1);
+  game::QuantizedProfile prof{game::QuantizedStrategy::random(8, 60, rng),
+                              game::QuantizedStrategy::random(8, 60, rng)};
+  for (auto _ : state) benchmark::DoNotOptimize(f.evaluate(prof));
+}
+BENCHMARK(BM_ExactObjective);
+
+void BM_TwoPhaseHardwareEval(benchmark::State& state) {
+  const auto inst = game::paper_benchmarks()[static_cast<std::size_t>(
+      state.range(0))];
+  core::TwoPhaseConfig cfg;
+  core::TwoPhaseEvaluator hw(inst.game, inst.intervals, cfg, util::Rng(2));
+  util::Rng rng(3);
+  game::QuantizedProfile prof{
+      game::QuantizedStrategy::random(inst.game.num_actions1(), inst.intervals,
+                                      rng),
+      game::QuantizedStrategy::random(inst.game.num_actions2(), inst.intervals,
+                                      rng)};
+  for (auto _ : state) benchmark::DoNotOptimize(hw.evaluate(prof));
+}
+BENCHMARK(BM_TwoPhaseHardwareEval)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_CrossbarVmvRead(benchmark::State& state) {
+  const auto inst = game::paper_benchmarks()[2];
+  core::TwoPhaseConfig cfg;
+  core::TwoPhaseEvaluator hw(inst.game, inst.intervals, cfg, util::Rng(4));
+  util::Rng rng(5);
+  const auto p = game::QuantizedStrategy::random(8, 60, rng).counts();
+  const auto q = game::QuantizedStrategy::random(8, 60, rng).counts();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(hw.crossbar_m().read_vmv(p, q));
+}
+BENCHMARK(BM_CrossbarVmvRead);
+
+void BM_WtaTreeReduce(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  wta::WtaTree tree(n);
+  util::Rng rng(6);
+  std::vector<double> inputs(n);
+  for (auto& v : inputs) v = rng.uniform(1e-6, 20e-6);
+  for (auto _ : state) benchmark::DoNotOptimize(tree.reduce(inputs, &rng));
+}
+BENCHMARK(BM_WtaTreeReduce)->Arg(2)->Arg(8)->Arg(64);
+
+void BM_SaIterationBattleOfSexes(benchmark::State& state) {
+  core::TwoPhaseConfig cfg;
+  core::TwoPhaseEvaluator hw(game::battle_of_sexes(), 12, cfg, util::Rng(7));
+  util::Rng rng(8);
+  core::SaOptions opts;
+  opts.iterations = 100;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::simulated_annealing(hw, 12, opts, rng));
+}
+BENCHMARK(BM_SaIterationBattleOfSexes)->Unit(benchmark::kMicrosecond);
+
+void BM_SQuboAnnealRead(benchmark::State& state) {
+  const qubo::SQubo sq(game::bird_game());
+  util::Rng rng(9);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(qubo::anneal(sq.model(), {4.0, 0.05, 60}, rng));
+}
+BENCHMARK(BM_SQuboAnnealRead)->Unit(benchmark::kMicrosecond);
+
+void BM_CrossbarProgramming(benchmark::State& state) {
+  const auto inst = game::paper_benchmarks()[static_cast<std::size_t>(
+      state.range(0))];
+  const auto shifted = inst.game.shifted_non_negative(0.0);
+  for (auto _ : state) {
+    util::Rng rng(10);
+    xbar::CrossbarMapping map(shifted.payoff1(), inst.intervals);
+    xbar::ArrayConfig cfg;
+    benchmark::DoNotOptimize(
+        xbar::ProgrammedCrossbar(std::move(map), cfg, rng));
+  }
+}
+BENCHMARK(BM_CrossbarProgramming)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

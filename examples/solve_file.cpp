@@ -1,0 +1,131 @@
+// CLI driver: solve an arbitrary bimatrix game from a text file (or stdin)
+// with the C-Nash hardware model, cross-checked against exact ground truth.
+//
+//   solve_file <game-file|-> [--runs N] [--iterations N] [--intervals I]
+//              [--exact] [--scale S]
+//
+// Game file format (see src/game/parse.hpp):
+//   name: my game
+//   M:
+//   2 0
+//   0 1
+//   N:
+//   1 0
+//   0 2
+//
+// --scale multiplies payoffs before integer coding (use when payoffs are
+// fractional, e.g. --scale 10 for one decimal place); --exact bypasses the
+// hardware model.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+
+#include "core/metrics.hpp"
+#include "core/solver.hpp"
+#include "game/parse.hpp"
+#include "game/support_enum.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cnash;
+
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <game-file|-> [--runs N] [--iterations N] "
+                 "[--intervals I] [--exact] [--scale S]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  std::size_t runs = 100, iterations = 10000;
+  std::uint32_t intervals = 12;
+  bool exact = false;
+  double scale = 1.0;
+  for (int a = 2; a < argc; ++a) {
+    auto next = [&](const char* flag) {
+      if (a + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++a];
+    };
+    if (!std::strcmp(argv[a], "--runs"))
+      runs = std::strtoul(next("--runs"), nullptr, 10);
+    else if (!std::strcmp(argv[a], "--iterations"))
+      iterations = std::strtoul(next("--iterations"), nullptr, 10);
+    else if (!std::strcmp(argv[a], "--intervals"))
+      intervals = static_cast<std::uint32_t>(
+          std::strtoul(next("--intervals"), nullptr, 10));
+    else if (!std::strcmp(argv[a], "--scale"))
+      scale = std::strtod(next("--scale"), nullptr);
+    else if (!std::strcmp(argv[a], "--exact"))
+      exact = true;
+    else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[a]);
+      return 2;
+    }
+  }
+
+  game::BimatrixGame g = [&] {
+    try {
+      if (!std::strcmp(argv[1], "-")) return game::parse_game(std::cin);
+      std::ifstream file(argv[1]);
+      if (!file) {
+        std::fprintf(stderr, "cannot open %s\n", argv[1]);
+        std::exit(2);
+      }
+      return game::parse_game(file);
+    } catch (const game::ParseError& e) {
+      std::fprintf(stderr, "parse error in %s: %s\n", argv[1], e.what());
+      std::exit(2);
+    }
+  }();
+
+  std::printf("%s\n", g.to_string().c_str());
+
+  const auto gt_result = game::support_enumeration(g);
+  const auto& gt = gt_result.equilibria;
+  std::printf("ground truth: %zu equilibria%s\n\n", gt.size(),
+              gt_result.degenerate_flag ? " (degenerate game — the list may "
+                                          "be incomplete)"
+                                        : "");
+
+  core::CNashConfig cfg;
+  cfg.intervals = intervals;
+  cfg.sa.iterations = iterations;
+  cfg.use_hardware = !exact;
+  cfg.hardware.value_scale = scale;
+  core::CNashSolver solver(g, cfg);
+  const auto outcomes = solver.run(runs);
+
+  std::vector<core::CandidateSolution> cands;
+  for (const auto& o : outcomes) cands.push_back({o.p, o.q});
+  const auto report = core::classify(g, gt, cands, 1e-7, 1e-4);
+
+  std::printf("C-Nash (%s backend): %zu runs, success %s%%, distinct %zu/%zu\n\n",
+              exact ? "exact" : "hardware", report.runs,
+              core::percent(report.success_rate()).c_str(),
+              report.distinct_found(), report.target());
+
+  std::map<std::string, std::pair<core::RunOutcome, int>> distinct;
+  for (const auto& o : outcomes) {
+    if (!game::is_nash_equilibrium(g, o.p, o.q, 1e-7)) continue;
+    auto [it, fresh] = distinct.try_emplace(o.profile.key(), o, 0);
+    ++it->second.second;
+  }
+  for (const auto& [key, entry] : distinct) {
+    const auto& o = entry.first;
+    std::string ps = "p = (", qs = "q = (";
+    for (std::size_t i = 0; i < o.p.size(); ++i)
+      ps += util::Table::num(o.p[i], 3) + (i + 1 < o.p.size() ? ", " : ")");
+    for (std::size_t j = 0; j < o.q.size(); ++j)
+      qs += util::Table::num(o.q[j], 3) + (j + 1 < o.q.size() ? ", " : ")");
+    std::printf("%s %s  %s   [%d hits]\n",
+                game::is_pure_profile(o.p, o.q) ? "pure " : "mixed", ps.c_str(),
+                qs.c_str(), entry.second);
+  }
+  return 0;
+}

@@ -1,0 +1,95 @@
+#include "core/anneal.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cnash::core {
+
+namespace {
+
+/// Move one probability tick between two distinct actions of a strategy.
+/// No-op for single-action strategies.
+void perturb(game::QuantizedStrategy& s, util::Rng& rng) {
+  const std::size_t n = s.num_actions();
+  if (n < 2) return;
+  // Source: uniformly among actions currently holding mass.
+  std::size_t from = 0;
+  std::size_t holders = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    if (s.count(i) > 0 && rng.uniform_index(++holders) == 0) from = i;
+  std::size_t to = rng.uniform_index(n - 1);
+  if (to >= from) ++to;
+  s.move_tick(from, to);
+}
+
+}  // namespace
+
+SaRunResult simulated_annealing(ObjectiveEvaluator& objective,
+                                std::uint32_t intervals, const SaOptions& opts,
+                                util::Rng& rng) {
+  const auto& g = objective.game();
+  auto draw = [&](std::size_t actions) {
+    return opts.init == SaInit::kRandomSupport
+               ? game::QuantizedStrategy::random_support(actions, intervals, rng)
+               : game::QuantizedStrategy::random(actions, intervals, rng);
+  };
+  game::QuantizedProfile initial{draw(g.num_actions1()),
+                                 draw(g.num_actions2())};
+  return simulated_annealing_from(objective, std::move(initial), opts, rng);
+}
+
+SaRunResult simulated_annealing_from(ObjectiveEvaluator& objective,
+                                     game::QuantizedProfile initial,
+                                     const SaOptions& opts, util::Rng& rng) {
+  if (opts.iterations == 0)
+    throw std::invalid_argument("simulated_annealing: zero iterations");
+
+  const auto& g = objective.game();
+  const double range =
+      std::max({g.payoff1().max_element() - g.payoff1().min_element(),
+                g.payoff2().max_element() - g.payoff2().min_element(), 1e-9});
+  const double t_max = opts.t_start_rel * range;
+  const double t_min = std::max(opts.t_end_rel * range, 1e-12);
+  const double decay =
+      (opts.iterations > 1)
+          ? std::pow(t_min / t_max,
+                     1.0 / static_cast<double>(opts.iterations - 1))
+          : 1.0;
+
+  const double f0 = objective.evaluate(initial);
+  SaRunResult res{initial, f0, std::move(initial), f0,
+                  /*accepted=*/0, /*iterations=*/0, /*evaluations=*/1};
+
+  double temperature = t_max;
+  for (std::size_t it = 0; it < opts.iterations; ++it, temperature *= decay) {
+    game::QuantizedProfile candidate = res.final_profile;
+    // Perturb one player always, the other with configured probability —
+    // both-player moves are required to hop between equilibria of
+    // coordination-style games.
+    if (rng.bernoulli(0.5)) {
+      perturb(candidate.p, rng);
+      if (rng.bernoulli(opts.both_players_prob)) perturb(candidate.q, rng);
+    } else {
+      perturb(candidate.q, rng);
+      if (rng.bernoulli(opts.both_players_prob)) perturb(candidate.p, rng);
+    }
+
+    const double f_n = objective.evaluate(candidate);
+    ++res.evaluations;
+    const double delta = f_n - res.final_objective;
+    if (delta <= 0.0 || rng.uniform() < std::exp(-delta / temperature)) {
+      res.final_profile = std::move(candidate);
+      res.final_objective = f_n;
+      ++res.accepted;
+      if (f_n < res.best_objective) {
+        res.best_objective = f_n;
+        res.best_profile = res.final_profile;
+      }
+    }
+    ++res.iterations;
+  }
+  return res;
+}
+
+}  // namespace cnash::core

@@ -1,0 +1,59 @@
+#pragma once
+// Algorithm 1: the two-phase simulated annealing controller of C-Nash.
+// The SA state is a quantized strategy pair; the neighbourhood move shifts one
+// 1/I probability tick per player ("randomly increment or decrement the
+// action probabilities by the value of interval", Sec. 3.4); the objective is
+// evaluated by an ObjectiveEvaluator (exact or hardware-backed two-phase).
+
+#include <cstdint>
+
+#include "core/maxqubo.hpp"
+#include "game/strategy.hpp"
+#include "util/rng.hpp"
+
+namespace cnash::core {
+
+enum class SaInit {
+  kRandomComposition,  // uniform over all grid points
+  kRandomSupport       // uniform over support sizes, then over that face
+};
+
+struct SaOptions {
+  std::size_t iterations = 10000;
+  /// Initial strategy-pair generation (Alg. 1 line 1 leaves this free).
+  /// Support-biased starts give every equilibrium class a comparable basin.
+  SaInit init = SaInit::kRandomSupport;
+  /// Start/end temperature as a fraction of the game's payoff range. The
+  /// endpoint must sit well below the objective change of a single 1/I
+  /// probability tick or the walk keeps wandering off the equilibrium; the
+  /// start is kept low as well (warm restarts from diverse support-biased
+  /// initial pairs cover the equilibrium classes far better than hot anneals,
+  /// which always cool into the large-support centre of the simplex).
+  double t_start_rel = 0.01;
+  double t_end_rel = 0.0005;
+  /// Probability that a proposal also perturbs the second player (the first
+  /// perturbed player is always chosen at random).
+  double both_players_prob = 0.5;
+};
+
+struct SaRunResult {
+  game::QuantizedProfile final_profile;
+  double final_objective;
+  game::QuantizedProfile best_profile;
+  double best_objective;
+  std::size_t accepted = 0;
+  std::size_t iterations = 0;
+  std::size_t evaluations = 0;
+};
+
+/// One annealing run from a random initial profile.
+SaRunResult simulated_annealing(ObjectiveEvaluator& objective,
+                                std::uint32_t intervals, const SaOptions& opts,
+                                util::Rng& rng);
+
+/// One annealing run from an explicit initial profile.
+SaRunResult simulated_annealing_from(ObjectiveEvaluator& objective,
+                                     game::QuantizedProfile initial,
+                                     const SaOptions& opts, util::Rng& rng);
+
+}  // namespace cnash::core

@@ -1,0 +1,28 @@
+#include "core/maxqubo.hpp"
+
+namespace cnash::core {
+
+ExactMaxQubo::ExactMaxQubo(game::BimatrixGame game) : game_(std::move(game)) {}
+
+double ExactMaxQubo::evaluate(const game::QuantizedProfile& profile) {
+  return evaluate_continuous(profile.p.to_distribution(),
+                             profile.q.to_distribution());
+}
+
+double ExactMaxQubo::evaluate_continuous(const la::Vector& p,
+                                         const la::Vector& q) const {
+  return components(p, q).objective();
+}
+
+ExactMaxQubo::Components ExactMaxQubo::components(const la::Vector& p,
+                                                  const la::Vector& q) const {
+  Components c;
+  const la::Vector mq = game_.row_payoffs(q);
+  const la::Vector ntp = game_.col_payoffs(p);
+  c.max_mq = la::max_element(mq);
+  c.max_ntp = la::max_element(ntp);
+  c.vmv = la::dot(p, mq) + la::dot(q, ntp);
+  return c;
+}
+
+}  // namespace cnash::core

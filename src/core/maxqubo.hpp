@@ -1,0 +1,55 @@
+#pragma once
+// The lossless MAX-QUBO transformation (Sec. 3.1).
+//
+// The Mangasarian–Stone quadratic program (Eq. 3-4) is converted — without
+// slack variables — by replacing the inequality constraints with
+//   α = max(Mq),  β = max(Nᵀp)                           (Eq. 7, 8)
+// giving the objective
+//   min_{p,q} f(p,q) = max(Mq) + max(Nᵀp) − pᵀ(M+N)q      (Eq. 9).
+// Key properties (proved in the tests):
+//   * f(p,q) >= 0 on the product of simplices;
+//   * f(p,q) == 0  ⇔  (p,q) is a Nash equilibrium;
+//   * f is invariant to adding a constant to both payoff matrices.
+
+#include <memory>
+
+#include "game/game.hpp"
+#include "game/strategy.hpp"
+
+namespace cnash::core {
+
+/// Evaluation interface shared by the exact software path and the
+/// hardware-modelled two-phase path, so Alg. 1 runs unchanged on either.
+class ObjectiveEvaluator {
+ public:
+  virtual ~ObjectiveEvaluator() = default;
+  /// MAX-QUBO objective for a quantized strategy profile, in payoff units.
+  virtual double evaluate(const game::QuantizedProfile& profile) = 0;
+  virtual const game::BimatrixGame& game() const = 0;
+};
+
+/// Exact floating-point evaluation of Eq. 9.
+class ExactMaxQubo final : public ObjectiveEvaluator {
+ public:
+  explicit ExactMaxQubo(game::BimatrixGame game);
+
+  double evaluate(const game::QuantizedProfile& profile) override;
+  const game::BimatrixGame& game() const override { return game_; }
+
+  /// Continuous-strategy evaluation (tests / analysis).
+  double evaluate_continuous(const la::Vector& p, const la::Vector& q) const;
+
+  /// The three components of Eq. 9 (Phase 1 + Phase 2 observables).
+  struct Components {
+    double max_mq;
+    double max_ntp;
+    double vmv;  // pᵀ(M+N)q
+    double objective() const { return max_mq + max_ntp - vmv; }
+  };
+  Components components(const la::Vector& p, const la::Vector& q) const;
+
+ private:
+  game::BimatrixGame game_;
+};
+
+}  // namespace cnash::core

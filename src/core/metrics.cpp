@@ -1,0 +1,70 @@
+#include "core/metrics.hpp"
+
+#include <cstdio>
+
+#include "game/strategy.hpp"
+
+namespace cnash::core {
+
+double SolverReport::success_rate() const {
+  return runs ? static_cast<double>(successes()) / static_cast<double>(runs)
+              : 0.0;
+}
+
+double SolverReport::pure_fraction() const {
+  return runs ? static_cast<double>(pure_successes) / static_cast<double>(runs)
+              : 0.0;
+}
+
+double SolverReport::mixed_fraction() const {
+  return runs ? static_cast<double>(mixed_successes) / static_cast<double>(runs)
+              : 0.0;
+}
+
+double SolverReport::error_fraction() const {
+  return runs ? static_cast<double>(errors) / static_cast<double>(runs) : 0.0;
+}
+
+std::size_t SolverReport::distinct_found() const {
+  std::size_t d = 0;
+  for (auto h : hits)
+    if (h > 0) ++d;
+  return d;
+}
+
+SolverReport classify(const game::BimatrixGame& game,
+                      const std::vector<game::Equilibrium>& ground_truth,
+                      const std::vector<CandidateSolution>& candidates,
+                      double nash_eps, double match_tol) {
+  SolverReport report;
+  report.hits.assign(ground_truth.size(), 0);
+  for (const auto& c : candidates) {
+    ++report.runs;
+    const bool valid = game::is_distribution(c.p, 1e-6) &&
+                       game::is_distribution(c.q, 1e-6) &&
+                       c.p.size() == game.num_actions1() &&
+                       c.q.size() == game.num_actions2();
+    const bool nash =
+        valid && game::is_nash_equilibrium(game, c.p, c.q, nash_eps);
+    if (!nash) {
+      ++report.errors;
+      continue;
+    }
+    if (game::is_pure_profile(c.p, c.q))
+      ++report.pure_successes;
+    else
+      ++report.mixed_successes;
+    const std::size_t idx =
+        game::match_equilibrium(ground_truth, c.p, c.q, match_tol);
+    if (idx != game::kNoMatch) ++report.hits[idx];
+  }
+  return report;
+}
+
+std::string percent(double fraction, int precision) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace cnash::core

@@ -1,0 +1,50 @@
+#pragma once
+// Solution-quality metrics reproducing the paper's evaluation quantities:
+//   * success rate (Table 1): fraction of runs whose reported strategy pair
+//     is a true NE of the continuous game;
+//   * solution distribution (Fig. 8): error / pure-NE / mixed-NE fractions;
+//   * distinct solutions found vs ground-truth target (Fig. 9).
+
+#include <string>
+#include <vector>
+
+#include "game/game.hpp"
+#include "game/verify.hpp"
+
+namespace cnash::core {
+
+/// A solver-agnostic candidate (C-Nash run outcome or D-Wave proxy sample).
+struct CandidateSolution {
+  la::Vector p;
+  la::Vector q;
+};
+
+struct SolverReport {
+  std::size_t runs = 0;
+  std::size_t pure_successes = 0;
+  std::size_t mixed_successes = 0;
+  std::size_t errors = 0;
+  /// Per ground-truth-equilibrium hit counts (same order as the input list).
+  std::vector<std::size_t> hits;
+
+  std::size_t successes() const { return pure_successes + mixed_successes; }
+  double success_rate() const;
+  double pure_fraction() const;
+  double mixed_fraction() const;
+  double error_fraction() const;
+  std::size_t distinct_found() const;
+  std::size_t target() const { return hits.size(); }
+};
+
+/// Verify every candidate against the game and the ground-truth equilibrium
+/// list. A candidate is a success when it is an ε-NE; it additionally counts
+/// toward `hits` when it matches a ground-truth equilibrium within match_tol.
+SolverReport classify(const game::BimatrixGame& game,
+                      const std::vector<game::Equilibrium>& ground_truth,
+                      const std::vector<CandidateSolution>& candidates,
+                      double nash_eps = 1e-6, double match_tol = 1e-4);
+
+/// Render percentages like the paper's tables ("81.90").
+std::string percent(double fraction, int precision = 2);
+
+}  // namespace cnash::core

@@ -1,0 +1,35 @@
+#include "core/solver.hpp"
+
+namespace cnash::core {
+
+CNashSolver::CNashSolver(game::BimatrixGame game, CNashConfig config)
+    : game_(std::move(game)), config_(config), rng_(config.seed) {
+  if (config_.use_hardware) {
+    auto hw = std::make_unique<TwoPhaseEvaluator>(game_, config_.intervals,
+                                                  config_.hardware, rng_.split());
+    hardware_ = hw.get();
+    evaluator_ = std::move(hw);
+  } else {
+    evaluator_ = std::make_unique<ExactMaxQubo>(game_);
+  }
+}
+
+RunOutcome CNashSolver::solve_once() {
+  const SaRunResult res =
+      simulated_annealing(*evaluator_, config_.intervals, config_.sa, rng_);
+  const game::QuantizedProfile& chosen =
+      config_.report_best ? res.best_profile : res.final_profile;
+  const double objective =
+      config_.report_best ? res.best_objective : res.final_objective;
+  return RunOutcome{chosen.p.to_distribution(), chosen.q.to_distribution(),
+                    objective, chosen};
+}
+
+std::vector<RunOutcome> CNashSolver::run(std::size_t num_runs) {
+  std::vector<RunOutcome> out;
+  out.reserve(num_runs);
+  for (std::size_t r = 0; r < num_runs; ++r) out.push_back(solve_once());
+  return out;
+}
+
+}  // namespace cnash::core

@@ -1,0 +1,60 @@
+#pragma once
+// CNashSolver — the public facade: program the bi-crossbar once for a game,
+// then launch any number of two-phase SA runs and collect strategy-pair
+// solutions. The evaluator can be the hardware model (default, full device /
+// WTA / ADC non-idealities) or the exact software objective (ablation).
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/anneal.hpp"
+#include "core/two_phase.hpp"
+
+namespace cnash::core {
+
+struct CNashConfig {
+  std::uint32_t intervals = 12;  // strategy quantization I
+  SaOptions sa;
+  bool use_hardware = true;
+  TwoPhaseConfig hardware;
+  /// Report the best profile seen during the run instead of the final
+  /// accepted one (Alg. 1 reports the final recorded pair).
+  bool report_best = false;
+  std::uint64_t seed = 0xC0FFEE;
+};
+
+/// One SA run's solution candidate.
+struct RunOutcome {
+  la::Vector p;
+  la::Vector q;
+  double objective;   // MAX-QUBO value as measured by the evaluator
+  game::QuantizedProfile profile;
+};
+
+class CNashSolver {
+ public:
+  CNashSolver(game::BimatrixGame game, CNashConfig config = {});
+
+  const game::BimatrixGame& game() const { return game_; }
+  const CNashConfig& config() const { return config_; }
+  ObjectiveEvaluator& evaluator() { return *evaluator_; }
+
+  /// Hardware evaluator access (nullptr when use_hardware is false).
+  const TwoPhaseEvaluator* hardware() const { return hardware_; }
+
+  /// One annealing run.
+  RunOutcome solve_once();
+
+  /// `num_runs` independent annealing runs.
+  std::vector<RunOutcome> run(std::size_t num_runs);
+
+ private:
+  game::BimatrixGame game_;
+  CNashConfig config_;
+  util::Rng rng_;
+  std::unique_ptr<ObjectiveEvaluator> evaluator_;
+  TwoPhaseEvaluator* hardware_ = nullptr;  // borrowed view of evaluator_
+};
+
+}  // namespace cnash::core

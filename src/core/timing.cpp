@@ -1,0 +1,73 @@
+#include "core/timing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace cnash::core {
+
+CNashTimingModel::CNashTimingModel(CNashTimingParams params)
+    : params_(params) {}
+
+double CNashTimingModel::analog_path_s(
+    const xbar::MappingGeometry& geom) const {
+  const xbar::WireModel wires(params_.wire);
+  // Word lines span the array columns and data lines span the rows; the
+  // slower of the two bounds the array settle.
+  const double settle = std::max(wires.settle_time(geom.total_cols()),
+                                 wires.settle_time(geom.total_rows()));
+  // WTA tree depth over the per-action outputs (phase 1 only).
+  std::size_t depth = 0;
+  for (std::size_t span = 1; span < geom.n; span <<= 1) ++depth;
+  const double phase1 =
+      settle + static_cast<double>(depth) * params_.wta_cell_latency_s +
+      params_.adc_time_s;
+  const double phase2 = settle + params_.adc_time_s;
+  return phase1 + phase2;
+}
+
+double CNashTimingModel::iteration_s(const xbar::MappingGeometry& geom) const {
+  return std::max(analog_path_s(geom), params_.controller_period_s);
+}
+
+double CNashTimingModel::run_time_s(const xbar::MappingGeometry& geom,
+                                    std::size_t iterations) const {
+  return iteration_s(geom) * static_cast<double>(iterations);
+}
+
+double CNashTimingModel::time_to_solution_s(const xbar::MappingGeometry& geom,
+                                            std::size_t iterations,
+                                            double success_rate) const {
+  if (success_rate <= 0.0) return std::numeric_limits<double>::infinity();
+  return run_time_s(geom, iterations) / success_rate;
+}
+
+DWaveTimingParams dwave_2000q6_timing() {
+  // ~300 us per read end-to-end (anneal + readout + thermalisation) plus one
+  // programming cycle per job of 5000 reads.
+  return {/*programming_s=*/0.08, /*per_sample_s=*/300e-6,
+          /*reads_per_job=*/5000};
+}
+
+DWaveTimingParams dwave_advantage41_timing() {
+  return {/*programming_s=*/0.04, /*per_sample_s=*/150e-6,
+          /*reads_per_job=*/5000};
+}
+
+DWaveTimingModel::DWaveTimingModel(DWaveTimingParams params) : params_(params) {
+  if (params_.reads_per_job == 0)
+    throw std::invalid_argument("DWaveTimingModel: zero reads per job");
+}
+
+double DWaveTimingModel::job_time_s() const {
+  return params_.programming_s +
+         params_.per_sample_s * static_cast<double>(params_.reads_per_job);
+}
+
+double DWaveTimingModel::time_to_solution_s(double success_rate) const {
+  if (success_rate <= 0.0) return std::numeric_limits<double>::infinity();
+  return job_time_s() / success_rate;
+}
+
+}  // namespace cnash::core

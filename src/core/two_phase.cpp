@@ -1,0 +1,103 @@
+#include "core/two_phase.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cnash::core {
+
+TwoPhaseEvaluator::TwoPhaseEvaluator(game::BimatrixGame game,
+                                     std::uint32_t intervals,
+                                     const TwoPhaseConfig& config,
+                                     util::Rng rng)
+    : game_(std::move(game)),
+      intervals_(intervals),
+      config_(config),
+      rng_(rng),
+      value_scale_(config.value_scale) {
+  if (intervals_ == 0) throw std::invalid_argument("TwoPhaseEvaluator: I == 0");
+  if (value_scale_ <= 0.0)
+    throw std::invalid_argument("TwoPhaseEvaluator: value_scale <= 0");
+
+  // The MAX-QUBO objective is invariant to a common constant shift of both
+  // payoff matrices (Σp = Σq = 1 exactly on the quantized grid), so shift to
+  // non-negative and scale to integers for the unary cell coding.
+  const game::BimatrixGame shifted = game_.shifted_non_negative(0.0);
+  const la::Matrix m_scaled = shifted.payoff1() * value_scale_;
+  const la::Matrix nt_scaled = shifted.payoff2().transposed() * value_scale_;
+
+  xbar::CrossbarMapping map_m(m_scaled, intervals_, config_.cells_per_element,
+                              config_.levels_per_cell);
+  xbar::CrossbarMapping map_nt(nt_scaled, intervals_,
+                               config_.cells_per_element,
+                               config_.levels_per_cell);
+
+  util::Rng rng_m = rng_.split();
+  util::Rng rng_nt = rng_.split();
+  xbar_m_ = std::make_unique<xbar::ProgrammedCrossbar>(std::move(map_m),
+                                                       config_.array, rng_m);
+  xbar_nt_ = std::make_unique<xbar::ProgrammedCrossbar>(std::move(map_nt),
+                                                        config_.array, rng_nt);
+
+  util::Rng rng_wta_rows = rng_.split();
+  util::Rng rng_wta_cols = rng_.split();
+  wta_rows_ = std::make_unique<wta::WtaTree>(game_.num_actions1(), config_.wta,
+                                             &rng_wta_rows);
+  wta_cols_ = std::make_unique<wta::WtaTree>(game_.num_actions2(), config_.wta,
+                                             &rng_wta_cols);
+
+  // Full scale: the largest possible read current of each array, with margin.
+  auto make_adc = [&](const xbar::ProgrammedCrossbar& xb) {
+    double max_element = 0.0;
+    const auto& g = xb.mapping().geometry();
+    for (std::size_t i = 0; i < g.n; ++i)
+      for (std::size_t j = 0; j < g.m; ++j)
+        max_element = std::max(max_element,
+                               static_cast<double>(xb.mapping().element(i, j)));
+    const double intervals_sq =
+        static_cast<double>(intervals_) * static_cast<double>(intervals_);
+    xbar::AdcConfig ac;
+    ac.bits = config_.adc_bits;
+    ac.full_scale_current =
+        1.2 * intervals_sq * xb.unit_current() * (max_element + 1.0);
+    ac.noise_sigma = config_.adc_noise_rel * ac.full_scale_current;
+    return std::make_unique<xbar::Adc>(ac);
+  };
+  adc_m_ = make_adc(*xbar_m_);
+  adc_nt_ = make_adc(*xbar_nt_);
+}
+
+double TwoPhaseEvaluator::evaluate(const game::QuantizedProfile& profile) {
+  if (profile.p.num_actions() != game_.num_actions1() ||
+      profile.q.num_actions() != game_.num_actions2() ||
+      profile.p.intervals() != intervals_ || profile.q.intervals() != intervals_)
+    throw std::invalid_argument("TwoPhaseEvaluator: profile shape mismatch");
+
+  const auto& p_counts = profile.p.counts();
+  const auto& q_counts = profile.q.counts();
+
+  // ---- Phase 1: MV reads + WTA trees -> max(Mq), max(Nᵀp). ----------------
+  const std::vector<double> mq_currents = xbar_m_->read_mv(q_counts);
+  const std::vector<double> ntp_currents = xbar_nt_->read_mv(p_counts);
+  const double max_mq_current = wta_rows_->reduce(mq_currents, &rng_);
+  const double max_ntp_current = wta_cols_->reduce(ntp_currents, &rng_);
+  const double max_mq =
+      xbar_m_->current_to_value(adc_m_->convert(max_mq_current, rng_));
+  const double max_ntp =
+      xbar_nt_->current_to_value(adc_nt_->convert(max_ntp_current, rng_));
+
+  // ---- Phase 2: VMV reads (WTA bypassed) -> pᵀMq, pᵀNq. -------------------
+  const double vmv_m_current = xbar_m_->read_vmv(p_counts, q_counts);
+  const double vmv_nt_current = xbar_nt_->read_vmv(q_counts, p_counts);
+  const double vmv_m =
+      xbar_m_->current_to_value(adc_m_->convert(vmv_m_current, rng_));
+  const double vmv_n =
+      xbar_nt_->current_to_value(adc_nt_->convert(vmv_nt_current, rng_));
+
+  last_ = {max_mq, max_ntp, vmv_m, vmv_n};
+
+  // Values are in shifted/scaled payoff units; the shift cancels inside f and
+  // the scale divides out.
+  return (max_mq + max_ntp - vmv_m - vmv_n) / value_scale_;
+}
+
+}  // namespace cnash::core

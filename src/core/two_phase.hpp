@@ -1,0 +1,86 @@
+#pragma once
+// The two-phase hardware evaluation of the MAX-QUBO objective (Fig. 6).
+//
+// Phase 1: both crossbars are read in matrix-vector mode (the other player's
+//          input fixed to the all-ones vector) producing the analog vectors
+//          Mq and Nᵀp; the WTA trees reduce them to max(Mq) and max(Nᵀp),
+//          which are digitised and recorded by the SA logic.
+// Phase 2: the crossbars are read in vector-matrix-vector mode giving pᵀMq
+//          and pᵀNq (the WTA trees are bypassed); the SA logic combines
+//          f = max(Mq) + max(Nᵀp) − pᵀMq − pᵀNq.
+//
+// The evaluator owns two programmed crossbars (M and Nᵀ), two WTA trees and
+// the ADCs, so every SA iteration experiences device variability, WTA offset
+// and ADC quantization exactly as the architecture would.
+
+#include <cstdint>
+#include <memory>
+
+#include "core/maxqubo.hpp"
+#include "util/rng.hpp"
+#include "wta/wta_tree.hpp"
+#include "xbar/adc.hpp"
+#include "xbar/array.hpp"
+
+namespace cnash::core {
+
+struct TwoPhaseConfig {
+  xbar::ArrayConfig array;
+  wta::WtaCellParams wta;
+  unsigned adc_bits = 10;
+  double adc_noise_rel = 0.0005;  // input-referred noise / full-scale
+  /// Multiplier applied to payoffs (after the non-negativity shift) before
+  /// integer coding; 1.0 when the shifted payoffs are already integers.
+  double value_scale = 1.0;
+  /// Explicit cells-per-element override (0 = derived from the max shifted
+  /// payoff and the cell level count).
+  std::uint32_t cells_per_element = 0;
+  /// Conductance levels per cell: 2 = binary (paper default); > 2 enables the
+  /// multi-level-cell FeFET extension ([29]), shrinking the array at the cost
+  /// of intermediate-level programming spread.
+  std::uint32_t levels_per_cell = 2;
+};
+
+class TwoPhaseEvaluator final : public ObjectiveEvaluator {
+ public:
+  /// Programs both crossbars from the game. `intervals` is the strategy
+  /// quantization I; `rng` drives the one-time device sampling and the
+  /// per-read noise afterwards.
+  TwoPhaseEvaluator(game::BimatrixGame game, std::uint32_t intervals,
+                    const TwoPhaseConfig& config, util::Rng rng);
+
+  double evaluate(const game::QuantizedProfile& profile) override;
+  const game::BimatrixGame& game() const override { return game_; }
+
+  /// Phase observables of the last evaluate() call, in payoff units.
+  struct PhaseReadout {
+    double max_mq;
+    double max_ntp;
+    double vmv_m;
+    double vmv_n;
+  };
+  const PhaseReadout& last_readout() const { return last_; }
+
+  std::uint32_t intervals() const { return intervals_; }
+  const xbar::ProgrammedCrossbar& crossbar_m() const { return *xbar_m_; }
+  const xbar::ProgrammedCrossbar& crossbar_nt() const { return *xbar_nt_; }
+  const wta::WtaTree& wta_rows() const { return *wta_rows_; }
+  const wta::WtaTree& wta_cols() const { return *wta_cols_; }
+  const xbar::Adc& adc() const { return *adc_m_; }
+
+ private:
+  game::BimatrixGame game_;       // original payoffs
+  std::uint32_t intervals_;
+  TwoPhaseConfig config_;
+  util::Rng rng_;
+  double value_scale_;
+  std::unique_ptr<xbar::ProgrammedCrossbar> xbar_m_;   // stores shifted M
+  std::unique_ptr<xbar::ProgrammedCrossbar> xbar_nt_;  // stores shifted Nᵀ
+  std::unique_ptr<wta::WtaTree> wta_rows_;  // max over n row payoffs
+  std::unique_ptr<wta::WtaTree> wta_cols_;  // max over m column payoffs
+  std::unique_ptr<xbar::Adc> adc_m_;
+  std::unique_ptr<xbar::Adc> adc_nt_;
+  PhaseReadout last_{};
+};
+
+}  // namespace cnash::core

@@ -1,0 +1,64 @@
+#include "fefet/cell_1t1r.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cnash::fefet {
+
+namespace {
+FeFet make_fet(bool stored_one, const CellSample& sample,
+               const FeFetParams& params) {
+  const double nominal = stored_one ? params.vth_low : params.vth_high;
+  return FeFet(nominal + sample.vth_offset, params);
+}
+}  // namespace
+
+Cell1T1R::Cell1T1R(bool stored_one, CellSample sample, FeFetParams fet_params)
+    : stored_one_(stored_one),
+      sample_(sample),
+      fet_(make_fet(stored_one, sample, fet_params)) {}
+
+double Cell1T1R::read_current(double v_wl, double v_dl) const {
+  if (v_dl <= 0.0) return 0.0;
+  // Series KCL: find I with I = I_fet(V_G, V_DL - I·R). The residual
+  // h(I) = I_fet(V_DL - I·R) - I is strictly decreasing in I (I_fet is
+  // increasing in V_DS), h(0) >= 0 and h(V_DL/R) <= 0, so bisection on
+  // [0, V_DL/R] is robust even when the FET is far stronger than the
+  // resistor limit (a plain fixed-point iteration oscillates there).
+  const double r = sample_.resistance;
+  double lo = 0.0;
+  double hi = v_dl / r;
+  if (fet_.drain_current(v_wl, v_dl) <= hi) {
+    // Weak FET: it sets the current and the resistor drop is secondary;
+    // bisection still applies with the same bracket.
+    hi = std::min(hi, fet_.drain_current(v_wl, v_dl));
+  }
+  for (int iter = 0; iter < 60; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    const double v_ds = std::max(v_dl - mid * r, 0.0);
+    const double residual = fet_.drain_current(v_wl, v_ds) - mid;
+    if (residual > 0.0)
+      lo = mid;
+    else
+      hi = mid;
+    if (hi - lo < 1e-18 + 1e-12 * hi) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+double Cell1T1R::read(bool row_active, bool col_active,
+                      const CellBias& bias) const {
+  const double v_wl = row_active ? bias.v_wl_on : bias.v_wl_off;
+  const double v_dl = col_active ? bias.v_dl_on : bias.v_dl_off;
+  return read_current(v_wl, v_dl);
+}
+
+double nominal_on_current(const FeFetParams& fet_params,
+                          const VariabilityParams& var_params,
+                          const CellBias& bias) {
+  Cell1T1R cell(/*stored_one=*/true, CellSample{0.0, var_params.r_nominal},
+                fet_params);
+  return cell.read(/*row_active=*/true, /*col_active=*/true, bias);
+}
+
+}  // namespace cnash::fefet

@@ -1,0 +1,50 @@
+#pragma once
+// The 1FeFET1R bit cell of Fig. 2(c): one FeFET in series with a resistor.
+// The resistor clamps the ON current at ≈ V_DL / R, suppressing the FeFET's
+// exponential ON-current variability (Fig. 2(d)) so that cell currents sum
+// linearly on the source line — the property the whole crossbar relies on.
+//
+// read(): solves the series KCL  I = I_fet(V_G, V_DL − I·R)  by fixed-point
+// iteration (the loop contracts because I_fet is increasing in V_DS and the
+// resistor feedback is negative).
+
+#include "fefet/fefet.hpp"
+#include "fefet/variability.hpp"
+
+namespace cnash::fefet {
+
+struct CellBias {
+  double v_wl_on = 1.0;   // gate drive of an activated word line (V)
+  double v_wl_off = 0.0;
+  double v_dl_on = 0.8;   // drain drive of an activated data line (V)
+  double v_dl_off = 0.0;
+};
+
+class Cell1T1R {
+ public:
+  /// stored_one: logic state (low V_TH when true). sample: static variation.
+  Cell1T1R(bool stored_one, CellSample sample, FeFetParams fet_params = {});
+
+  bool stored_one() const { return stored_one_; }
+  double v_th() const { return fet_.v_th(); }
+  double resistance() const { return sample_.resistance; }
+
+  /// Drain-source current for given line voltages.
+  double read_current(double v_wl, double v_dl) const;
+
+  /// Convenience: current under activation flags and the given bias set.
+  double read(bool row_active, bool col_active, const CellBias& bias = {}) const;
+
+ private:
+  bool stored_one_;
+  CellSample sample_;
+  FeFet fet_;
+};
+
+/// Nominal (variation-free) ON current of a stored-'1' cell — the unit in
+/// which crossbar output currents are converted back to payoff values.
+double nominal_on_current(const FeFetParams& fet_params = {},
+                          const VariabilityParams& var_params = {},
+                          const CellBias& bias = {});
+
+}  // namespace cnash::fefet

@@ -1,0 +1,31 @@
+#include "fefet/fefet.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace cnash::fefet {
+
+FeFet::FeFet(double v_th, FeFetParams params) : v_th_(v_th), params_(params) {}
+
+FeFet FeFet::from_polarization(const PreisachFerroelectric& fe,
+                               FeFetParams params) {
+  return FeFet(fe.threshold_voltage(), params);
+}
+
+double FeFet::drain_current(double v_g, double v_ds) const {
+  if (v_ds <= 0.0) return 0.0;
+  // EKV interpolation: drive g = ln(1 + exp((Vg - Vth)/(2 n vt)))². In deep
+  // subthreshold g ≈ exp((Vg - Vth)/n_vt), i.e. current falls one decade per
+  // n_vt·ln(10) volts, so n_vt = SS / ln(10) realises `subthreshold_swing`
+  // volts per decade.
+  const double n_vt = params_.subthreshold_swing / std::numbers::ln10;
+  const double x = (v_g - v_th_) / (2.0 * n_vt);
+  // Numerically safe softplus.
+  const double softplus = x > 30.0 ? x : std::log1p(std::exp(x));
+  const double g = softplus * softplus * (2.0 * n_vt) * (2.0 * n_vt);
+  // Soft drain saturation: linear for small V_DS, flat past v_dsat.
+  const double sat = std::tanh(v_ds / params_.v_dsat);
+  return params_.k_strong * g * sat + params_.leak_floor;
+}
+
+}  // namespace cnash::fefet

@@ -1,0 +1,44 @@
+#pragma once
+// FeFET transistor read model: I_D(V_G, V_DS) for a stored V_TH state.
+//
+// EKV-flavoured analytic curve — exponential subthreshold conduction with
+// slope SS merging into square-law strong inversion, with a soft drain
+// saturation — calibrated so the logic '1' (low V_TH) device carries ~0.1 mA
+// at V_G = 2 V and the logic '0' (high V_TH) device stays below 1 nA at the
+// read voltage, matching the measured curves of Fig. 2(b).
+
+#include "fefet/preisach.hpp"
+
+namespace cnash::fefet {
+
+struct FeFetParams {
+  double vth_low = 0.8;              // erased state ('1')
+  double vth_high = 1.6;             // programmed state ('0')
+  double subthreshold_swing = 0.09;  // V/decade
+  double k_strong = 2.4e-4;          // A/V² strong-inversion transconductance
+  double v_dsat = 0.3;               // soft drain saturation voltage (V)
+  double leak_floor = 1e-12;         // A, off-state floor
+};
+
+class FeFet {
+ public:
+  /// v_th: the device's actual threshold (nominal state value + variation).
+  explicit FeFet(double v_th, FeFetParams params = {});
+
+  /// Construct from a programmed ferroelectric stack.
+  static FeFet from_polarization(const PreisachFerroelectric& fe,
+                                 FeFetParams params = {});
+
+  double v_th() const { return v_th_; }
+
+  /// Drain current at gate/drain bias (source grounded). Monotonic in both.
+  double drain_current(double v_g, double v_ds) const;
+
+  const FeFetParams& params() const { return params_; }
+
+ private:
+  double v_th_;
+  FeFetParams params_;
+};
+
+}  // namespace cnash::fefet

@@ -1,0 +1,61 @@
+#include "fefet/preisach.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cnash::fefet {
+
+PreisachFerroelectric::PreisachFerroelectric(PreisachParams params)
+    : params_(params), p_(-params.saturation_polarization) {}
+
+double PreisachFerroelectric::major_branch(double v, bool ascending) const {
+  // Ascending branch switches up around +Vc; descending around -Vc.
+  const double vc = ascending ? params_.coercive_voltage
+                              : -params_.coercive_voltage;
+  return params_.saturation_polarization *
+         std::tanh(params_.sharpness * (v - vc));
+}
+
+void PreisachFerroelectric::apply_pulse(double v_gate) {
+  // Single-domain behaviour with history: a positive pulse can only raise P
+  // toward the ascending envelope; a negative pulse can only lower it toward
+  // the descending envelope. This reproduces the major/minor loop shape well
+  // enough for multi-pulse programming studies.
+  if (v_gate >= 0.0) {
+    p_ = std::max(p_, major_branch(v_gate, /*ascending=*/true));
+  } else {
+    p_ = std::min(p_, major_branch(v_gate, /*ascending=*/false));
+  }
+  const double ps = params_.saturation_polarization;
+  p_ = std::clamp(p_, -ps, ps);
+}
+
+void PreisachFerroelectric::saturate(bool positive) {
+  p_ = positive ? params_.saturation_polarization
+                : -params_.saturation_polarization;
+}
+
+double PreisachFerroelectric::threshold_voltage() const {
+  const double ps = params_.saturation_polarization;
+  const double t = (p_ + ps) / (2.0 * ps);  // 0 at -Ps, 1 at +Ps
+  return params_.vth_high + t * (params_.vth_low - params_.vth_high);
+}
+
+std::vector<std::pair<double, double>> hysteresis_loop(
+    PreisachFerroelectric fe, double vmax, std::size_t steps) {
+  std::vector<std::pair<double, double>> trace;
+  auto leg = [&](double v0, double v1) {
+    for (std::size_t k = 0; k <= steps; ++k) {
+      const double v =
+          v0 + (v1 - v0) * static_cast<double>(k) / static_cast<double>(steps);
+      fe.apply_pulse(v);
+      trace.emplace_back(v, fe.polarization());
+    }
+  };
+  leg(0.0, vmax);
+  leg(vmax, -vmax);
+  leg(-vmax, vmax);
+  return trace;
+}
+
+}  // namespace cnash::fefet

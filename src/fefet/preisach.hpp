@@ -1,0 +1,56 @@
+#pragma once
+// Behavioural Preisach-style ferroelectric hysteresis kernel.
+//
+// The paper simulates FeFETs with the Preisach compact model of Ni et al.
+// [27] in SPECTRE. The architecture only consumes the *programmed remanent
+// polarization* (which sets the threshold-voltage state of Fig. 2(a)), so this
+// kernel reproduces the input-history-dependent P(V) loop behaviourally:
+// saturating tanh branches with coercive voltage Vc, plus minor-loop turning
+// points, mapped linearly onto a V_TH shift.
+
+#include <vector>
+
+namespace cnash::fefet {
+
+struct PreisachParams {
+  double saturation_polarization = 1.0;  // P_s, normalised
+  double coercive_voltage = 1.0;         // V_c (V)
+  double sharpness = 4.0;                // loop squareness (1/V)
+  double vth_low = 0.8;    // V_TH at P = +P_s (erased, logic '1')
+  double vth_high = 1.6;   // V_TH at P = -P_s (programmed, logic '0')
+};
+
+class PreisachFerroelectric {
+ public:
+  explicit PreisachFerroelectric(PreisachParams params = {});
+
+  /// Apply a quasi-static write pulse of amplitude v_gate (sign matters; the
+  /// pulse is assumed long enough for the domain to follow the branch).
+  void apply_pulse(double v_gate);
+
+  /// Apply a full positive (or negative) saturating pulse.
+  void saturate(bool positive);
+
+  double polarization() const { return p_; }
+
+  /// Threshold voltage implied by the current polarization: linear map from
+  /// [-Ps, +Ps] onto [vth_high, vth_low] (more positive P -> lower V_TH).
+  double threshold_voltage() const;
+
+  const PreisachParams& params() const { return params_; }
+
+  /// The ascending/descending saturation branch value at voltage v
+  /// (Preisach major loop envelope) — exposed for characterization benches.
+  double major_branch(double v, bool ascending) const;
+
+ private:
+  PreisachParams params_;
+  double p_;  // current normalised polarization in [-Ps, Ps]
+};
+
+/// Sweep helper: polarization trace for a triangular voltage sweep
+/// 0 -> +vmax -> -vmax -> +vmax (hysteresis loop), `steps` points per leg.
+std::vector<std::pair<double, double>> hysteresis_loop(
+    PreisachFerroelectric fe, double vmax, std::size_t steps);
+
+}  // namespace cnash::fefet

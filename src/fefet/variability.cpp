@@ -1,0 +1,18 @@
+#include "fefet/variability.hpp"
+
+#include <algorithm>
+
+namespace cnash::fefet {
+
+CellSample sample_cell(const VariabilityParams& params, util::Rng& rng) {
+  CellSample s;
+  s.vth_offset = rng.normal(0.0, params.sigma_vth);
+  // Clamp at -3σ .. +3σ relative so a tail draw can't produce R <= 0.
+  const double rel =
+      std::clamp(rng.normal(0.0, params.sigma_r_rel), -3.0 * params.sigma_r_rel,
+                 3.0 * params.sigma_r_rel);
+  s.resistance = params.r_nominal * (1.0 + rel);
+  return s;
+}
+
+}  // namespace cnash::fefet

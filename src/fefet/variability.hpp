@@ -1,0 +1,29 @@
+#pragma once
+// Device-to-device variability sampling for FeFETs and the series resistor of
+// the 1FeFET1R cell. The paper's Monte-Carlo setup (Sec. 4.1): σ(V_TH) = 40 mV
+// from [29] and 8 % resistor variability from [30].
+
+#include "util/rng.hpp"
+
+namespace cnash::fefet {
+
+struct VariabilityParams {
+  double sigma_vth = 0.040;      // V, Gaussian, device-to-device
+  double sigma_r_rel = 0.08;     // relative Gaussian on the series resistor
+  double r_nominal = 1.0e6;      // Ω — sets the clamped ON current ≈ V_DL / R
+  /// Extra relative spread of *intermediate* multi-level-cell conductance
+  /// states (worst at mid-level, zero at the clamped full-ON state) — the
+  /// partial-polarization programming spread reported for MLC FeFETs [29].
+  double sigma_mlc_rel = 0.05;
+};
+
+/// A sampled physical instance of one cell's device parameters.
+struct CellSample {
+  double vth_offset;  // added to the programmed V_TH state
+  double resistance;  // series resistor value
+};
+
+/// Draw one cell's static variation.
+CellSample sample_cell(const VariabilityParams& params, util::Rng& rng);
+
+}  // namespace cnash::fefet

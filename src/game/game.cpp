@@ -1,0 +1,68 @@
+#include "game/game.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cnash::game {
+
+BimatrixGame::BimatrixGame(la::Matrix payoff1, la::Matrix payoff2,
+                           std::string name)
+    : m_(std::move(payoff1)), n_(std::move(payoff2)), name_(std::move(name)) {
+  if (m_.rows() == 0 || m_.cols() == 0)
+    throw std::invalid_argument("BimatrixGame: empty payoff matrix");
+  if (m_.rows() != n_.rows() || m_.cols() != n_.cols())
+    throw std::invalid_argument("BimatrixGame: payoff shapes differ");
+}
+
+BimatrixGame BimatrixGame::zero_sum(la::Matrix payoff1, std::string name) {
+  la::Matrix neg = payoff1 * -1.0;
+  return BimatrixGame(std::move(payoff1), std::move(neg), std::move(name));
+}
+
+double BimatrixGame::expected_payoff1(const la::Vector& p,
+                                      const la::Vector& q) const {
+  return la::vmv(p, m_, q);
+}
+
+double BimatrixGame::expected_payoff2(const la::Vector& p,
+                                      const la::Vector& q) const {
+  return la::vmv(p, n_, q);
+}
+
+la::Vector BimatrixGame::row_payoffs(const la::Vector& q) const {
+  return m_.multiply(q);
+}
+
+la::Vector BimatrixGame::col_payoffs(const la::Vector& p) const {
+  return n_.multiply_transposed(p);
+}
+
+BimatrixGame BimatrixGame::shifted_non_negative(double floor) const {
+  const double lo = std::min(m_.min_element(), n_.min_element());
+  if (lo >= floor) return *this;
+  const double shift = floor - lo;
+  la::Matrix m2 = m_;
+  la::Matrix n2 = n_;
+  for (std::size_t r = 0; r < m2.rows(); ++r)
+    for (std::size_t c = 0; c < m2.cols(); ++c) {
+      m2(r, c) += shift;
+      n2(r, c) += shift;
+    }
+  return BimatrixGame(std::move(m2), std::move(n2), name_ + " (shifted)");
+}
+
+double BimatrixGame::max_abs_payoff() const {
+  double v = 0.0;
+  for (double x : m_.data()) v = std::max(v, std::abs(x));
+  for (double x : n_.data()) v = std::max(v, std::abs(x));
+  return v;
+}
+
+std::string BimatrixGame::to_string() const {
+  std::string out = "Game: " + name_ + "\nPayoff M (player 1):\n" +
+                    m_.to_string() + "Payoff N (player 2):\n" + n_.to_string();
+  return out;
+}
+
+}  // namespace cnash::game

@@ -1,0 +1,53 @@
+#pragma once
+// Two-player bimatrix games in normal form. Player 1 (row) has n actions with
+// payoff matrix M (n×m); player 2 (column) has m actions with payoff matrix N
+// (n×m, payoffs to player 2). Strategies are probability vectors p (n) / q (m).
+// This matches Sec. 2.1 of the C-Nash paper: f1 = pᵀMq, f2 = pᵀNq.
+
+#include <string>
+
+#include "la/matrix.hpp"
+
+namespace cnash::game {
+
+class BimatrixGame {
+ public:
+  /// M and N must share the same shape; rows = player-1 actions, cols = player-2.
+  BimatrixGame(la::Matrix payoff1, la::Matrix payoff2, std::string name = "");
+
+  /// Zero-sum convenience: N = -M.
+  static BimatrixGame zero_sum(la::Matrix payoff1, std::string name = "");
+
+  std::size_t num_actions1() const { return m_.rows(); }
+  std::size_t num_actions2() const { return m_.cols(); }
+
+  const la::Matrix& payoff1() const { return m_; }
+  const la::Matrix& payoff2() const { return n_; }
+  const std::string& name() const { return name_; }
+
+  /// Expected payoffs f1 = pᵀMq, f2 = pᵀNq.
+  double expected_payoff1(const la::Vector& p, const la::Vector& q) const;
+  double expected_payoff2(const la::Vector& p, const la::Vector& q) const;
+
+  /// Row payoff vector Mq (player 1's payoff per pure action, given q).
+  la::Vector row_payoffs(const la::Vector& q) const;
+  /// Column payoff vector Nᵀp (player 2's payoff per pure action, given p).
+  la::Vector col_payoffs(const la::Vector& p) const;
+
+  /// A positive-offset copy: adds a constant to both payoff matrices so every
+  /// entry is >= `floor`. NE sets are invariant under constant shifts; the
+  /// hardware mapping needs non-negative integer-codeable entries.
+  BimatrixGame shifted_non_negative(double floor = 0.0) const;
+
+  /// Largest payoff magnitude across both matrices (scaling for encodings).
+  double max_abs_payoff() const;
+
+  std::string to_string() const;
+
+ private:
+  la::Matrix m_;
+  la::Matrix n_;
+  std::string name_;
+};
+
+}  // namespace cnash::game

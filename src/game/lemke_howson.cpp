@@ -1,0 +1,166 @@
+#include "game/lemke_howson.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cnash::game {
+
+namespace {
+
+// Integer-pivoting tableau implementation following Nashpy's formulation.
+// Tableau rows: one per basic variable; columns: [slack vars | strategy vars |
+// rhs]. Labels 0..n-1 are player-1 actions, n..n+m-1 player-2 actions.
+//
+// Player 2's tableau ("row tableau"): rows indexed by player-1 actions,
+// variables are player-2 strategy columns; and vice versa.
+
+class Tableau {
+ public:
+  // A: own-payoff matrix (rows = basic slack labels, cols = entering labels).
+  // `row_labels` are the labels of the slack variables (initially basic);
+  // `col_labels` the labels of the strategy variables.
+  Tableau(const la::Matrix& a, std::vector<std::size_t> row_labels,
+          std::vector<std::size_t> col_labels)
+      : row_labels_(std::move(row_labels)), col_labels_(std::move(col_labels)) {
+    rows_ = a.rows();
+    cols_slack_ = a.rows();
+    cols_strat_ = a.cols();
+    t_ = la::Matrix(rows_, cols_slack_ + cols_strat_ + 1, 0.0);
+    for (std::size_t r = 0; r < rows_; ++r) {
+      t_(r, r) = 1.0;  // slack identity
+      for (std::size_t c = 0; c < cols_strat_; ++c)
+        t_(r, cols_slack_ + c) = a(r, c);
+      t_(r, cols_slack_ + cols_strat_) = 1.0;  // rhs
+    }
+    basic_ = row_labels_;  // initially all slacks basic
+  }
+
+  // Pivot so that the variable with label `entering` becomes basic.
+  // Returns the label that leaves the basis, or nullopt on failure.
+  std::optional<std::size_t> pivot(std::size_t entering, double tol) {
+    const std::size_t col = column_of_label(entering);
+    // Minimum ratio test over rows with positive column entry.
+    std::size_t best_row = rows_;
+    double best_ratio = 0.0;
+    for (std::size_t r = 0; r < rows_; ++r) {
+      const double a = t_(r, col);
+      if (a <= tol) continue;
+      const double ratio = t_(r, rhs_col()) / a;
+      if (best_row == rows_ || ratio < best_ratio - tol ||
+          (std::abs(ratio - best_ratio) <= tol && basic_[r] < basic_[best_row])) {
+        best_row = r;
+        best_ratio = ratio;
+      }
+    }
+    if (best_row == rows_) return std::nullopt;  // unbounded ray (degenerate)
+
+    const double pivot_el = t_(best_row, col);
+    for (std::size_t c = 0; c < t_.cols(); ++c) t_(best_row, c) /= pivot_el;
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (r == best_row) continue;
+      const double f = t_(r, col);
+      if (f == 0.0) continue;
+      for (std::size_t c = 0; c < t_.cols(); ++c)
+        t_(r, c) -= f * t_(best_row, c);
+    }
+    const std::size_t leaving = basic_[best_row];
+    basic_[best_row] = entering;
+    return leaving;
+  }
+
+  /// Extract the normalised strategy over the strategy-variable labels.
+  la::Vector strategy(std::size_t strat_dim) const {
+    la::Vector x(strat_dim, 0.0);
+    for (std::size_t r = 0; r < rows_; ++r) {
+      const std::size_t lbl = basic_[r];
+      // Strategy labels are exactly col_labels_.
+      const auto it = std::find(col_labels_.begin(), col_labels_.end(), lbl);
+      if (it == col_labels_.end()) continue;
+      const auto idx = static_cast<std::size_t>(
+          std::distance(col_labels_.begin(), it));
+      x[idx] = std::max(0.0, t_(r, rhs_col()));
+    }
+    const double s = la::sum(x);
+    if (s <= 0.0) return {};
+    for (auto& v : x) v /= s;
+    return x;
+  }
+
+ private:
+  std::size_t column_of_label(std::size_t label) const {
+    auto it = std::find(row_labels_.begin(), row_labels_.end(), label);
+    if (it != row_labels_.end())
+      return static_cast<std::size_t>(std::distance(row_labels_.begin(), it));
+    it = std::find(col_labels_.begin(), col_labels_.end(), label);
+    if (it == col_labels_.end()) throw std::logic_error("LH: unknown label");
+    return cols_slack_ +
+           static_cast<std::size_t>(std::distance(col_labels_.begin(), it));
+  }
+
+  std::size_t rhs_col() const { return cols_slack_ + cols_strat_; }
+
+  la::Matrix t_;
+  std::vector<std::size_t> row_labels_;
+  std::vector<std::size_t> col_labels_;
+  std::vector<std::size_t> basic_;
+  std::size_t rows_ = 0;
+  std::size_t cols_slack_ = 0;
+  std::size_t cols_strat_ = 0;
+};
+
+}  // namespace
+
+std::optional<Equilibrium> lemke_howson(const BimatrixGame& game,
+                                        std::size_t initial_label,
+                                        const LemkeHowsonOptions& opts) {
+  const std::size_t n = game.num_actions1();
+  const std::size_t m = game.num_actions2();
+  if (initial_label >= n + m) throw std::out_of_range("lemke_howson: label");
+
+  // Make both payoff matrices strictly positive (shift preserves NE).
+  const BimatrixGame g = game.shifted_non_negative(1.0);
+
+  std::vector<std::size_t> labels1(n), labels2(m);
+  for (std::size_t i = 0; i < n; ++i) labels1[i] = i;
+  for (std::size_t j = 0; j < m; ++j) labels2[j] = n + j;
+
+  // Row tableau: slacks are player-1 labels, strategy vars are player-2 labels,
+  // matrix is M (n×m). Column tableau: slacks player-2 labels, strategy vars
+  // player-1 labels, matrix is Nᵀ (m×n).
+  Tableau row_tab(g.payoff1(), labels1, labels2);
+  Tableau col_tab(g.payoff2().transposed(), labels2, labels1);
+
+  std::size_t entering = initial_label;
+  // First pivot happens in the tableau whose *strategy columns* include the
+  // label... Convention (Nashpy): if label < n it enters the column tableau.
+  bool in_col_tab = initial_label < n;
+
+  for (std::size_t step = 0; step < opts.max_pivots; ++step) {
+    auto leaving = in_col_tab ? col_tab.pivot(entering, opts.tol)
+                              : row_tab.pivot(entering, opts.tol);
+    if (!leaving) return std::nullopt;
+    if (*leaving == initial_label) {
+      la::Vector p = col_tab.strategy(n);
+      la::Vector q = row_tab.strategy(m);
+      if (p.empty() || q.empty()) return std::nullopt;
+      if (!is_nash_equilibrium(game, p, q, 1e-6)) return std::nullopt;
+      return Equilibrium{p, q, is_pure_profile(p, q, 1e-7)};
+    }
+    entering = *leaving;
+    in_col_tab = !in_col_tab;
+  }
+  return std::nullopt;
+}
+
+std::vector<Equilibrium> lemke_howson_all_labels(
+    const BimatrixGame& game, const LemkeHowsonOptions& opts) {
+  std::vector<Equilibrium> eqs;
+  const std::size_t total = game.num_actions1() + game.num_actions2();
+  for (std::size_t lbl = 0; lbl < total; ++lbl) {
+    if (auto eq = lemke_howson(game, lbl, opts)) eqs.push_back(std::move(*eq));
+  }
+  return dedup(std::move(eqs), 1e-6);
+}
+
+}  // namespace cnash::game

@@ -1,0 +1,31 @@
+#pragma once
+// Lemke–Howson complementary pivoting: finds one Nash equilibrium per initial
+// dropped label. Complements support enumeration (which is exhaustive but
+// exponential) — LH scales polynomially per path and is the second solver
+// Nashpy exposes. Used for cross-validation of the ground truth and for large
+// random games in tests.
+
+#include <optional>
+#include <vector>
+
+#include "game/game.hpp"
+#include "game/verify.hpp"
+
+namespace cnash::game {
+
+struct LemkeHowsonOptions {
+  std::size_t max_pivots = 10000;
+  double tol = 1e-10;
+};
+
+/// Run LH from the given initial label in [0, n+m). Returns nullopt when the
+/// path exceeds max_pivots or hits a degenerate ray.
+std::optional<Equilibrium> lemke_howson(const BimatrixGame& game,
+                                        std::size_t initial_label,
+                                        const LemkeHowsonOptions& opts = {});
+
+/// Run LH from every label and dedup the results.
+std::vector<Equilibrium> lemke_howson_all_labels(
+    const BimatrixGame& game, const LemkeHowsonOptions& opts = {});
+
+}  // namespace cnash::game

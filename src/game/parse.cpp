@@ -1,0 +1,108 @@
+#include "game/parse.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+namespace cnash::game {
+
+ParseError::ParseError(std::size_t line, const std::string& message)
+    : std::runtime_error("line " + std::to_string(line) + ": " + message),
+      line_(line) {}
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r\n");
+  return s.substr(begin, end - begin + 1);
+}
+
+la::Matrix rows_to_matrix(const std::vector<std::vector<double>>& rows,
+                          std::size_t first_line, const char* which) {
+  if (rows.empty())
+    throw ParseError(first_line, std::string("matrix ") + which + " is empty");
+  const std::size_t cols = rows.front().size();
+  la::Matrix m(rows.size(), cols);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    if (rows[r].size() != cols)
+      throw ParseError(first_line, std::string("ragged rows in matrix ") + which);
+    for (std::size_t c = 0; c < cols; ++c) m(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+}  // namespace
+
+BimatrixGame parse_game(std::istream& in) {
+  std::string name = "unnamed";
+  std::vector<std::vector<double>> m_rows, n_rows;
+  std::vector<std::vector<double>>* current = nullptr;
+  std::size_t m_line = 0, n_line = 0;
+
+  std::string raw;
+  std::size_t line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const std::string line = trim(raw);
+    if (line.empty() || line[0] == '#') continue;
+    if (line.rfind("name:", 0) == 0) {
+      name = trim(line.substr(5));
+      continue;
+    }
+    if (line == "M:") {
+      current = &m_rows;
+      m_line = line_no;
+      continue;
+    }
+    if (line == "N:") {
+      current = &n_rows;
+      n_line = line_no;
+      continue;
+    }
+    if (current == nullptr)
+      throw ParseError(line_no, "payoff row before any 'M:' or 'N:' header");
+    std::istringstream row_in(line);
+    std::vector<double> row;
+    double v = 0.0;
+    while (row_in >> v) row.push_back(v);
+    if (!row_in.eof())
+      throw ParseError(line_no, "non-numeric token in payoff row");
+    if (row.empty()) throw ParseError(line_no, "empty payoff row");
+    current->push_back(std::move(row));
+  }
+  if (m_rows.empty()) throw ParseError(line_no, "missing matrix M");
+  if (n_rows.empty()) throw ParseError(line_no, "missing matrix N");
+  la::Matrix m = rows_to_matrix(m_rows, m_line, "M");
+  la::Matrix n = rows_to_matrix(n_rows, n_line, "N");
+  if (m.rows() != n.rows() || m.cols() != n.cols())
+    throw ParseError(line_no, "M and N have different shapes");
+  return BimatrixGame(std::move(m), std::move(n), name);
+}
+
+BimatrixGame parse_game_text(const std::string& text) {
+  std::istringstream in(text);
+  return parse_game(in);
+}
+
+std::string serialize_game(const BimatrixGame& game, int precision) {
+  std::string out = "name: " + game.name() + "\n";
+  char buf[64];
+  auto emit = [&](const la::Matrix& m, const char* header) {
+    out += header;
+    out += "\n";
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+      for (std::size_t c = 0; c < m.cols(); ++c) {
+        std::snprintf(buf, sizeof buf, "%.*g", precision, m(r, c));
+        out += buf;
+        out += (c + 1 < m.cols()) ? ' ' : '\n';
+      }
+    }
+  };
+  emit(game.payoff1(), "M:");
+  emit(game.payoff2(), "N:");
+  return out;
+}
+
+}  // namespace cnash::game

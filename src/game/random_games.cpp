@@ -1,0 +1,58 @@
+#include "game/random_games.hpp"
+
+namespace cnash::game {
+
+namespace {
+la::Matrix random_matrix(std::size_t n, std::size_t m, util::Rng& rng, double lo,
+                         double hi) {
+  la::Matrix a(n, m);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < m; ++c) a(r, c) = rng.uniform(lo, hi);
+  return a;
+}
+}  // namespace
+
+BimatrixGame random_game(std::size_t n, std::size_t m, util::Rng& rng, double lo,
+                         double hi) {
+  return BimatrixGame(random_matrix(n, m, rng, lo, hi),
+                      random_matrix(n, m, rng, lo, hi), "random");
+}
+
+BimatrixGame random_zero_sum_game(std::size_t n, std::size_t m, util::Rng& rng,
+                                  double lo, double hi) {
+  return BimatrixGame::zero_sum(random_matrix(n, m, rng, lo, hi),
+                                "random-zero-sum");
+}
+
+BimatrixGame random_symmetric_game(std::size_t n, util::Rng& rng, double lo,
+                                   double hi) {
+  la::Matrix a = random_matrix(n, n, rng, lo, hi);
+  return BimatrixGame(a, a.transposed(), "random-symmetric");
+}
+
+BimatrixGame random_coordination_game(std::size_t n, util::Rng& rng,
+                                      double diag_lo, double diag_hi,
+                                      double noise) {
+  la::Matrix a = random_matrix(n, n, rng, -noise, noise);
+  la::Matrix b = random_matrix(n, n, rng, -noise, noise);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = rng.uniform(diag_lo, diag_hi);
+    a(i, i) += d;
+    b(i, i) += d;
+  }
+  return BimatrixGame(std::move(a), std::move(b), "random-coordination");
+}
+
+BimatrixGame random_integer_game(std::size_t n, std::size_t m, util::Rng& rng,
+                                 int lo, int hi) {
+  la::Matrix a(n, m);
+  la::Matrix b(n, m);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < m; ++c) {
+      a(r, c) = static_cast<double>(rng.uniform_int(lo, hi));
+      b(r, c) = static_cast<double>(rng.uniform_int(lo, hi));
+    }
+  return BimatrixGame(std::move(a), std::move(b), "random-integer");
+}
+
+}  // namespace cnash::game

@@ -1,0 +1,33 @@
+#pragma once
+// Random game generators for property-based tests and scaling studies.
+
+#include <cstdint>
+
+#include "game/game.hpp"
+#include "util/rng.hpp"
+
+namespace cnash::game {
+
+/// Uniform i.i.d. payoffs in [lo, hi] for both players.
+BimatrixGame random_game(std::size_t n, std::size_t m, util::Rng& rng,
+                         double lo = -1.0, double hi = 1.0);
+
+/// Random zero-sum game.
+BimatrixGame random_zero_sum_game(std::size_t n, std::size_t m, util::Rng& rng,
+                                  double lo = -1.0, double hi = 1.0);
+
+/// Random symmetric game (N = Mᵀ), n actions per player.
+BimatrixGame random_symmetric_game(std::size_t n, util::Rng& rng,
+                                   double lo = -1.0, double hi = 1.0);
+
+/// Random coordination-flavoured game: strong diagonal + weak noise, which
+/// yields many pure and mixed equilibria (stress test for enumeration).
+BimatrixGame random_coordination_game(std::size_t n, util::Rng& rng,
+                                      double diag_lo = 1.0, double diag_hi = 3.0,
+                                      double noise = 0.1);
+
+/// Random integer-payoff game (payoffs in [lo, hi] ∩ Z) — hardware-mappable.
+BimatrixGame random_integer_game(std::size_t n, std::size_t m, util::Rng& rng,
+                                 int lo = 0, int hi = 7);
+
+}  // namespace cnash::game

@@ -1,0 +1,64 @@
+#include "game/repeated_pd.hpp"
+
+namespace cnash::game {
+
+std::vector<MemoryOneStrategy> memory_one_roster() {
+  using M = PdMove;
+  // All 8 deterministic memory-one automata (first move × reply table).
+  return {
+      {"AllC", M::kCooperate, M::kCooperate, M::kCooperate},
+      {"TFT", M::kCooperate, M::kCooperate, M::kDefect},
+      {"AntiTFT", M::kCooperate, M::kDefect, M::kCooperate},
+      {"C-then-AllD", M::kCooperate, M::kDefect, M::kDefect},
+      {"SuspiciousAllC", M::kDefect, M::kCooperate, M::kCooperate},
+      {"SuspiciousTFT", M::kDefect, M::kCooperate, M::kDefect},
+      {"D-AntiTFT", M::kDefect, M::kDefect, M::kCooperate},
+      {"AllD", M::kDefect, M::kDefect, M::kDefect},
+  };
+}
+
+namespace {
+double stage_payoff(PdMove mine, PdMove theirs, const PdPayoffs& p) {
+  if (mine == PdMove::kCooperate)
+    return theirs == PdMove::kCooperate ? p.reward : p.sucker;
+  return theirs == PdMove::kCooperate ? p.temptation : p.punishment;
+}
+}  // namespace
+
+std::pair<double, double> play_repeated(const MemoryOneStrategy& a,
+                                        const MemoryOneStrategy& b,
+                                        std::size_t rounds,
+                                        const PdPayoffs& payoffs) {
+  if (rounds == 0) return {0.0, 0.0};
+  double total_a = 0.0;
+  double total_b = 0.0;
+  PdMove move_a = a.first_move;
+  PdMove move_b = b.first_move;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    total_a += stage_payoff(move_a, move_b, payoffs);
+    total_b += stage_payoff(move_b, move_a, payoffs);
+    const PdMove next_a = (move_b == PdMove::kCooperate) ? a.reply_to_cooperate
+                                                         : a.reply_to_defect;
+    const PdMove next_b = (move_a == PdMove::kCooperate) ? b.reply_to_cooperate
+                                                         : b.reply_to_defect;
+    move_a = next_a;
+    move_b = next_b;
+  }
+  const auto n = static_cast<double>(rounds);
+  return {total_a / n, total_b / n};
+}
+
+BimatrixGame repeated_pd_metagame(std::size_t rounds, const PdPayoffs& payoffs) {
+  const auto roster = memory_one_roster();
+  const std::size_t k = roster.size();
+  la::Matrix m(k, k), n(k, k);
+  for (std::size_t i = 0; i < k; ++i)
+    for (std::size_t j = 0; j < k; ++j) {
+      const auto [pa, pb] = play_repeated(roster[i], roster[j], rounds, payoffs);
+      m(i, j) = pa;
+      n(i, j) = pb;
+    }
+  return BimatrixGame(std::move(m), std::move(n), "Repeated-PD metagame");
+}
+
+}  // namespace cnash::game

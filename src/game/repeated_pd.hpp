@@ -1,0 +1,50 @@
+#pragma once
+// Repeated Prisoner's Dilemma meta-game builder. Produces the payoff matrix of
+// a tournament among deterministic memory-one strategies — an alternative
+// reconstruction of an "8-action modified Prisoner's Dilemma" and a realistic
+// workload for the examples (Axelrod-style).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "game/game.hpp"
+
+namespace cnash::game {
+
+enum class PdMove : std::uint8_t { kCooperate = 0, kDefect = 1 };
+
+/// Stage-game payoffs (row player): T > R > P > S, 2R > T + S.
+struct PdPayoffs {
+  double temptation = 5.0;  // D vs C
+  double reward = 3.0;      // C vs C
+  double punishment = 1.0;  // D vs D
+  double sucker = 0.0;      // C vs D
+};
+
+/// Deterministic memory-one strategy: first move + response to each last
+/// opponent move.
+struct MemoryOneStrategy {
+  std::string name;
+  PdMove first_move;
+  PdMove reply_to_cooperate;
+  PdMove reply_to_defect;
+};
+
+/// The classic deterministic memory-one roster (8 strategies): AllC, AllD,
+/// Tit-for-Tat, Suspicious TFT, Grim-ish (TFT that opens D and never forgives
+/// is not memory-one; we use the 8 distinct memory-one automata).
+std::vector<MemoryOneStrategy> memory_one_roster();
+
+/// Average per-round payoffs of `rounds` repetitions between two strategies.
+/// Returns {payoff to a, payoff to b}.
+std::pair<double, double> play_repeated(const MemoryOneStrategy& a,
+                                        const MemoryOneStrategy& b,
+                                        std::size_t rounds,
+                                        const PdPayoffs& payoffs = {});
+
+/// Build the meta-game: action k = committing to roster strategy k.
+BimatrixGame repeated_pd_metagame(std::size_t rounds = 64,
+                                  const PdPayoffs& payoffs = {});
+
+}  // namespace cnash::game

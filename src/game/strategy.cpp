@@ -1,0 +1,159 @@
+#include "game/strategy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace cnash::game {
+
+bool is_distribution(const la::Vector& v, double tol) {
+  if (v.empty()) return false;
+  double s = 0.0;
+  for (double x : v) {
+    if (x < -tol) return false;
+    s += x;
+  }
+  return std::abs(s - 1.0) <= tol;
+}
+
+std::vector<std::size_t> support(const la::Vector& v, double tol) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < v.size(); ++i)
+    if (v[i] > tol) out.push_back(i);
+  return out;
+}
+
+la::Vector pure_strategy(std::size_t n, std::size_t i) {
+  if (i >= n) throw std::out_of_range("pure_strategy");
+  la::Vector v(n, 0.0);
+  v[i] = 1.0;
+  return v;
+}
+
+la::Vector uniform_on(std::size_t n, const std::vector<std::size_t>& supp) {
+  if (supp.empty()) throw std::invalid_argument("uniform_on: empty support");
+  la::Vector v(n, 0.0);
+  for (auto i : supp) v.at(i) = 1.0 / static_cast<double>(supp.size());
+  return v;
+}
+
+QuantizedStrategy::QuantizedStrategy(std::size_t num_actions,
+                                     std::uint32_t intervals)
+    : counts_(num_actions, 0), intervals_(intervals) {
+  if (num_actions == 0) throw std::invalid_argument("QuantizedStrategy: n == 0");
+  if (intervals == 0) throw std::invalid_argument("QuantizedStrategy: I == 0");
+  counts_[0] = intervals;  // canonical start: all mass on action 0
+}
+
+QuantizedStrategy::QuantizedStrategy(std::vector<std::uint32_t> counts,
+                                     std::uint32_t intervals)
+    : counts_(std::move(counts)), intervals_(intervals) {
+  if (counts_.empty()) throw std::invalid_argument("QuantizedStrategy: n == 0");
+  const std::uint64_t total =
+      std::accumulate(counts_.begin(), counts_.end(), std::uint64_t{0});
+  if (total != intervals_)
+    throw std::invalid_argument("QuantizedStrategy: counts must sum to I");
+}
+
+QuantizedStrategy QuantizedStrategy::from_distribution(const la::Vector& p,
+                                                       std::uint32_t intervals) {
+  if (!is_distribution(p, 1e-6))
+    throw std::invalid_argument("from_distribution: not a distribution");
+  const std::size_t n = p.size();
+  // Largest-remainder (Hamilton) rounding keeps the total exactly I.
+  std::vector<std::uint32_t> counts(n, 0);
+  std::vector<std::pair<double, std::size_t>> remainders(n);
+  std::uint32_t assigned = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double exact = p[i] * intervals;
+    const double fl = std::floor(exact + 1e-12);
+    counts[i] = static_cast<std::uint32_t>(fl);
+    assigned += counts[i];
+    remainders[i] = {exact - fl, i};
+  }
+  std::sort(remainders.begin(), remainders.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (std::size_t k = 0; assigned < intervals; ++k, ++assigned)
+    ++counts[remainders[k % n].second];
+  return QuantizedStrategy(std::move(counts), intervals);
+}
+
+QuantizedStrategy QuantizedStrategy::pure(std::size_t num_actions, std::size_t i,
+                                          std::uint32_t intervals) {
+  if (i >= num_actions) throw std::out_of_range("QuantizedStrategy::pure");
+  std::vector<std::uint32_t> counts(num_actions, 0);
+  counts[i] = intervals;
+  return QuantizedStrategy(std::move(counts), intervals);
+}
+
+QuantizedStrategy QuantizedStrategy::random(std::size_t num_actions,
+                                            std::uint32_t intervals,
+                                            util::Rng& rng) {
+  // Stars-and-bars: choose I items among n bins uniformly via sorted cut points.
+  std::vector<std::uint32_t> counts(num_actions, 0);
+  for (std::uint32_t t = 0; t < intervals; ++t)
+    ++counts[rng.uniform_index(num_actions)];
+  return QuantizedStrategy(std::move(counts), intervals);
+}
+
+QuantizedStrategy QuantizedStrategy::random_support(std::size_t num_actions,
+                                                    std::uint32_t intervals,
+                                                    util::Rng& rng) {
+  const std::size_t max_support =
+      std::min<std::size_t>(num_actions, intervals);
+  const std::size_t s = 1 + rng.uniform_index(max_support);
+  // Sample s distinct actions (partial Fisher-Yates over an index pool).
+  std::vector<std::size_t> pool(num_actions);
+  for (std::size_t i = 0; i < num_actions; ++i) pool[i] = i;
+  for (std::size_t k = 0; k < s; ++k)
+    std::swap(pool[k], pool[k + rng.uniform_index(num_actions - k)]);
+  std::vector<std::uint32_t> counts(num_actions, 0);
+  for (std::size_t k = 0; k < s; ++k) counts[pool[k]] = 1;
+  for (std::uint32_t t = intervals - static_cast<std::uint32_t>(s); t > 0; --t)
+    ++counts[pool[rng.uniform_index(s)]];
+  return QuantizedStrategy(std::move(counts), intervals);
+}
+
+la::Vector QuantizedStrategy::to_distribution() const {
+  la::Vector v(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    v[i] = static_cast<double>(counts_[i]) / static_cast<double>(intervals_);
+  return v;
+}
+
+void QuantizedStrategy::move_tick(std::size_t from, std::size_t to) {
+  if (from >= counts_.size() || to >= counts_.size())
+    throw std::out_of_range("move_tick");
+  if (counts_[from] == 0) throw std::logic_error("move_tick: empty source");
+  --counts_[from];
+  ++counts_[to];
+}
+
+bool QuantizedStrategy::representable(const la::Vector& p,
+                                      std::uint32_t intervals, double tol) {
+  for (double x : p) {
+    const double scaled = x * intervals;
+    if (std::abs(scaled - std::round(scaled)) > tol) return false;
+  }
+  return true;
+}
+
+std::string QuantizedStrategy::to_string() const {
+  std::string out = "(";
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (i) out += ", ";
+    out += std::to_string(counts_[i]) + "/" + std::to_string(intervals_);
+  }
+  return out + ")";
+}
+
+std::string QuantizedProfile::key() const {
+  std::string k = "p";
+  for (auto c : p.counts()) k += ":" + std::to_string(c);
+  k += "|q";
+  for (auto c : q.counts()) k += ":" + std::to_string(c);
+  return k;
+}
+
+}  // namespace cnash::game

@@ -1,0 +1,92 @@
+#pragma once
+// Mixed strategies and the quantized simplex the C-Nash hardware operates on.
+// A strategy is a probability vector; C-Nash quantizes each probability to a
+// multiple of 1/I (Sec. 3.2, "quantified into I intervals"), so a quantized
+// strategy is an integer composition of I into n parts.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "la/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace cnash::game {
+
+/// True when v is entry-wise >= -tol and sums to 1 within tol.
+bool is_distribution(const la::Vector& v, double tol = 1e-9);
+
+/// Indices with mass > tol.
+std::vector<std::size_t> support(const la::Vector& v, double tol = 1e-9);
+
+/// Pure strategy e_i of dimension n.
+la::Vector pure_strategy(std::size_t n, std::size_t i);
+
+/// Uniform distribution over the given support indices.
+la::Vector uniform_on(std::size_t n, const std::vector<std::size_t>& supp);
+
+/// Integer-count representation of a quantized strategy: counts[i] ticks of
+/// mass 1/I on action i, with sum(counts) == I. This is exactly the row/column
+/// activation pattern of the bi-crossbar mapping in Fig. 4.
+class QuantizedStrategy {
+ public:
+  QuantizedStrategy(std::size_t num_actions, std::uint32_t intervals);
+  /// From explicit tick counts (must sum to `intervals`).
+  QuantizedStrategy(std::vector<std::uint32_t> counts, std::uint32_t intervals);
+
+  /// Nearest grid point to a real distribution (largest-remainder rounding).
+  static QuantizedStrategy from_distribution(const la::Vector& p,
+                                             std::uint32_t intervals);
+  /// Point mass on action i.
+  static QuantizedStrategy pure(std::size_t num_actions, std::size_t i,
+                                std::uint32_t intervals);
+  /// Uniformly random grid point (uniform over compositions).
+  static QuantizedStrategy random(std::size_t num_actions,
+                                  std::uint32_t intervals, util::Rng& rng);
+
+  /// Random grid point with a uniformly drawn support size: pick s in
+  /// [1, num_actions], pick s actions, spread the ticks over them (each
+  /// action gets at least one tick when intervals >= s). Seeds annealing
+  /// runs near sparse and dense strategy profiles with equal probability.
+  static QuantizedStrategy random_support(std::size_t num_actions,
+                                          std::uint32_t intervals,
+                                          util::Rng& rng);
+
+  std::size_t num_actions() const { return counts_.size(); }
+  std::uint32_t intervals() const { return intervals_; }
+  const std::vector<std::uint32_t>& counts() const { return counts_; }
+  std::uint32_t count(std::size_t i) const { return counts_.at(i); }
+
+  /// Real-valued probability vector counts/I.
+  la::Vector to_distribution() const;
+
+  /// Move one tick of probability mass from action `from` to action `to`.
+  /// Precondition: counts[from] > 0. This is the SA neighbourhood move
+  /// ("randomly increment or decrement the action probabilities by the value
+  /// of interval", Sec. 3.4).
+  void move_tick(std::size_t from, std::size_t to);
+
+  /// Whether a real distribution lies exactly on this grid (|p_i*I - round| < tol).
+  static bool representable(const la::Vector& p, std::uint32_t intervals,
+                            double tol = 1e-9);
+
+  bool operator==(const QuantizedStrategy&) const = default;
+
+  std::string to_string() const;
+
+ private:
+  std::vector<std::uint32_t> counts_;
+  std::uint32_t intervals_;
+};
+
+/// Joint (p, q) profile on the quantized grid — the SA state of Alg. 1.
+struct QuantizedProfile {
+  QuantizedStrategy p;
+  QuantizedStrategy q;
+
+  bool operator==(const QuantizedProfile&) const = default;
+  /// Stable key for dedup across SA runs.
+  std::string key() const;
+};
+
+}  // namespace cnash::game

@@ -1,0 +1,145 @@
+#include "game/support_enum.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "game/strategy.hpp"
+#include "la/solve.hpp"
+
+namespace cnash::game {
+
+namespace {
+
+/// Enumerate all k-subsets of {0..n-1}, invoking fn(subset).
+template <typename Fn>
+void for_each_subset(std::size_t n, std::size_t k, Fn&& fn) {
+  std::vector<std::size_t> idx(k);
+  for (std::size_t i = 0; i < k; ++i) idx[i] = i;
+  while (true) {
+    fn(idx);
+    // next combination
+    std::size_t i = k;
+    while (i > 0) {
+      --i;
+      if (idx[i] != i + n - k) break;
+      if (i == 0) return;
+    }
+    if (idx[i] == i + n - k) return;
+    ++idx[i];
+    for (std::size_t j = i + 1; j < k; ++j) idx[j] = idx[j - 1] + 1;
+  }
+}
+
+/// Solve the one-player indifference system: find strategy `x` of the opponent
+/// (supported on `opp_support`, |opp_support| unknowns + payoff level v) such
+/// that all actions in `own_support` are exactly indifferent:
+///   (A x)_i = v for i in own_support, sum(x) = 1.
+/// A is the payoff matrix of the player whose support is own_support, applied
+/// to the opponent's strategy (i.e. M for player 1 / Nᵀ for player 2).
+struct IndifferenceSolution {
+  la::Vector x;  // full-length opponent strategy
+  double value;
+  bool underdetermined = false;
+};
+
+std::optional<IndifferenceSolution> solve_indifference(
+    const la::Matrix& a,  // own payoff rows × opp actions
+    const std::vector<std::size_t>& own_support,
+    const std::vector<std::size_t>& opp_support, std::size_t opp_actions,
+    double tol) {
+  const std::size_t rows = own_support.size() + 1;
+  const std::size_t cols = opp_support.size() + 1;  // x on support + v
+  la::Matrix sys(rows, cols, 0.0);
+  la::Vector rhs(rows, 0.0);
+  for (std::size_t r = 0; r < own_support.size(); ++r) {
+    for (std::size_t c = 0; c < opp_support.size(); ++c)
+      sys(r, c) = a(own_support[r], opp_support[c]);
+    sys(r, opp_support.size()) = -1.0;  // -v
+  }
+  for (std::size_t c = 0; c < opp_support.size(); ++c)
+    sys(own_support.size(), c) = 1.0;  // sum x = 1
+  rhs[own_support.size()] = 1.0;
+
+  const auto res = la::solve_general(sys, rhs, tol);
+  if (res.status == la::SolveStatus::kInconsistent) return std::nullopt;
+
+  IndifferenceSolution sol;
+  sol.underdetermined = (res.status == la::SolveStatus::kUnderdetermined);
+  sol.x.assign(opp_actions, 0.0);
+  for (std::size_t c = 0; c < opp_support.size(); ++c)
+    sol.x[opp_support[c]] = res.x[c];
+  sol.value = res.x[opp_support.size()];
+  return sol;
+}
+
+bool non_negative_on_support(const la::Vector& x, double tol) {
+  return std::all_of(x.begin(), x.end(), [tol](double v) { return v >= -tol; });
+}
+
+}  // namespace
+
+SupportEnumResult support_enumeration(const BimatrixGame& game,
+                                      const SupportEnumOptions& opts) {
+  SupportEnumResult result;
+  const std::size_t n = game.num_actions1();
+  const std::size_t m = game.num_actions2();
+  const la::Matrix& payoff1 = game.payoff1();
+  const la::Matrix nt = game.payoff2().transposed();  // player 2's own-payoff rows
+
+  const std::size_t kmax1 = opts.max_support ? std::min(opts.max_support, n) : n;
+  const std::size_t kmax2 = opts.max_support ? std::min(opts.max_support, m) : m;
+
+  auto try_support_pair = [&](const std::vector<std::size_t>& s1,
+                              const std::vector<std::size_t>& s2) {
+    ++result.supports_examined;
+    // q makes player 1 indifferent across s1; p makes player 2 indifferent
+    // across s2.
+    const auto q_sol =
+        solve_indifference(payoff1, s1, s2, m, opts.tol);
+    if (!q_sol) return;
+    const auto p_sol = solve_indifference(nt, s2, s1, n, opts.tol);
+    if (!p_sol) return;
+    if (q_sol->underdetermined || p_sol->underdetermined)
+      result.degenerate_flag = true;
+    if (!non_negative_on_support(q_sol->x, opts.tol) ||
+        !non_negative_on_support(p_sol->x, opts.tol))
+      return;
+    // Clamp tiny negatives, renormalise.
+    la::Vector p = p_sol->x;
+    la::Vector q = q_sol->x;
+    for (auto& v : p) v = std::max(v, 0.0);
+    for (auto& v : q) v = std::max(v, 0.0);
+    const double sp = la::sum(p);
+    const double sq = la::sum(q);
+    if (sp <= 0.0 || sq <= 0.0) return;
+    for (auto& v : p) v /= sp;
+    for (auto& v : q) v /= sq;
+
+    if (!is_nash_equilibrium(game, p, q, opts.verify_eps)) return;
+    result.equilibria.push_back(
+        {p, q, is_pure_profile(p, q, opts.verify_eps)});
+  };
+
+  for (std::size_t k1 = 1; k1 <= kmax1; ++k1) {
+    const std::size_t k2_lo = opts.include_unequal_supports ? 1 : k1;
+    const std::size_t k2_hi = opts.include_unequal_supports ? kmax2
+                                                            : std::min(k1, kmax2);
+    for (std::size_t k2 = k2_lo; k2 <= k2_hi; ++k2) {
+      if (k2 > m || k1 > n) continue;
+      for_each_subset(n, k1, [&](const std::vector<std::size_t>& s1) {
+        for_each_subset(m, k2, [&](const std::vector<std::size_t>& s2) {
+          try_support_pair(s1, s2);
+        });
+      });
+    }
+  }
+
+  result.equilibria = dedup(std::move(result.equilibria), 1e-6);
+  return result;
+}
+
+std::vector<Equilibrium> all_equilibria(const BimatrixGame& game) {
+  return support_enumeration(game).equilibria;
+}
+
+}  // namespace cnash::game

@@ -1,0 +1,38 @@
+#pragma once
+// Support enumeration — the exact, exhaustive NE solver used as ground truth
+// (the paper uses Nashpy for the same purpose). For every pair of equal-size
+// supports (S1, S2) it solves the indifference system
+//   (Mq)_i = v   for i in S1,   sum q = 1,  q zero off S2
+//   (Nᵀp)_j = w  for j in S2,   sum p = 1,  p zero off S1
+// and keeps solutions that are valid distributions and pass the best-response
+// check. Non-degenerate games have all equilibria on equal-size supports
+// (Wilson); for degenerate games we flag underdetermined/unequal-support
+// systems so callers know the list may be incomplete or part of a continuum.
+
+#include <vector>
+
+#include "game/game.hpp"
+#include "game/verify.hpp"
+
+namespace cnash::game {
+
+struct SupportEnumOptions {
+  double tol = 1e-9;          // linear-solve pivot tolerance
+  double verify_eps = 1e-7;   // NE verification epsilon
+  bool include_unequal_supports = false;  // extended search for degenerate games
+  std::size_t max_support = 0;  // 0 = unlimited
+};
+
+struct SupportEnumResult {
+  std::vector<Equilibrium> equilibria;  // deduplicated
+  bool degenerate_flag = false;  // saw an underdetermined/indeterminate system
+  std::size_t supports_examined = 0;
+};
+
+SupportEnumResult support_enumeration(const BimatrixGame& game,
+                                      const SupportEnumOptions& opts = {});
+
+/// Convenience: just the equilibria with default options.
+std::vector<Equilibrium> all_equilibria(const BimatrixGame& game);
+
+}  // namespace cnash::game

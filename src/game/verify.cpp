@@ -1,0 +1,77 @@
+#include "game/verify.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "game/strategy.hpp"
+
+namespace cnash::game {
+
+NashCheck check_equilibrium(const BimatrixGame& game, const la::Vector& p,
+                            const la::Vector& q, double epsilon) {
+  if (!is_distribution(p, 1e-6) || !is_distribution(q, 1e-6))
+    return {false, std::numeric_limits<double>::infinity(),
+            std::numeric_limits<double>::infinity()};
+  const la::Vector mq = game.row_payoffs(q);
+  const la::Vector ntp = game.col_payoffs(p);
+  const double f1 = la::dot(p, mq);
+  const double f2 = la::dot(q, ntp);
+  const double regret1 = la::max_element(mq) - f1;
+  const double regret2 = la::max_element(ntp) - f2;
+  return {regret1 <= epsilon && regret2 <= epsilon, regret1, regret2};
+}
+
+bool is_nash_equilibrium(const BimatrixGame& game, const la::Vector& p,
+                         const la::Vector& q, double epsilon) {
+  return check_equilibrium(game, p, q, epsilon).is_equilibrium;
+}
+
+double equilibrium_gap(const BimatrixGame& game, const la::Vector& p,
+                       const la::Vector& q) {
+  const auto chk = check_equilibrium(game, p, q, 0.0);
+  return std::max(chk.regret1, chk.regret2);
+}
+
+bool Equilibrium::matches(const la::Vector& op, const la::Vector& oq,
+                          double tol) const {
+  if (op.size() != p.size() || oq.size() != q.size()) return false;
+  return la::norm_inf(la::subtract(p, op)) <= tol &&
+         la::norm_inf(la::subtract(q, oq)) <= tol;
+}
+
+bool is_pure_profile(const la::Vector& p, const la::Vector& q, double tol) {
+  auto pure = [tol](const la::Vector& v) {
+    std::size_t ones = 0;
+    for (double x : v) {
+      if (std::abs(x - 1.0) <= tol)
+        ++ones;
+      else if (std::abs(x) > tol)
+        return false;
+    }
+    return ones == 1;
+  };
+  return pure(p) && pure(q);
+}
+
+std::vector<Equilibrium> dedup(std::vector<Equilibrium> eqs, double tol) {
+  std::vector<Equilibrium> out;
+  for (auto& e : eqs) {
+    const bool seen = std::any_of(out.begin(), out.end(), [&](const Equilibrium& o) {
+      return o.matches(e.p, e.q, tol);
+    });
+    if (!seen) out.push_back(std::move(e));
+  }
+  return out;
+}
+
+std::size_t match_equilibrium(const std::vector<Equilibrium>& ground_truth,
+                              const la::Vector& p, const la::Vector& q,
+                              double tol) {
+  for (std::size_t i = 0; i < ground_truth.size(); ++i)
+    if (ground_truth[i].matches(p, q, tol)) return i;
+  return kNoMatch;
+}
+
+}  // namespace cnash::game

@@ -1,0 +1,56 @@
+#pragma once
+// Nash-equilibrium verification. A profile (p, q) is an ε-NE when no unilateral
+// pure deviation improves either player's expected payoff by more than ε:
+//   max_i (Mq)_i - pᵀMq <= ε   and   max_j (Nᵀp)_j - pᵀNq <= ε.
+// (The pure-deviation criterion is equivalent to the all-deviations criterion
+// by linearity of expected payoff.)
+
+#include <vector>
+
+#include "game/game.hpp"
+
+namespace cnash::game {
+
+struct NashCheck {
+  bool is_equilibrium;
+  double regret1;  // best-response gain available to player 1
+  double regret2;  // best-response gain available to player 2
+};
+
+/// Full diagnostic check.
+NashCheck check_equilibrium(const BimatrixGame& game, const la::Vector& p,
+                            const la::Vector& q, double epsilon = 1e-7);
+
+/// Just the boolean.
+bool is_nash_equilibrium(const BimatrixGame& game, const la::Vector& p,
+                         const la::Vector& q, double epsilon = 1e-7);
+
+/// max of the two regrets — 0 exactly at equilibria; the continuous counterpart
+/// of the MAX-QUBO objective.
+double equilibrium_gap(const BimatrixGame& game, const la::Vector& p,
+                       const la::Vector& q);
+
+/// A found equilibrium, tagged pure/mixed.
+struct Equilibrium {
+  la::Vector p;
+  la::Vector q;
+  bool pure;  // both strategies are point masses
+
+  bool matches(const la::Vector& op, const la::Vector& oq, double tol) const;
+};
+
+/// True when both p and q are (numerically) point masses.
+bool is_pure_profile(const la::Vector& p, const la::Vector& q,
+                     double tol = 1e-7);
+
+/// Deduplicate a list of equilibria under an infinity-norm tolerance.
+std::vector<Equilibrium> dedup(std::vector<Equilibrium> eqs, double tol = 1e-6);
+
+/// Index of the ground-truth equilibrium matched by (p,q), or npos.
+std::size_t match_equilibrium(const std::vector<Equilibrium>& ground_truth,
+                              const la::Vector& p, const la::Vector& q,
+                              double tol = 1e-4);
+
+inline constexpr std::size_t kNoMatch = static_cast<std::size_t>(-1);
+
+}  // namespace cnash::game

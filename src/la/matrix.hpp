@@ -1,0 +1,79 @@
+#pragma once
+// Small dense linear algebra tailored to bimatrix games and QUBO matrices.
+// Row-major, value-semantic. Sizes here are tiny (n,m <= a few hundred), so the
+// implementation favours clarity and strong checking over blocking/vectorisation.
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace cnash::la {
+
+using Vector = std::vector<double>;
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+  /// Build from nested braces: Matrix{{1,2},{3,4}}.
+  Matrix(std::initializer_list<std::initializer_list<double>> init);
+
+  static Matrix identity(std::size_t n);
+  static Matrix diagonal(const Vector& d);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c);
+  double operator()(std::size_t r, std::size_t c) const;
+  double& at(std::size_t r, std::size_t c);
+  double at(std::size_t r, std::size_t c) const;
+
+  const std::vector<double>& data() const { return data_; }
+
+  Matrix transposed() const;
+  Matrix operator+(const Matrix& rhs) const;
+  Matrix operator-(const Matrix& rhs) const;
+  Matrix operator*(const Matrix& rhs) const;
+  Matrix operator*(double s) const;
+  Matrix& operator+=(const Matrix& rhs);
+  Matrix& operator-=(const Matrix& rhs);
+  Matrix& operator*=(double s);
+  bool operator==(const Matrix& rhs) const = default;
+
+  Vector row(std::size_t r) const;
+  Vector col(std::size_t c) const;
+  double min_element() const;
+  double max_element() const;
+
+  /// M * v (v has cols() entries).
+  Vector multiply(const Vector& v) const;
+  /// Mᵀ * v (v has rows() entries) without materialising the transpose.
+  Vector multiply_transposed(const Vector& v) const;
+
+  std::string to_string(int precision = 3) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+// -- Vector helpers (free functions on la::Vector) ---------------------------
+
+double dot(const Vector& a, const Vector& b);
+Vector add(const Vector& a, const Vector& b);
+Vector subtract(const Vector& a, const Vector& b);
+Vector scale(const Vector& a, double s);
+double norm_inf(const Vector& a);
+double norm2(const Vector& a);
+double sum(const Vector& a);
+double max_element(const Vector& a);
+std::size_t argmax(const Vector& a);
+
+/// vᵀ M w — the paper's VMV primitive in exact arithmetic.
+double vmv(const Vector& v, const Matrix& m, const Vector& w);
+
+}  // namespace cnash::la

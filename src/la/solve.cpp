@@ -1,0 +1,152 @@
+#include "la/solve.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace cnash::la {
+
+namespace {
+
+/// Row-echelon reduction of the augmented matrix [A | b]; records pivot columns.
+struct Echelon {
+  Matrix aug;                       // reduced augmented matrix
+  std::vector<std::size_t> pivot_cols;
+  double scale;                     // magnitude reference for tolerance checks
+};
+
+Echelon reduce(const Matrix& a, const Vector& b, double tol) {
+  if (b.size() != a.rows()) throw std::invalid_argument("solve: b size mismatch");
+  const std::size_t n = a.rows();
+  const std::size_t m = a.cols();
+  Matrix aug(n, m + 1);
+  double scale = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < m; ++c) {
+      aug(r, c) = a(r, c);
+      scale = std::max(scale, std::abs(a(r, c)));
+    }
+    aug(r, m) = b[r];
+    scale = std::max(scale, std::abs(b[r]));
+  }
+  if (scale == 0.0) scale = 1.0;
+  const double threshold = tol * scale;
+
+  std::vector<std::size_t> pivot_cols;
+  std::size_t pr = 0;  // pivot row
+  for (std::size_t pc = 0; pc < m && pr < n; ++pc) {
+    // Partial pivot: pick the largest |entry| in this column at/below pr.
+    std::size_t best = pr;
+    for (std::size_t r = pr + 1; r < n; ++r)
+      if (std::abs(aug(r, pc)) > std::abs(aug(best, pc))) best = r;
+    if (std::abs(aug(best, pc)) <= threshold) continue;  // no pivot here
+    if (best != pr)
+      for (std::size_t c = 0; c <= m; ++c) std::swap(aug(best, c), aug(pr, c));
+    const double pivot = aug(pr, pc);
+    for (std::size_t c = pc; c <= m; ++c) aug(pr, c) /= pivot;
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == pr) continue;
+      const double f = aug(r, pc);
+      if (f == 0.0) continue;
+      for (std::size_t c = pc; c <= m; ++c) aug(r, c) -= f * aug(pr, c);
+    }
+    pivot_cols.push_back(pc);
+    ++pr;
+  }
+  return {std::move(aug), std::move(pivot_cols), scale};
+}
+
+}  // namespace
+
+SolveResult solve_general(const Matrix& a, const Vector& b, double tol) {
+  const std::size_t n = a.rows();
+  const std::size_t m = a.cols();
+  Echelon e = reduce(a, b, tol);
+  const std::size_t r = e.pivot_cols.size();
+  const double threshold = tol * e.scale;
+
+  // Inconsistency: a zero row of A with nonzero rhs.
+  for (std::size_t row = r; row < n; ++row) {
+    if (std::abs(e.aug(row, m)) > threshold)
+      return {SolveStatus::kInconsistent, {}, r};
+  }
+
+  // Particular solution: pivot variables from rhs, free variables = 0.
+  Vector x(m, 0.0);
+  for (std::size_t i = 0; i < r; ++i) x[e.pivot_cols[i]] = e.aug(i, m);
+
+  const SolveStatus status =
+      (r == m) ? SolveStatus::kUnique : SolveStatus::kUnderdetermined;
+  return {status, std::move(x), r};
+}
+
+std::optional<Vector> solve_unique(const Matrix& a, const Vector& b, double tol) {
+  auto res = solve_general(a, b, tol);
+  if (res.status != SolveStatus::kUnique) return std::nullopt;
+  return res.x;
+}
+
+std::size_t rank(const Matrix& a, double tol) {
+  Vector zero(a.rows(), 0.0);
+  return reduce(a, zero, tol).pivot_cols.size();
+}
+
+double determinant(Matrix a) {
+  if (a.rows() != a.cols()) throw std::invalid_argument("determinant: not square");
+  const std::size_t n = a.rows();
+  double det = 1.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    std::size_t best = k;
+    for (std::size_t r = k + 1; r < n; ++r)
+      if (std::abs(a(r, k)) > std::abs(a(best, k))) best = r;
+    if (a(best, k) == 0.0) return 0.0;
+    if (best != k) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a(best, c), a(k, c));
+      det = -det;
+    }
+    det *= a(k, k);
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double f = a(r, k) / a(k, k);
+      for (std::size_t c = k; c < n; ++c) a(r, c) -= f * a(k, c);
+    }
+  }
+  return det;
+}
+
+std::optional<Matrix> inverse(const Matrix& a, double tol) {
+  if (a.rows() != a.cols()) throw std::invalid_argument("inverse: not square");
+  const std::size_t n = a.rows();
+  Matrix aug(n, 2 * n);
+  double scale = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      aug(r, c) = a(r, c);
+      scale = std::max(scale, std::abs(a(r, c)));
+    }
+    aug(r, n + r) = 1.0;
+  }
+  if (scale == 0.0) return std::nullopt;
+  for (std::size_t k = 0; k < n; ++k) {
+    std::size_t best = k;
+    for (std::size_t r = k + 1; r < n; ++r)
+      if (std::abs(aug(r, k)) > std::abs(aug(best, k))) best = r;
+    if (std::abs(aug(best, k)) <= tol * scale) return std::nullopt;
+    if (best != k)
+      for (std::size_t c = 0; c < 2 * n; ++c) std::swap(aug(best, c), aug(k, c));
+    const double pivot = aug(k, k);
+    for (std::size_t c = 0; c < 2 * n; ++c) aug(k, c) /= pivot;
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == k) continue;
+      const double f = aug(r, k);
+      if (f == 0.0) continue;
+      for (std::size_t c = 0; c < 2 * n; ++c) aug(r, c) -= f * aug(k, c);
+    }
+  }
+  Matrix inv(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) inv(r, c) = aug(r, n + c);
+  return inv;
+}
+
+}  // namespace cnash::la

@@ -1,0 +1,43 @@
+#pragma once
+// Linear system solving for the support-enumeration indifference systems.
+// Gaussian elimination with partial pivoting plus rank / consistency reporting —
+// degenerate games produce singular or inconsistent systems and the game layer
+// needs to distinguish "no solution" from "continuum of solutions".
+
+#include <optional>
+
+#include "la/matrix.hpp"
+
+namespace cnash::la {
+
+enum class SolveStatus {
+  kUnique,        // full-rank square system, one solution returned
+  kInconsistent,  // no solution exists
+  kUnderdetermined  // infinitely many; a particular solution is returned
+};
+
+struct SolveResult {
+  SolveStatus status;
+  Vector x;        // valid unless kInconsistent
+  std::size_t rank = 0;
+};
+
+/// Solve A x = b for a general (possibly non-square / rank-deficient) A via
+/// row-reduction with partial pivoting. `tol` is the pivot threshold relative to
+/// the largest row entry.
+SolveResult solve_general(const Matrix& a, const Vector& b, double tol = 1e-10);
+
+/// Convenience: unique solution or nullopt (square systems).
+std::optional<Vector> solve_unique(const Matrix& a, const Vector& b,
+                                   double tol = 1e-10);
+
+/// Rank of A under relative tolerance `tol`.
+std::size_t rank(const Matrix& a, double tol = 1e-10);
+
+/// Determinant via LU (square only).
+double determinant(Matrix a);
+
+/// Inverse via Gauss-Jordan; nullopt when singular.
+std::optional<Matrix> inverse(const Matrix& a, double tol = 1e-12);
+
+}  // namespace cnash::la

@@ -1,0 +1,69 @@
+#include "qubo/annealer.hpp"
+
+#include <cmath>
+
+namespace cnash::qubo {
+
+AnnealResult anneal(const QuboModel& model, const AnnealSchedule& schedule,
+                    util::Rng& rng) {
+  const std::size_t n = model.num_vars();
+  Bits x(n);
+  for (auto& b : x) b = rng.bernoulli(0.5) ? 1 : 0;
+
+  // Maintain local fields so each flip proposal is O(1) evaluate / O(n) apply.
+  // field[i] = Q_ii + 2 Σ_{j != i} Q_ij x_j ; ΔE(flip i) = ±field[i].
+  const la::Matrix& q = model.q();
+  std::vector<double> field(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double f = q(i, i);
+    for (std::size_t j = 0; j < n; ++j)
+      if (j != i && x[j]) f += 2.0 * q(i, j);
+    field[i] = f;
+  }
+
+  double energy = model.energy(x);
+  AnnealResult res{x, energy, 0, 0};
+
+  const double scale = std::max(model.max_abs_coefficient(), 1e-12);
+  const double t0 = schedule.t_start * scale;
+  const double t1 = schedule.t_end * scale;
+  const std::size_t sweeps = std::max<std::size_t>(schedule.sweeps, 1);
+  const double decay =
+      (sweeps > 1) ? std::pow(t1 / t0, 1.0 / static_cast<double>(sweeps - 1))
+                   : 1.0;
+
+  double temperature = t0;
+  for (std::size_t s = 0; s < sweeps; ++s, temperature *= decay) {
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t i = rng.uniform_index(n);
+      const double delta = x[i] ? -field[i] : field[i];
+      ++res.flips_proposed;
+      if (delta <= 0.0 || rng.uniform() < std::exp(-delta / temperature)) {
+        // Apply flip: update state, energy and all fields.
+        const double sign = x[i] ? -2.0 : 2.0;  // change of 2*x_i - effect
+        x[i] ^= 1u;
+        energy += delta;
+        ++res.flips_accepted;
+        for (std::size_t j = 0; j < n; ++j)
+          if (j != i) field[j] += sign * q(i, j);
+        if (energy < res.best_energy) {
+          res.best_energy = energy;
+          res.best_state = x;
+        }
+      }
+    }
+  }
+  return res;
+}
+
+std::vector<AnnealResult> sample(const QuboModel& model,
+                                 const AnnealSchedule& schedule,
+                                 std::size_t num_reads, util::Rng& rng) {
+  std::vector<AnnealResult> out;
+  out.reserve(num_reads);
+  for (std::size_t r = 0; r < num_reads; ++r)
+    out.push_back(anneal(model, schedule, rng));
+  return out;
+}
+
+}  // namespace cnash::qubo

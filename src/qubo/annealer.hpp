@@ -1,0 +1,39 @@
+#pragma once
+// Classical single-flip Metropolis simulated annealing over QUBO models.
+// Serves as the sampling engine of the D-Wave proxies: each "read" is one
+// annealing descent from a random initial state.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "qubo/qubo.hpp"
+#include "util/rng.hpp"
+
+namespace cnash::qubo {
+
+struct AnnealSchedule {
+  double t_start = 5.0;
+  double t_end = 0.05;
+  std::size_t sweeps = 200;  // full passes over all variables
+};
+
+struct AnnealResult {
+  Bits best_state;
+  double best_energy = 0.0;
+  std::size_t flips_accepted = 0;
+  std::size_t flips_proposed = 0;
+};
+
+/// One annealing descent. Temperatures decay geometrically per sweep from
+/// t_start to t_end (scaled by the largest |Q| coefficient so schedules are
+/// problem-size independent).
+AnnealResult anneal(const QuboModel& model, const AnnealSchedule& schedule,
+                    util::Rng& rng);
+
+/// `num_reads` independent descents (a "sample set" in annealer terms).
+std::vector<AnnealResult> sample(const QuboModel& model,
+                                 const AnnealSchedule& schedule,
+                                 std::size_t num_reads, util::Rng& rng);
+
+}  // namespace cnash::qubo

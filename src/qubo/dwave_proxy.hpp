@@ -1,0 +1,65 @@
+#pragma once
+// Behavioural proxies for the two D-Wave quantum annealers the paper compares
+// against. The real machines are unavailable (and the paper itself quotes
+// literature numbers); the proxy reproduces the *mechanism* of each solver:
+// S-QUBO objective distortion, binary (pure-only) strategy variables, limited
+// analog coupler precision, and a per-sample wall-clock cost.
+//
+//   D-Wave 2000 Q6      — slower per sample, better-converged samples.
+//   D-Wave Advantage 4.1 — faster per sample, noisier samples (matches the
+//                          lower success rates reported in Table 1).
+
+#include <string>
+#include <vector>
+
+#include "game/game.hpp"
+#include "qubo/annealer.hpp"
+#include "qubo/squbo_builder.hpp"
+
+namespace cnash::qubo {
+
+struct DWaveConfig {
+  std::string name;
+  AnnealSchedule schedule;
+  unsigned coupler_bits;     // analog coupling precision (0 = ideal)
+  /// Per-read Gaussian perturbation of every coupling, relative to the
+  /// largest |Q| coefficient — models D-Wave integrated control errors (ICE):
+  /// each anneal sees a slightly different Hamiltonian.
+  double q_noise_rel = 0.0;
+  double time_per_sample_s;  // programming + anneal + readout per read
+  SQuboOptions squbo;
+};
+
+/// Published-spec-flavoured presets.
+DWaveConfig dwave_2000q6_config();
+DWaveConfig dwave_advantage41_config();
+
+/// Result of one annealer read, decoded to strategy space.
+struct NashSample {
+  la::Vector p;
+  la::Vector q;
+  bool valid;      // strategy simplex constraints hold (one-hot)
+  double energy;   // S-QUBO energy of the read
+};
+
+/// Run `num_reads` S-QUBO reads on a game through the proxy.
+class DWaveProxy {
+ public:
+  DWaveProxy(const game::BimatrixGame& game, DWaveConfig config);
+
+  std::vector<NashSample> run(std::size_t num_reads, util::Rng& rng) const;
+
+  /// Modelled wall-clock for `num_reads` reads.
+  double elapsed_seconds(std::size_t num_reads) const;
+
+  const DWaveConfig& config() const { return config_; }
+  const SQubo& squbo() const { return squbo_; }
+
+ private:
+  game::BimatrixGame game_;
+  DWaveConfig config_;
+  SQubo squbo_;
+  QuboModel solve_model_;  // precision-quantized model actually sampled
+};
+
+}  // namespace cnash::qubo

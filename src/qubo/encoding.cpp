@@ -1,0 +1,43 @@
+#include "qubo/encoding.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cnash::qubo {
+
+ScalarEncoding::ScalarEncoding(std::size_t base_index, unsigned bits, double lo,
+                               double hi)
+    : base_(base_index), bits_(bits), lo_(lo), hi_(hi) {
+  if (bits == 0 || bits > 30)
+    throw std::invalid_argument("ScalarEncoding: bits out of range");
+  if (!(hi > lo)) throw std::invalid_argument("ScalarEncoding: hi <= lo");
+  resolution_ = (hi - lo) / static_cast<double>((1u << bits) - 1);
+}
+
+double ScalarEncoding::decode(const Bits& x) const {
+  double v = lo_;
+  for (unsigned k = 0; k < bits_; ++k)
+    if (x.at(base_ + k)) v += resolution_ * static_cast<double>(1u << k);
+  return v;
+}
+
+std::vector<std::size_t> ScalarEncoding::indices() const {
+  std::vector<std::size_t> idx(bits_);
+  for (unsigned k = 0; k < bits_; ++k) idx[k] = base_ + k;
+  return idx;
+}
+
+std::vector<double> ScalarEncoding::coefficients() const {
+  std::vector<double> c(bits_);
+  for (unsigned k = 0; k < bits_; ++k)
+    c[k] = resolution_ * static_cast<double>(1u << k);
+  return c;
+}
+
+double ScalarEncoding::quantize(double v) const {
+  const double clamped = std::min(std::max(v, lo_), hi_);
+  const double steps = std::round((clamped - lo_) / resolution_);
+  return lo_ + steps * resolution_;
+}
+
+}  // namespace cnash::qubo

@@ -1,0 +1,45 @@
+#pragma once
+// Fixed-point binary encodings of bounded real scalars over QUBO bit ranges:
+//   value(x) = offset + resolution * Σ_k 2^k x_{base+k}.
+// Used for the α, β payoff levels and ζ, η slack variables of the S-QUBO
+// formulation (Eq. 6).
+
+#include <cstddef>
+#include <vector>
+
+#include "qubo/qubo.hpp"
+
+namespace cnash::qubo {
+
+class ScalarEncoding {
+ public:
+  /// Encode values in [lo, hi] with `bits` bits; resolution = (hi-lo)/(2^bits-1).
+  ScalarEncoding(std::size_t base_index, unsigned bits, double lo, double hi);
+
+  std::size_t base() const { return base_; }
+  unsigned bits() const { return bits_; }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  double resolution() const { return resolution_; }
+
+  /// Decode the scalar from a full bit assignment.
+  double decode(const Bits& x) const;
+
+  /// The encoding as (indices, coefficients, constant) for squared penalties:
+  /// value = constant + Σ coeff_k x_{idx_k}.
+  std::vector<std::size_t> indices() const;
+  std::vector<double> coefficients() const;
+  double constant() const { return lo_; }
+
+  /// Closest representable value to v (for tests).
+  double quantize(double v) const;
+
+ private:
+  std::size_t base_;
+  unsigned bits_;
+  double lo_;
+  double hi_;
+  double resolution_;
+};
+
+}  // namespace cnash::qubo

@@ -1,0 +1,87 @@
+#include "qubo/qubo.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cnash::qubo {
+
+QuboModel::QuboModel(std::size_t num_vars) : q_(num_vars, num_vars, 0.0) {
+  if (num_vars == 0) throw std::invalid_argument("QuboModel: zero variables");
+}
+
+void QuboModel::add_linear(std::size_t i, double w) {
+  q_.at(i, i) += w;
+}
+
+void QuboModel::add_quadratic(std::size_t i, std::size_t j, double w) {
+  if (i == j) throw std::invalid_argument("add_quadratic: i == j");
+  q_.at(i, j) += w / 2.0;
+  q_.at(j, i) += w / 2.0;
+}
+
+void QuboModel::add_offset(double c) { offset_ += c; }
+
+void QuboModel::add_squared_penalty(const std::vector<std::size_t>& idx,
+                                    const std::vector<double>& coeff,
+                                    double constant, double penalty) {
+  if (idx.size() != coeff.size())
+    throw std::invalid_argument("add_squared_penalty: size mismatch");
+  // (Σ c_k x_k + a)² = Σ c_k² x_k (x²=x) + 2Σ_{k<l} c_k c_l x_k x_l + 2aΣc_k x_k + a²
+  for (std::size_t k = 0; k < idx.size(); ++k) {
+    add_linear(idx[k], penalty * coeff[k] * (coeff[k] + 2.0 * constant));
+    for (std::size_t l = k + 1; l < idx.size(); ++l) {
+      if (idx[k] == idx[l]) {
+        // Same variable appearing twice: x*x = x, fold into linear term.
+        add_linear(idx[k], penalty * 2.0 * coeff[k] * coeff[l]);
+      } else {
+        add_quadratic(idx[k], idx[l], penalty * 2.0 * coeff[k] * coeff[l]);
+      }
+    }
+  }
+  add_offset(penalty * constant * constant);
+}
+
+double QuboModel::energy(const Bits& x) const {
+  const std::size_t n = num_vars();
+  if (x.size() != n) throw std::invalid_argument("energy: size mismatch");
+  double e = offset_;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!x[i]) continue;
+    e += q_(i, i);
+    for (std::size_t j = i + 1; j < n; ++j)
+      if (x[j]) e += 2.0 * q_(i, j);
+  }
+  return e;
+}
+
+double QuboModel::flip_delta(const Bits& x, std::size_t i) const {
+  const std::size_t n = num_vars();
+  if (i >= n) throw std::out_of_range("flip_delta");
+  // E(x with x_i -> 1-x_i) - E(x) = s * (Q_ii + 2 Σ_{j != i} Q_ij x_j),
+  // s = +1 when turning on, -1 when turning off.
+  double field = q_(i, i);
+  for (std::size_t j = 0; j < n; ++j)
+    if (j != i && x[j]) field += 2.0 * q_(i, j);
+  return x[i] ? -field : field;
+}
+
+QuboModel QuboModel::quantized(unsigned bits) const {
+  if (bits == 0) return *this;
+  const double scale = max_abs_coefficient();
+  if (scale == 0.0) return *this;
+  const double levels = static_cast<double>((1u << (bits - 1)) - 1);
+  QuboModel out(num_vars());
+  out.offset_ = offset_;
+  for (std::size_t i = 0; i < num_vars(); ++i)
+    for (std::size_t j = 0; j < num_vars(); ++j)
+      out.q_(i, j) = std::round(q_(i, j) / scale * levels) / levels * scale;
+  return out;
+}
+
+double QuboModel::max_abs_coefficient() const {
+  double m = 0.0;
+  for (double v : q_.data()) m = std::max(m, std::abs(v));
+  return m;
+}
+
+}  // namespace cnash::qubo

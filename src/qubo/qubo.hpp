@@ -1,0 +1,55 @@
+#pragma once
+// Quadratic Unconstrained Binary Optimization (QUBO) model:
+//   E(x) = xᵀ Q x + offset,  x ∈ {0,1}^n  (Eq. 5 of the paper).
+// Q is stored dense and symmetric (tiny problems: n+m+slack bits ≲ 100).
+
+#include <cstdint>
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace cnash::qubo {
+
+using Bits = std::vector<std::uint8_t>;  // each entry 0 or 1
+
+class QuboModel {
+ public:
+  explicit QuboModel(std::size_t num_vars);
+
+  std::size_t num_vars() const { return q_.rows(); }
+
+  /// Add `w` to the linear coefficient of variable i (diagonal of Q).
+  void add_linear(std::size_t i, double w);
+  /// Add `w` to the coupling of (i, j), i != j; split symmetrically.
+  void add_quadratic(std::size_t i, std::size_t j, double w);
+  /// Add a constant to the energy offset.
+  void add_offset(double c);
+
+  /// Add penalty * (Σ coeff_k x_{idx_k} + constant)² expanded into Q.
+  void add_squared_penalty(const std::vector<std::size_t>& idx,
+                           const std::vector<double>& coeff, double constant,
+                           double penalty);
+
+  double offset() const { return offset_; }
+  const la::Matrix& q() const { return q_; }
+
+  /// Full energy evaluation.
+  double energy(const Bits& x) const;
+
+  /// Energy change if bit i is flipped (O(n)).
+  double flip_delta(const Bits& x, std::size_t i) const;
+
+  /// Quantize all couplings/linears to `bits` signed levels over the maximum
+  /// magnitude — models the limited analog coupler precision of physical
+  /// annealers. bits == 0 leaves the model untouched.
+  QuboModel quantized(unsigned bits) const;
+
+  /// Largest |Q_ij| (diagonal included).
+  double max_abs_coefficient() const;
+
+ private:
+  la::Matrix q_;       // symmetric
+  double offset_ = 0.0;
+};
+
+}  // namespace cnash::qubo

@@ -1,0 +1,177 @@
+#include "qubo/squbo_builder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "game/strategy.hpp"
+
+namespace cnash::qubo {
+
+namespace {
+
+/// Sum of variable count needed before building (layout planning).
+struct Layout {
+  std::size_t n, m;
+  std::size_t alpha_base, beta_base, zeta_base, eta_base, total;
+};
+
+Layout plan_layout(std::size_t n, std::size_t m, const SQuboOptions& o) {
+  Layout l{};
+  l.n = n;
+  l.m = m;
+  const std::size_t zeta_count = (o.style == SlackStyle::kAggregate) ? 1 : n;
+  const std::size_t eta_count = (o.style == SlackStyle::kAggregate) ? 1 : m;
+  l.alpha_base = n + m;
+  l.beta_base = l.alpha_base + o.level_bits;
+  l.zeta_base = l.beta_base + o.level_bits;
+  l.eta_base = l.zeta_base + zeta_count * o.slack_bits;
+  l.total = l.eta_base + eta_count * o.slack_bits;
+  return l;
+}
+
+}  // namespace
+
+SQubo::SQubo(const game::BimatrixGame& game, const SQuboOptions& opts)
+    : game_(game),
+      model_(plan_layout(game.num_actions1(), game.num_actions2(), opts).total),
+      n_(game.num_actions1()),
+      m_(game.num_actions2()) {
+  const Layout l = plan_layout(n_, m_, opts);
+  const la::Matrix& mm = game_.payoff1();
+  const la::Matrix& nn = game_.payoff2();
+
+  // Value ranges for α (payoff levels of player 1) and β (player 2). With
+  // binary strategies and Σq = 1, (Mq)_i spans the matrix entry range.
+  const double m_lo = mm.min_element(), m_hi = mm.max_element();
+  const double n_lo = nn.min_element(), n_hi = nn.max_element();
+  alpha_.emplace(l.alpha_base, opts.level_bits, m_lo, m_hi);
+  beta_.emplace(l.beta_base, opts.level_bits, n_lo, n_hi);
+
+  const double m_range = m_hi - m_lo;
+  const double n_range = n_hi - n_lo;
+  const std::size_t zeta_count = (opts.style == SlackStyle::kAggregate) ? 1 : n_;
+  const std::size_t eta_count = (opts.style == SlackStyle::kAggregate) ? 1 : m_;
+  // Aggregate constraints sum n rows, so the slack must cover n× the range.
+  const double zeta_hi = (opts.style == SlackStyle::kAggregate)
+                             ? std::max(1.0, static_cast<double>(n_) * m_range)
+                             : std::max(1.0, m_range);
+  const double eta_hi = (opts.style == SlackStyle::kAggregate)
+                            ? std::max(1.0, static_cast<double>(m_) * n_range)
+                            : std::max(1.0, n_range);
+  for (std::size_t k = 0; k < zeta_count; ++k)
+    zeta_.emplace_back(l.zeta_base + k * opts.slack_bits, opts.slack_bits, 0.0,
+                       zeta_hi);
+  for (std::size_t k = 0; k < eta_count; ++k)
+    eta_.emplace_back(l.eta_base + k * opts.slack_bits, opts.slack_bits, 0.0,
+                      eta_hi);
+
+  // --- Objective: -pᵀ(M+N)q + α + β ---------------------------------------
+  for (std::size_t i = 0; i < n_; ++i)
+    for (std::size_t j = 0; j < m_; ++j) {
+      const double w = -(mm(i, j) + nn(i, j));
+      if (w != 0.0) model_.add_quadratic(i, n_ + j, w);
+    }
+  for (unsigned k = 0; k < alpha_->bits(); ++k)
+    model_.add_linear(alpha_->indices()[k], alpha_->coefficients()[k]);
+  model_.add_offset(alpha_->constant());
+  for (unsigned k = 0; k < beta_->bits(); ++k)
+    model_.add_linear(beta_->indices()[k], beta_->coefficients()[k]);
+  model_.add_offset(beta_->constant());
+
+  // --- A(Σp - 1)² and B(Σq - 1)² -------------------------------------------
+  const double range = std::max(
+      {m_hi - m_lo, n_hi - n_lo, 1.0});
+  {
+    std::vector<std::size_t> idx(n_);
+    std::vector<double> coeff(n_, 1.0);
+    for (std::size_t i = 0; i < n_; ++i) idx[i] = i;
+    model_.add_squared_penalty(idx, coeff, -1.0, opts.penalty_a_rel * range);
+  }
+  {
+    std::vector<std::size_t> idx(m_);
+    std::vector<double> coeff(m_, 1.0);
+    for (std::size_t j = 0; j < m_; ++j) idx[j] = n_ + j;
+    model_.add_squared_penalty(idx, coeff, -1.0, opts.penalty_b_rel * range);
+  }
+
+  // --- C/D slack-equality penalties ----------------------------------------
+  auto add_constraint = [&](const std::vector<double>& strat_coeff,
+                            std::size_t strat_base, std::size_t strat_count,
+                            const ScalarEncoding& level,
+                            const ScalarEncoding& slack, double penalty) {
+    // Σ_k c_k x_k - level + slack = 0, squared.
+    std::vector<std::size_t> idx;
+    std::vector<double> coeff;
+    for (std::size_t k = 0; k < strat_count; ++k) {
+      if (strat_coeff[k] == 0.0) continue;
+      idx.push_back(strat_base + k);
+      coeff.push_back(strat_coeff[k]);
+    }
+    const auto lv_idx = level.indices();
+    const auto lv_coeff = level.coefficients();
+    for (std::size_t k = 0; k < lv_idx.size(); ++k) {
+      idx.push_back(lv_idx[k]);
+      coeff.push_back(-lv_coeff[k]);
+    }
+    const auto sl_idx = slack.indices();
+    const auto sl_coeff = slack.coefficients();
+    for (std::size_t k = 0; k < sl_idx.size(); ++k) {
+      idx.push_back(sl_idx[k]);
+      coeff.push_back(sl_coeff[k]);
+    }
+    const double constant = -level.constant() + slack.constant();
+    model_.add_squared_penalty(idx, coeff, constant, penalty);
+  };
+
+  if (opts.style == SlackStyle::kAggregate) {
+    // Eq. 6 verbatim: Σ_{i,j} m_ij q_j - α + ζ and Σ_{j,i} n_ij p_i - β + η.
+    std::vector<double> col_sum_m(m_, 0.0);
+    for (std::size_t i = 0; i < n_; ++i)
+      for (std::size_t j = 0; j < m_; ++j) col_sum_m[j] += mm(i, j);
+    add_constraint(col_sum_m, n_, m_, *alpha_, zeta_[0], opts.penalty_c);
+
+    std::vector<double> row_sum_n(n_, 0.0);
+    for (std::size_t i = 0; i < n_; ++i)
+      for (std::size_t j = 0; j < m_; ++j) row_sum_n[i] += nn(i, j);
+    add_constraint(row_sum_n, 0, n_, *beta_, eta_[0], opts.penalty_d);
+  } else {
+    // Per-row: (Mq)_i - α + ζ_i = 0  for each row i.
+    for (std::size_t i = 0; i < n_; ++i) {
+      std::vector<double> row(m_);
+      for (std::size_t j = 0; j < m_; ++j) row[j] = mm(i, j);
+      add_constraint(row, n_, m_, *alpha_, zeta_[i], opts.penalty_c);
+    }
+    // (Nᵀp)_j - β + η_j = 0 for each column j.
+    for (std::size_t j = 0; j < m_; ++j) {
+      std::vector<double> col(n_);
+      for (std::size_t i = 0; i < n_; ++i) col[i] = nn(i, j);
+      add_constraint(col, 0, n_, *beta_, eta_[j], opts.penalty_d);
+    }
+  }
+}
+
+SQubo::Decoded SQubo::decode(const Bits& x) const {
+  Decoded d;
+  d.p.assign(n_, 0.0);
+  d.q.assign(m_, 0.0);
+  for (std::size_t i = 0; i < n_; ++i) d.p[i] = x.at(i) ? 1.0 : 0.0;
+  for (std::size_t j = 0; j < m_; ++j) d.q[j] = x.at(n_ + j) ? 1.0 : 0.0;
+  d.alpha = alpha_->decode(x);
+  d.beta = beta_->decode(x);
+  d.valid_strategies = std::abs(la::sum(d.p) - 1.0) < 0.5 &&
+                       std::abs(la::sum(d.q) - 1.0) < 0.5;
+  return d;
+}
+
+double SQubo::original_objective(const Bits& x) const {
+  const Decoded d = decode(x);
+  if (!d.valid_strategies) return std::numeric_limits<double>::quiet_NaN();
+  const la::Vector mq = game_.row_payoffs(d.q);
+  const la::Vector ntp = game_.col_payoffs(d.p);
+  const double alpha = la::max_element(mq);
+  const double beta = la::max_element(ntp);
+  return la::dot(d.p, la::add(mq, game_.payoff2().multiply(d.q))) - alpha - beta;
+}
+
+}  // namespace cnash::qubo

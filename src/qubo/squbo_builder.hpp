@@ -1,0 +1,79 @@
+#pragma once
+// S-QUBO: the slack-variable QUBO formulation of the Nash quadratic program
+// (Eq. 6 of the paper; originally Khan et al. [8,9]). Binary strategy variables
+// restrict the search to pure strategies; slack terms fold the inequality
+// constraints into squared penalties, distorting the objective — exactly the
+// lossiness C-Nash's MAX-QUBO removes.
+//
+// Two constraint styles are provided:
+//  * kAggregate — Eq. 6 verbatim: one constraint Σ_{i,j} m_ij q_j - α + ζ = 0
+//    summed over all rows (most lossy).
+//  * kPerRow   — one constraint per row (Mq)_i - α + ζ_i = 0 with a slack per
+//    row (closer to the original inequalities, still lossy).
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "game/game.hpp"
+#include "qubo/encoding.hpp"
+#include "qubo/qubo.hpp"
+
+namespace cnash::qubo {
+
+enum class SlackStyle { kAggregate, kPerRow };
+
+struct SQuboOptions {
+  SlackStyle style = SlackStyle::kPerRow;
+  unsigned level_bits = 5;   // bits for α and β
+  unsigned slack_bits = 5;   // bits for each ζ / η
+  /// Simplex penalties A/B are specified RELATIVE to the game's payoff range
+  /// (max - min over both matrices): effective A = penalty_a_rel * range.
+  /// A violated one-hot constraint must cost more than any payoff swing.
+  double penalty_a_rel = 2.0;  // A: Σp = 1
+  double penalty_b_rel = 2.0;  // B: Σq = 1
+  /// Constraint penalties C/D multiply squared payoff-scale residuals and are
+  /// therefore dimensionless.
+  double penalty_c = 2.0;    // C: player-1 constraint(s)
+  double penalty_d = 2.0;    // D: player-2 constraint(s)
+};
+
+/// The assembled model plus decoders for every logical variable group.
+class SQubo {
+ public:
+  SQubo(const game::BimatrixGame& game, const SQuboOptions& opts = {});
+
+  const QuboModel& model() const { return model_; }
+  const game::BimatrixGame& game() const { return game_; }
+
+  std::size_t num_vars() const { return model_.num_vars(); }
+
+  /// Decoded sample: binary strategy vectors (possibly invalid) + levels.
+  struct Decoded {
+    la::Vector p;   // 0/1 entries as read from bits
+    la::Vector q;
+    double alpha;
+    double beta;
+    bool valid_strategies;  // Σp == 1 and Σq == 1
+  };
+  Decoded decode(const Bits& x) const;
+
+  /// The distorted S-QUBO objective value (model energy) for a sample.
+  double energy(const Bits& x) const { return model_.energy(x); }
+
+  /// The *original* quadratic-program objective (Eq. 3): pᵀ(M+N)q − α − β,
+  /// evaluated with α = max(Mq), β = max(Nᵀp); NaN when strategies invalid.
+  double original_objective(const Bits& x) const;
+
+ private:
+  game::BimatrixGame game_;
+  QuboModel model_;
+  std::size_t n_;  // player-1 actions
+  std::size_t m_;  // player-2 actions
+  std::optional<ScalarEncoding> alpha_;
+  std::optional<ScalarEncoding> beta_;
+  std::vector<ScalarEncoding> zeta_;  // 1 (aggregate) or n (per-row)
+  std::vector<ScalarEncoding> eta_;   // 1 (aggregate) or m (per-row)
+};
+
+}  // namespace cnash::qubo

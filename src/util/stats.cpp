@@ -1,0 +1,102 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace cnash::util {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n_a = static_cast<double>(n_);
+  const double n_b = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double n_ab = n_a + n_b;
+  mean_ += delta * n_b / n_ab;
+  m2_ += other.m2_ + delta * delta * n_a * n_b / n_ab;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const {
+  return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStats::sample_variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (bins == 0) throw std::invalid_argument("Histogram: bins must be > 0");
+  if (!(hi > lo)) throw std::invalid_argument("Histogram: hi must exceed lo");
+}
+
+void Histogram::add(double x) {
+  const double t = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<std::ptrdiff_t>(t * static_cast<double>(counts_.size()));
+  idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::bin_center(std::size_t i) const {
+  const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + (static_cast<double>(i) + 0.5) * w;
+}
+
+double Histogram::density(std::size_t i) const {
+  return total_ ? static_cast<double>(counts_.at(i)) / static_cast<double>(total_)
+                : 0.0;
+}
+
+std::string Histogram::ascii(std::size_t width) const {
+  std::size_t max_count = 1;
+  for (auto c : counts_) max_count = std::max(max_count, c);
+  std::string out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar = counts_[i] * width / max_count;
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%10.4g | ", bin_center(i));
+    out += buf;
+    out.append(bar, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return std::numeric_limits<double>::quiet_NaN();
+  std::sort(xs.begin(), xs.end());
+  const double rank = std::clamp(p, 0.0, 100.0) / 100.0 *
+                      static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+}  // namespace cnash::util

@@ -1,0 +1,60 @@
+#pragma once
+// Streaming statistics and simple histograms used by Monte-Carlo device sweeps
+// (Fig. 2/7) and by the solver metrics (success rates, distributions).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace cnash::util {
+
+/// Welford online accumulator: numerically stable mean/variance in one pass.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Population variance (divide by n).
+  double variance() const;
+  /// Sample variance (divide by n-1).
+  double sample_variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-range histogram with uniform bins; values outside clamp to edge bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+  double bin_center(std::size_t i) const;
+  /// Fraction of samples in bin i (0 when empty).
+  double density(std::size_t i) const;
+  /// Simple fixed-width ASCII rendering, one line per bin.
+  std::string ascii(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Percentile of a copy of `xs` (linear interpolation). p in [0,100].
+double percentile(std::vector<double> xs, double p);
+
+}  // namespace cnash::util

@@ -1,0 +1,75 @@
+#include "util/table.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace cnash::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("Table: need >= 1 header");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size())
+    throw std::invalid_argument("Table: row arity mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::pretty() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line += ' ' + row[c];
+      line.append(widths[c] - row[c].size() + 1, ' ');
+      line += '|';
+    }
+    return line + '\n';
+  };
+
+  std::string rule = "+";
+  for (auto w : widths) {
+    rule.append(w + 2, '-');
+    rule += '+';
+  }
+  rule += '\n';
+
+  std::string out = rule + emit_row(headers_) + rule;
+  for (const auto& row : rows_) out += emit_row(row);
+  out += rule;
+  return out;
+}
+
+std::string Table::csv() const {
+  auto quote = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string q = "\"";
+    for (char ch : s) {
+      if (ch == '"') q += '"';
+      q += ch;
+    }
+    return q + '"';
+  };
+  std::string out;
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    out += (c ? "," : "") + quote(headers_[c]);
+  out += '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) out += (c ? "," : "") + quote(row[c]);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace cnash::util

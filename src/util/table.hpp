@@ -1,0 +1,32 @@
+#pragma once
+// Minimal aligned-table / CSV emitter. Every bench binary regenerating a paper
+// table or figure prints through this so outputs share one format.
+
+#include <string>
+#include <vector>
+
+namespace cnash::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; must match the header arity.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with the given precision.
+  static std::string num(double v, int precision = 3);
+
+  /// Aligned, boxed, human-readable rendering.
+  std::string pretty() const;
+  /// RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  std::string csv() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cnash::util

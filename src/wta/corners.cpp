@@ -1,0 +1,37 @@
+#include "wta/corners.hpp"
+
+namespace cnash::wta {
+
+std::string_view corner_name(ProcessCorner corner) {
+  switch (corner) {
+    case ProcessCorner::kTT:
+      return "tt";
+    case ProcessCorner::kSS:
+      return "ss";
+    case ProcessCorner::kFF:
+      return "ff";
+    case ProcessCorner::kSNFP:
+      return "snfp";
+    case ProcessCorner::kFNSP:
+      return "fnsp";
+  }
+  return "?";
+}
+
+CornerFactors corner_factors(ProcessCorner corner) {
+  switch (corner) {
+    case ProcessCorner::kTT:
+      return {1.00, 1.00, 1.000};
+    case ProcessCorner::kSS:
+      return {1.35, 1.20, 0.995};
+    case ProcessCorner::kFF:
+      return {0.78, 1.10, 1.005};
+    case ProcessCorner::kSNFP:
+      return {1.12, 1.45, 0.997};
+    case ProcessCorner::kFNSP:
+      return {0.92, 1.45, 1.003};
+  }
+  return {1.0, 1.0, 1.0};
+}
+
+}  // namespace cnash::wta

@@ -1,0 +1,29 @@
+#pragma once
+// MOSFET process corners for the analog WTA periphery (the paper evaluates
+// ss, snfp, fnsp, ff and tt at TSMC 28 nm). Behaviourally a corner scales the
+// cell's settle latency and its output offset.
+
+#include <array>
+#include <string_view>
+
+namespace cnash::wta {
+
+enum class ProcessCorner { kTT, kSS, kFF, kSNFP, kFNSP };
+
+inline constexpr std::array<ProcessCorner, 5> kAllCorners = {
+    ProcessCorner::kTT, ProcessCorner::kSS, ProcessCorner::kFF,
+    ProcessCorner::kSNFP, ProcessCorner::kFNSP};
+
+std::string_view corner_name(ProcessCorner corner);
+
+struct CornerFactors {
+  double latency_scale;   // relative to tt
+  double offset_scale;    // relative to tt
+  double current_gain;    // mirror gain error factor (≈1)
+};
+
+/// Behavioural scaling factors per corner (slow corners settle later; skewed
+/// corners add systematic mirror offset).
+CornerFactors corner_factors(ProcessCorner corner);
+
+}  // namespace cnash::wta

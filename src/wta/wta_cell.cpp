@@ -1,0 +1,34 @@
+#include "wta/wta_cell.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cnash::wta {
+
+WtaCell::WtaCell(WtaCellParams params, util::Rng* rng)
+    : params_(params), factors_(corner_factors(params.corner)) {
+  const double sigma = params_.offset_sigma * factors_.offset_scale;
+  static_offset_ = rng ? rng->normal(0.0, sigma) : sigma;
+}
+
+double WtaCell::output(double i1, double i2, util::Rng* rng) const {
+  const double exact = std::max(i1, i2);
+  double out = exact * factors_.current_gain * (1.0 + static_offset_);
+  if (rng != nullptr && params_.read_noise_rel > 0.0)
+    out += rng->normal(0.0, params_.read_noise_rel * exact);
+  return std::max(0.0, out);
+}
+
+double WtaCell::latency_s() const {
+  return params_.latency_s * factors_.latency_scale;
+}
+
+double WtaCell::transient(double i1, double i2, double t_s) const {
+  if (t_s <= 0.0) return 0.0;
+  const double settled = output(i1, i2, nullptr);
+  // First-order settle: 95 % at latency -> tau = latency / 3.
+  const double tau = latency_s() / 3.0;
+  return settled * (1.0 - std::exp(-t_s / tau));
+}
+
+}  // namespace cnash::wta

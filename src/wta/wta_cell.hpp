@@ -1,0 +1,53 @@
+#pragma once
+// Behavioural 2-input winner-takes-all cell (Fig. 5(b)).
+//
+// The circuit mirrors both input currents through a high-swing self-biased
+// cascode mirror; the cross-coupled PMOS pair conducts the "extra" |I1-I2|
+// current, and the output recombines I_max = min(I1,I2) + |I1-I2| = max(I1,I2)
+// (Eq. 10). Behaviourally the cell computes an exact max and applies:
+//   * a STATIC relative output offset from mirror mismatch, sampled once per
+//     physical cell (paper: 0.25 % at tt) — mismatch is a fabrication
+//     artefact, not per-read noise;
+//   * a small per-read noise term (thermal/flicker);
+//   * a corner-dependent gain error and a first-order settle transient with
+//     0.08 ns latency at tt (Fig. 5(c)).
+
+#include "util/rng.hpp"
+#include "wta/corners.hpp"
+
+namespace cnash::wta {
+
+struct WtaCellParams {
+  double offset_sigma = 0.0025;     // static mismatch sigma (0.25 % at tt)
+  double read_noise_rel = 0.0002;   // per-read noise sigma / output
+  double latency_s = 0.08e-9;       // settle latency to 95 % (tt)
+  ProcessCorner corner = ProcessCorner::kTT;
+};
+
+class WtaCell {
+ public:
+  /// Samples the cell's static mismatch from `rng`; without an rng the
+  /// deterministic worst case (+offset_sigma) is frozen in instead.
+  explicit WtaCell(WtaCellParams params = {}, util::Rng* rng = nullptr);
+
+  const WtaCellParams& params() const { return params_; }
+  /// The frozen static mismatch of this physical cell (relative).
+  double static_offset() const { return static_offset_; }
+
+  /// Settled output current; `rng` (optional) adds per-read noise.
+  double output(double i1, double i2, util::Rng* rng = nullptr) const;
+
+  /// Settle latency for this corner.
+  double latency_s() const;
+
+  /// Transient output at time t after the inputs step to (i1, i2) — a
+  /// first-order exponential whose 95 % point hits latency_s() (Fig. 5(c)).
+  double transient(double i1, double i2, double t_s) const;
+
+ private:
+  WtaCellParams params_;
+  CornerFactors factors_;
+  double static_offset_;
+};
+
+}  // namespace cnash::wta

@@ -1,0 +1,84 @@
+#include "wta/wta_tree.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cnash::wta {
+
+WtaTree::WtaTree(std::size_t num_inputs, WtaCellParams cell_params,
+                 util::Rng* rng)
+    : num_inputs_(num_inputs), params_(cell_params) {
+  if (num_inputs == 0) throw std::invalid_argument("WtaTree: zero inputs");
+  cells_.reserve(num_cells());
+  for (std::size_t c = 0; c < num_cells(); ++c)
+    cells_.emplace_back(params_, rng);
+}
+
+std::size_t WtaTree::depth() const {
+  std::size_t k = 0;
+  std::size_t span = 1;
+  while (span < num_inputs_) {
+    span <<= 1;
+    ++k;
+  }
+  return k;
+}
+
+std::size_t WtaTree::num_cells() const {
+  // 2^K - 1 per Sec. 3.3 (the tree is built out to the full power of two).
+  return (static_cast<std::size_t>(1) << depth()) - 1;
+}
+
+double WtaTree::reduce(const std::vector<double>& inputs,
+                       util::Rng* rng) const {
+  if (inputs.size() != num_inputs_)
+    throw std::invalid_argument("WtaTree::reduce: input arity mismatch");
+  std::vector<double> level = inputs;
+  std::size_t cell_idx = 0;
+  while (level.size() > 1) {
+    std::vector<double> next;
+    next.reserve((level.size() + 1) / 2);
+    for (std::size_t k = 0; k + 1 < level.size(); k += 2)
+      next.push_back(cells_[cell_idx++].output(level[k], level[k + 1], rng));
+    if (level.size() % 2 == 1) next.push_back(level.back());  // bypass
+    level = std::move(next);
+  }
+  return level.front();
+}
+
+std::size_t WtaTree::winner(const std::vector<double>& inputs,
+                            util::Rng* rng) const {
+  if (inputs.size() != num_inputs_)
+    throw std::invalid_argument("WtaTree::winner: input arity mismatch");
+  struct Node {
+    double current;
+    std::size_t index;
+  };
+  std::vector<Node> level;
+  level.reserve(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) level.push_back({inputs[i], i});
+  std::size_t cell_idx = 0;
+  while (level.size() > 1) {
+    std::vector<Node> next;
+    next.reserve((level.size() + 1) / 2);
+    for (std::size_t k = 0; k + 1 < level.size(); k += 2) {
+      const WtaCell& cell = cells_[cell_idx++];
+      // The losing branch's mirror is starved; selection follows the cell's
+      // (mismatch-perturbed) comparison of the two input copies.
+      const double a = cell.output(level[k].current, 0.0, rng);
+      const double b = cell.output(level[k + 1].current, 0.0, rng);
+      const Node& win = (a >= b) ? level[k] : level[k + 1];
+      next.push_back({cell.output(level[k].current, level[k + 1].current, rng),
+                      win.index});
+    }
+    if (level.size() % 2 == 1) next.push_back(level.back());
+    level = std::move(next);
+  }
+  return level.front().index;
+}
+
+double WtaTree::latency_s() const {
+  return static_cast<double>(depth()) * WtaCell(params_).latency_s();
+}
+
+}  // namespace cnash::wta

@@ -1,0 +1,46 @@
+#pragma once
+// WTA reduction tree (Fig. 5(a)): ceil(log2 D) levels of 2-input cells compute
+// the maximum of D input currents. For D inputs the cell count is
+// 2^K - 1 with K = ceil(log2 D) (Sec. 3.3); odd nodes bypass a level. Each
+// tree node is a distinct physical cell with its own frozen static mismatch.
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "wta/wta_cell.hpp"
+
+namespace cnash::wta {
+
+class WtaTree {
+ public:
+  /// `rng` samples each node's static mismatch; nullptr freezes the
+  /// deterministic worst case in every node.
+  WtaTree(std::size_t num_inputs, WtaCellParams cell_params = {},
+          util::Rng* rng = nullptr);
+
+  std::size_t num_inputs() const { return num_inputs_; }
+  /// Number of physical 2-input cells: 2^K - 1, K = ceil(log2 D).
+  std::size_t num_cells() const;
+  std::size_t depth() const;  // K
+
+  /// Reduce the input currents to the (behavioural) maximum. Static node
+  /// offsets apply always; pass an rng for the per-read noise on top.
+  double reduce(const std::vector<double>& inputs, util::Rng* rng = nullptr) const;
+
+  /// Index of the winning input (argmax through the noisy pairwise cells).
+  std::size_t winner(const std::vector<double>& inputs,
+                     util::Rng* rng = nullptr) const;
+
+  /// Total settle latency: depth × cell latency.
+  double latency_s() const;
+
+  const WtaCell& cell(std::size_t index) const { return cells_.at(index); }
+
+ private:
+  std::size_t num_inputs_;
+  WtaCellParams params_;
+  std::vector<WtaCell> cells_;  // used in level order during reduction
+};
+
+}  // namespace cnash::wta

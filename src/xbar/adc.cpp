@@ -1,0 +1,34 @@
+#include "xbar/adc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cnash::xbar {
+
+Adc::Adc(AdcConfig config) : config_(config) {
+  if (config_.bits == 0 || config_.bits > 24)
+    throw std::invalid_argument("Adc: bits out of range");
+  if (config_.full_scale_current <= 0.0)
+    throw std::invalid_argument("Adc: full scale must be positive");
+  max_code_ = (1u << config_.bits) - 1;
+  lsb_ = config_.full_scale_current / static_cast<double>(max_code_ + 1);
+}
+
+std::uint32_t Adc::quantize(double current, util::Rng& rng) const {
+  double x = current;
+  if (config_.noise_sigma > 0.0) x += rng.normal(0.0, config_.noise_sigma);
+  x = std::clamp(x, 0.0, config_.full_scale_current);
+  const auto code = static_cast<std::uint32_t>(x / lsb_);
+  return std::min(code, max_code_);
+}
+
+double Adc::reconstruct(std::uint32_t code) const {
+  return (static_cast<double>(std::min(code, max_code_)) + 0.5) * lsb_;
+}
+
+double Adc::convert(double current, util::Rng& rng) const {
+  return reconstruct(quantize(current, rng));
+}
+
+}  // namespace cnash::xbar

@@ -1,0 +1,42 @@
+#pragma once
+// ADC / sense model quantizing analog source-line currents ("S&A" blocks of
+// Fig. 3(b,c)). Uniform quantization over a configurable full-scale range plus
+// optional input-referred Gaussian noise.
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace cnash::xbar {
+
+struct AdcConfig {
+  unsigned bits = 8;
+  double full_scale_current = 1e-3;   // A
+  double noise_sigma = 0.0;           // A, input-referred
+  double conversion_time_s = 10e-9;   // per conversion (timing model)
+  double energy_per_conversion_j = 2e-12;
+};
+
+class Adc {
+ public:
+  explicit Adc(AdcConfig config);
+
+  const AdcConfig& config() const { return config_; }
+
+  /// Digital code for the input current (clamped to the full scale).
+  std::uint32_t quantize(double current, util::Rng& rng) const;
+  /// Code converted back to a current (mid-rise reconstruction).
+  double reconstruct(std::uint32_t code) const;
+  /// Convenience: quantize-then-reconstruct.
+  double convert(double current, util::Rng& rng) const;
+
+  double lsb_current() const { return lsb_; }
+  std::uint32_t max_code() const { return max_code_; }
+
+ private:
+  AdcConfig config_;
+  double lsb_;
+  std::uint32_t max_code_;
+};
+
+}  // namespace cnash::xbar

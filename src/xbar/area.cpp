@@ -1,0 +1,42 @@
+#include "xbar/area.hpp"
+
+namespace cnash::xbar {
+
+namespace {
+std::size_t wta_cells_for(std::size_t inputs) {
+  std::size_t depth = 0;
+  for (std::size_t span = 1; span < inputs; span <<= 1) ++depth;
+  return (static_cast<std::size_t>(1) << depth) - 1;
+}
+}  // namespace
+
+AreaModel::AreaModel(AreaParams params) : params_(params) {}
+
+AreaBreakdown AreaModel::crossbar(const MappingGeometry& geom, std::size_t adcs,
+                                  std::size_t wta_cells) const {
+  AreaBreakdown a;
+  a.array_um2 = params_.cell_um2 * static_cast<double>(geom.total_cells());
+  a.drivers_um2 =
+      params_.wl_driver_um2 * static_cast<double>(geom.total_rows()) +
+      params_.dl_driver_um2 * static_cast<double>(geom.total_cols());
+  a.sense_um2 = params_.sense_um2 * static_cast<double>(geom.n);
+  a.adc_um2 = params_.adc_um2 * static_cast<double>(adcs);
+  a.wta_um2 = params_.wta_cell_um2 * static_cast<double>(wta_cells);
+  return a;
+}
+
+AreaBreakdown AreaModel::macro(const MappingGeometry& geom_m,
+                               const MappingGeometry& geom_nt) const {
+  const AreaBreakdown m = crossbar(geom_m, 1, wta_cells_for(geom_m.n));
+  const AreaBreakdown nt = crossbar(geom_nt, 1, wta_cells_for(geom_nt.n));
+  AreaBreakdown total;
+  total.array_um2 = m.array_um2 + nt.array_um2;
+  total.drivers_um2 = m.drivers_um2 + nt.drivers_um2;
+  total.sense_um2 = m.sense_um2 + nt.sense_um2;
+  total.adc_um2 = m.adc_um2 + nt.adc_um2;
+  total.wta_um2 = m.wta_um2 + nt.wta_um2;
+  total.logic_um2 = params_.sa_logic_um2;
+  return total;
+}
+
+}  // namespace cnash::xbar

@@ -1,0 +1,57 @@
+#pragma once
+// Silicon-area estimation for the C-Nash macro. The paper motivates FeFET by
+// its compact three-terminal cell; this model turns array geometry into µm²
+// so design points (quantization I, cells-per-element t, game size) can be
+// compared. 28 nm-class defaults: a 1FeFET1R cell is a few F² larger than
+// bare 1T, peripheral drivers scale with line counts, ADCs and WTA cells are
+// macro blocks.
+
+#include <cstddef>
+
+#include "xbar/mapping.hpp"
+
+namespace cnash::xbar {
+
+struct AreaParams {
+  double cell_um2 = 0.045;          // 1FeFET1R cell incl. resistor
+  double wl_driver_um2 = 1.2;       // per word line
+  double dl_driver_um2 = 1.0;       // per data line
+  double sense_um2 = 18.0;          // per source-line sense path
+  double adc_um2 = 380.0;           // per ADC macro
+  double wta_cell_um2 = 6.5;        // per 2-input WTA cell
+  double sa_logic_um2 = 5200.0;     // digital SA controller (shared)
+};
+
+struct AreaBreakdown {
+  double array_um2 = 0.0;
+  double drivers_um2 = 0.0;
+  double sense_um2 = 0.0;
+  double adc_um2 = 0.0;
+  double wta_um2 = 0.0;
+  double logic_um2 = 0.0;
+  double total_um2() const {
+    return array_um2 + drivers_um2 + sense_um2 + adc_um2 + wta_um2 + logic_um2;
+  }
+};
+
+class AreaModel {
+ public:
+  explicit AreaModel(AreaParams params = {});
+
+  const AreaParams& params() const { return params_; }
+
+  /// One crossbar with its peripherals (`adcs` converters, `wta_cells`
+  /// two-input cells; block-row sensing — one sense path per matrix row).
+  AreaBreakdown crossbar(const MappingGeometry& geom, std::size_t adcs,
+                         std::size_t wta_cells) const;
+
+  /// The full bi-crossbar C-Nash macro for an n×m game: two crossbars, two
+  /// WTA trees, two ADCs per array and the shared SA controller.
+  AreaBreakdown macro(const MappingGeometry& geom_m,
+                      const MappingGeometry& geom_nt) const;
+
+ private:
+  AreaParams params_;
+};
+
+}  // namespace cnash::xbar

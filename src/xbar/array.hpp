@@ -1,0 +1,97 @@
+#pragma once
+// A programmed FeFET crossbar array with static per-cell variability.
+//
+// Every physical cell's read current is sampled once at programming time
+// (device-to-device variation is static), then folded into per-block 2-D
+// prefix sums over (rows-in-block, column groups). A matrix-vector or
+// vector-matrix-vector read is then an O(n·m) table lookup while remaining
+// *exactly* equal to the sum of the individual cell currents — cell-level
+// fidelity at simulation speed. A direct per-cell read path is kept for
+// validation and for the Fig. 7(a) robustness experiment.
+
+#include <cstdint>
+#include <vector>
+
+#include "fefet/cell_1t1r.hpp"
+#include "util/rng.hpp"
+#include "xbar/mapping.hpp"
+
+namespace cnash::xbar {
+
+struct ArrayConfig {
+  fefet::FeFetParams fet;
+  fefet::VariabilityParams variability;
+  fefet::CellBias bias;
+  bool ideal = false;  // true: no variability, every ON cell = nominal i_on
+  /// Fast device sampling: per-cell currents from a calibrated response
+  /// surface (linearised ON-current sensitivity to ΔV_TH / ΔR — accurate
+  /// because the 1R clamps the ON current — and the exact exponential
+  /// subthreshold law for OFF cells) instead of the per-cell fixed-point
+  /// solve. Validated against the exact path in tests; ~50× faster to
+  /// program multi-million-cell arrays.
+  bool fast_sampling = true;
+  /// Fault injection: fraction of cells stuck non-conducting (broken FeFET /
+  /// open resistor) and stuck conducting at the nominal ON current (shorted
+  /// / depolarised device), sampled independently per cell at program time.
+  double stuck_off_rate = 0.0;
+  double stuck_on_rate = 0.0;
+};
+
+class ProgrammedCrossbar {
+ public:
+  ProgrammedCrossbar(CrossbarMapping mapping, const ArrayConfig& config,
+                     util::Rng& rng);
+
+  const CrossbarMapping& mapping() const { return mapping_; }
+  const ArrayConfig& config() const { return config_; }
+
+  /// Source-line current of block-row i for an activation pattern
+  /// (rows_active[i] word lines of block-row i, groups_active[j] groups of
+  /// block column j). Includes OFF-state leakage of activated '0' cells.
+  double block_row_current(std::size_t i,
+                           const std::vector<std::uint32_t>& rows_active,
+                           const std::vector<std::uint32_t>& groups_active) const;
+
+  /// All block-row currents: the analog vector that feeds the WTA tree.
+  /// For an MV read (Mq), pass rows_active = I everywhere.
+  std::vector<double> read_mv(
+      const std::vector<std::uint32_t>& groups_active) const;
+
+  /// Total array current: the VMV read pᵀMq (Phase 2 of Fig. 6).
+  double read_vmv(const std::vector<std::uint32_t>& rows_active,
+                  const std::vector<std::uint32_t>& groups_active) const;
+
+  /// Slow path: direct sum over the activated cells (validation only).
+  double read_vmv_percell(const std::vector<std::uint32_t>& rows_active,
+                          const std::vector<std::uint32_t>& groups_active) const;
+
+  /// Current of one physical cell under explicit activation (validation).
+  double cell_current(std::size_t row, std::size_t col, bool row_active,
+                      bool col_active) const;
+
+  /// Nominal full-ON single-cell current.
+  double nominal_on_current() const { return i_on_nominal_; }
+
+  /// Current per unit of payoff value: i_on / (levels_per_cell - 1) — a
+  /// full-ON cell codes (levels-1) payoff units.
+  double unit_current() const;
+
+  /// Convert an output current into payoff-matrix units: payoff value
+  /// v = current / (i_on_nominal): one conducting cell == one payoff unit
+  /// under full activation of I rows and I groups scaled by 1/I².
+  double current_to_value(double current) const;
+
+ private:
+  double sampled_cell_current(std::size_t row, std::size_t col) const;
+
+  CrossbarMapping mapping_;
+  ArrayConfig config_;
+  double i_on_nominal_;
+  // Per block (i,j): prefix table P of size (I+1)×(I+1);
+  // P[r][g] = Σ currents of cells in the first r rows and first g groups
+  // (all t cells of a group counted: '1' cells at i_on-sample, '0' at leak).
+  std::vector<std::vector<double>> prefix_;  // n*m tables, row-major
+  std::size_t table_dim_;                    // I+1
+};
+
+}  // namespace cnash::xbar

@@ -1,0 +1,24 @@
+#include "xbar/energy.hpp"
+
+namespace cnash::xbar {
+
+EnergyModel::EnergyModel(EnergyParams params) : params_(params) {}
+
+ReadEnergyBreakdown EnergyModel::array_read(double total_current,
+                                            std::size_t rows_active,
+                                            std::size_t cols_active,
+                                            std::size_t adc_conversions) const {
+  ReadEnergyBreakdown e;
+  e.crossbar_j = total_current * params_.v_dl * params_.read_time_s;
+  e.lines_j = params_.line_charge_energy_j *
+              static_cast<double>(rows_active + cols_active);
+  e.adc_j = params_.adc_energy_j * static_cast<double>(adc_conversions);
+  return e;
+}
+
+double EnergyModel::wta_tree(std::size_t inputs) const {
+  if (inputs < 2) return 0.0;
+  return params_.wta_cell_energy_j * static_cast<double>(inputs - 1);
+}
+
+}  // namespace cnash::xbar

@@ -1,0 +1,53 @@
+#pragma once
+// Per-operation energy accounting for the CiM datapath: crossbar read energy
+// (conducting cells × V_DL × I_on × t_read), line charging, ADC conversions,
+// and WTA tree settling. Feeds the architecture-level comparisons in the
+// ablation benches.
+
+#include <cstdint>
+
+namespace cnash::xbar {
+
+struct EnergyParams {
+  double v_dl = 0.8;                  // drain line voltage (V)
+  double read_time_s = 2e-9;          // analog integration window
+  double line_charge_energy_j = 5e-15;  // per activated line
+  double adc_energy_j = 2e-12;        // per conversion
+  double wta_cell_energy_j = 50e-15;  // per 2-input WTA cell settle
+  double sa_logic_energy_j = 1e-12;   // digital controller per iteration
+};
+
+struct ReadEnergyBreakdown {
+  double crossbar_j = 0.0;
+  double lines_j = 0.0;
+  double adc_j = 0.0;
+  double wta_j = 0.0;
+  double logic_j = 0.0;
+  double total() const {
+    return crossbar_j + lines_j + adc_j + wta_j + logic_j;
+  }
+};
+
+class EnergyModel {
+ public:
+  explicit EnergyModel(EnergyParams params = {});
+
+  const EnergyParams& params() const { return params_; }
+
+  /// Energy of one analog array read that sinks `total_current` amps with
+  /// `rows` + `groups` activated lines and `adc_conversions` conversions.
+  ReadEnergyBreakdown array_read(double total_current, std::size_t rows_active,
+                                 std::size_t cols_active,
+                                 std::size_t adc_conversions) const;
+
+  /// Energy of a D-input WTA reduction (D-1 two-input cells).
+  double wta_tree(std::size_t inputs) const;
+
+  /// Digital SA controller energy per iteration.
+  double sa_iteration() const { return params_.sa_logic_energy_j; }
+
+ private:
+  EnergyParams params_;
+};
+
+}  // namespace cnash::xbar

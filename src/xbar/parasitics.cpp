@@ -1,0 +1,41 @@
+#include "xbar/parasitics.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cnash::xbar {
+
+WireModel::WireModel(WireParams params) : params_(params) {
+  if (params_.resistance_per_cell < 0 || params_.capacitance_per_cell < 0)
+    throw std::invalid_argument("WireModel: negative parasitics");
+}
+
+double WireModel::line_resistance(std::size_t cells) const {
+  return params_.resistance_per_cell * static_cast<double>(cells);
+}
+
+double WireModel::line_capacitance(std::size_t cells) const {
+  return params_.capacitance_per_cell * static_cast<double>(cells);
+}
+
+double WireModel::settle_time(std::size_t cells) const {
+  const double c = line_capacitance(cells);
+  return 0.69 * params_.driver_resistance * c +
+         0.38 * line_resistance(cells) * c;
+}
+
+double WireModel::ir_drop(std::size_t cells, double current) const {
+  return current * line_resistance(cells) / 2.0;
+}
+
+std::size_t WireModel::max_cells_for_drop(double max_drop,
+                                          double per_cell_current) const {
+  if (per_cell_current <= 0.0 || params_.resistance_per_cell <= 0.0)
+    return static_cast<std::size_t>(-1);
+  // drop(n) = per_cell_current * n * (r * n) / 2 <= max_drop.
+  const double n = std::sqrt(2.0 * max_drop /
+                             (per_cell_current * params_.resistance_per_cell));
+  return static_cast<std::size_t>(n);
+}
+
+}  // namespace cnash::xbar

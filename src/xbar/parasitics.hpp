@@ -1,0 +1,43 @@
+#pragma once
+// Analytic wire parasitics for the crossbar lines. The paper extracts 28 nm
+// wiring parasitics with DESTINY [28]; here an Elmore-style RC model with
+// per-cell-pitch constants plays the same role: line settle time bounds the
+// array read latency, and worst-case IR drop bounds usable array dimensions.
+
+#include <cstddef>
+
+namespace cnash::xbar {
+
+struct WireParams {
+  // Per cell pitch along a line, 28 nm-class metal defaults.
+  double resistance_per_cell = 2.5;    // Ω
+  double capacitance_per_cell = 0.08e-15;  // F
+  double driver_resistance = 1.0e3;    // Ω
+};
+
+class WireModel {
+ public:
+  explicit WireModel(WireParams params = {});
+
+  const WireParams& params() const { return params_; }
+
+  double line_resistance(std::size_t cells) const;
+  double line_capacitance(std::size_t cells) const;
+
+  /// Elmore delay of a distributed RC line with the driver lumped in:
+  /// t = 0.69 R_drv C_line + 0.38 R_line C_line.
+  double settle_time(std::size_t cells) const;
+
+  /// Worst-case IR drop at the far end when the line sinks `current` amps
+  /// uniformly along its length (≈ I · R_line / 2).
+  double ir_drop(std::size_t cells, double current) const;
+
+  /// Largest line length whose IR drop stays under `max_drop` volts at the
+  /// given per-cell sink current.
+  std::size_t max_cells_for_drop(double max_drop, double per_cell_current) const;
+
+ private:
+  WireParams params_;
+};
+
+}  // namespace cnash::xbar

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "core/anneal.hpp"
+#include "game/games.hpp"
+#include "game/verify.hpp"
+#include "util/rng.hpp"
+
+namespace cnash::core {
+namespace {
+
+TEST(Anneal, FindsEquilibriumOfBattleOfSexesExact) {
+  ExactMaxQubo f(game::battle_of_sexes());
+  util::Rng rng(71);
+  SaOptions opts;
+  opts.iterations = 4000;
+  int successes = 0;
+  for (int run = 0; run < 20; ++run) {
+    const auto res = simulated_annealing(f, 12, opts, rng);
+    if (game::is_nash_equilibrium(game::battle_of_sexes(),
+                                  res.final_profile.p.to_distribution(),
+                                  res.final_profile.q.to_distribution(), 1e-9))
+      ++successes;
+  }
+  EXPECT_GE(successes, 18);
+}
+
+TEST(Anneal, ObjectiveDecreasesOnAverage) {
+  ExactMaxQubo f(game::bird_game());
+  util::Rng rng(72);
+  SaOptions opts;
+  opts.iterations = 5000;
+  opts.t_start_rel = 0.3;  // warm start: some uphill acceptance must occur
+  const auto res = simulated_annealing(f, 12, opts, rng);
+  EXPECT_LE(res.best_objective, res.final_objective + 1e-12);
+  EXPECT_LE(res.final_objective, 0.5);  // must end far below random (~1+)
+  EXPECT_EQ(res.iterations, opts.iterations);
+  EXPECT_GT(res.accepted, 0u);
+}
+
+TEST(Anneal, BestTracksMinimumSeen) {
+  ExactMaxQubo f(game::battle_of_sexes());
+  util::Rng rng(73);
+  SaOptions opts;
+  opts.iterations = 500;
+  const auto res = simulated_annealing(f, 12, opts, rng);
+  EXPECT_LE(res.best_objective, res.final_objective);
+  EXPECT_NEAR(f.evaluate(res.best_profile), res.best_objective, 1e-9);
+}
+
+TEST(Anneal, FromExplicitInitialState) {
+  ExactMaxQubo f(game::battle_of_sexes());
+  util::Rng rng(74);
+  game::QuantizedProfile init{
+      game::QuantizedStrategy::pure(2, 0, 12),
+      game::QuantizedStrategy::pure(2, 0, 12)};  // already an NE
+  SaOptions opts;
+  opts.iterations = 1;
+  const auto res = simulated_annealing_from(f, init, opts, rng);
+  EXPECT_LE(res.best_objective, 1e-9);
+}
+
+TEST(Anneal, ZeroIterationsRejected) {
+  ExactMaxQubo f(game::battle_of_sexes());
+  util::Rng rng(75);
+  SaOptions opts;
+  opts.iterations = 0;
+  EXPECT_THROW(simulated_annealing(f, 12, opts, rng), std::invalid_argument);
+}
+
+TEST(Anneal, PreservesSimplexInvariant) {
+  ExactMaxQubo f(game::modified_prisoners_dilemma());
+  util::Rng rng(76);
+  SaOptions opts;
+  opts.iterations = 2000;
+  const auto res = simulated_annealing(f, 60, opts, rng);
+  std::uint32_t total_p = 0, total_q = 0;
+  for (auto c : res.final_profile.p.counts()) total_p += c;
+  for (auto c : res.final_profile.q.counts()) total_q += c;
+  EXPECT_EQ(total_p, 60u);
+  EXPECT_EQ(total_q, 60u);
+}
+
+TEST(Anneal, FindsMixedEquilibriumOfMatchingPennies) {
+  // Matching pennies has no pure NE: SA must land on the mixed point.
+  ExactMaxQubo f(game::matching_pennies());
+  util::Rng rng(77);
+  SaOptions opts;
+  opts.iterations = 6000;
+  int successes = 0;
+  for (int run = 0; run < 10; ++run) {
+    const auto res = simulated_annealing(f, 8, opts, rng);
+    if (game::is_nash_equilibrium(game::matching_pennies(),
+                                  res.final_profile.p.to_distribution(),
+                                  res.final_profile.q.to_distribution(), 1e-9))
+      ++successes;
+  }
+  EXPECT_GE(successes, 8);
+}
+
+}  // namespace
+}  // namespace cnash::core

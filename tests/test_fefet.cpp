@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fefet/cell_1t1r.hpp"
+#include "fefet/fefet.hpp"
+#include "fefet/preisach.hpp"
+#include "fefet/variability.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace cnash::fefet {
+namespace {
+
+TEST(Preisach, SaturatingPulsesSetStates) {
+  PreisachFerroelectric fe;
+  fe.apply_pulse(4.0);  // strong positive write -> erased, low V_TH
+  EXPECT_NEAR(fe.polarization(), 1.0, 0.01);
+  EXPECT_NEAR(fe.threshold_voltage(), fe.params().vth_low, 0.02);
+  fe.apply_pulse(-4.0);  // strong negative write -> programmed, high V_TH
+  EXPECT_NEAR(fe.polarization(), -1.0, 0.01);
+  EXPECT_NEAR(fe.threshold_voltage(), fe.params().vth_high, 0.02);
+}
+
+TEST(Preisach, SmallPulsesDoNotSwitch) {
+  PreisachFerroelectric fe;
+  fe.saturate(false);
+  const double p0 = fe.polarization();
+  fe.apply_pulse(0.2);  // far below coercive voltage
+  EXPECT_NEAR(fe.polarization(), p0, 0.05);
+}
+
+TEST(Preisach, HysteresisLoopOpens) {
+  const auto loop = hysteresis_loop(PreisachFerroelectric{}, 3.0, 50);
+  // Find polarization at V = 0 on the descending and ascending branches.
+  double desc = 0.0, asc = 0.0;
+  // Descending leg covers indices (51..101); ascending (102..153).
+  for (std::size_t k = 52; k < 102; ++k)
+    if (std::abs(loop[k].first) < 0.04) desc = loop[k].second;
+  for (std::size_t k = 102; k < loop.size(); ++k)
+    if (std::abs(loop[k].first) < 0.04) asc = loop[k].second;
+  EXPECT_GT(desc, 0.5);   // still up after positive saturation
+  EXPECT_LT(asc, -0.5);   // still down after negative saturation
+}
+
+TEST(Preisach, PartialSwitchingMonotone) {
+  PreisachFerroelectric fe;
+  fe.saturate(false);
+  double prev = fe.polarization();
+  for (double v : {0.6, 0.9, 1.2, 1.6, 2.2}) {
+    fe.apply_pulse(v);
+    EXPECT_GE(fe.polarization(), prev - 1e-12);
+    prev = fe.polarization();
+  }
+}
+
+TEST(FeFet, OnOffWindowAtReadVoltage) {
+  const FeFetParams p;
+  const FeFet on(p.vth_low, p);
+  const FeFet off(p.vth_high, p);
+  const double i_on = on.drain_current(1.0, 0.8);
+  const double i_off = off.drain_current(1.0, 0.8);
+  EXPECT_GT(i_on, 1e-6);          // µA-class ON current
+  EXPECT_LT(i_off, 1e-9);         // sub-nA OFF current
+  EXPECT_GT(i_on / i_off, 1e3);   // healthy window
+}
+
+TEST(FeFet, MonotonicInGateAndDrain) {
+  const FeFet fet(0.4);
+  double prev = 0.0;
+  for (double vg = 0.0; vg <= 2.0; vg += 0.1) {
+    const double i = fet.drain_current(vg, 0.8);
+    EXPECT_GE(i, prev);
+    prev = i;
+  }
+  prev = 0.0;
+  for (double vds = 0.05; vds <= 1.0; vds += 0.05) {
+    const double i = fet.drain_current(1.5, vds);
+    EXPECT_GE(i, prev);
+    prev = i;
+  }
+}
+
+TEST(FeFet, SubthresholdSlopeNearSpec) {
+  const FeFetParams p;
+  const FeFet fet(1.6, p);
+  // Decades per volt in deep subthreshold ≈ 1 / SS; measure above the leak
+  // floor but still >= 5 SS below threshold.
+  const double i1 = fet.drain_current(1.2, 0.8);
+  const double i2 = fet.drain_current(1.4, 0.8);
+  const double decades = std::log10(i2 / i1);
+  const double ss_measured = 0.2 / decades;
+  EXPECT_NEAR(ss_measured, p.subthreshold_swing, 0.03);
+}
+
+TEST(FeFet, ZeroDrainBiasNoCurrent) {
+  const FeFet fet(0.4);
+  EXPECT_DOUBLE_EQ(fet.drain_current(2.0, 0.0), 0.0);
+}
+
+TEST(FeFet, FromPolarizationMatchesState) {
+  PreisachFerroelectric fe;
+  fe.saturate(true);
+  const FeFet fet = FeFet::from_polarization(fe);
+  EXPECT_NEAR(fet.v_th(), fe.params().vth_low, 1e-9);
+}
+
+TEST(Variability, SampleStatistics) {
+  util::Rng rng(21);
+  VariabilityParams vp;
+  util::RunningStats vth, res;
+  for (int i = 0; i < 20000; ++i) {
+    const CellSample s = sample_cell(vp, rng);
+    vth.add(s.vth_offset);
+    res.add(s.resistance);
+  }
+  EXPECT_NEAR(vth.mean(), 0.0, 0.002);
+  EXPECT_NEAR(vth.stddev(), vp.sigma_vth, 0.002);
+  EXPECT_NEAR(res.mean(), vp.r_nominal, 0.01 * vp.r_nominal);
+  EXPECT_NEAR(res.stddev(), vp.sigma_r_rel * vp.r_nominal,
+              0.05 * vp.sigma_r_rel * vp.r_nominal);
+  EXPECT_GT(res.min(), 0.0);  // clamped tails keep R positive
+}
+
+TEST(Cell1T1R, OnCurrentClampedByResistor) {
+  const CellBias bias;
+  const VariabilityParams vp;
+  Cell1T1R cell(true, {0.0, vp.r_nominal});
+  const double i = cell.read(true, true, bias);
+  // The resistor clamps near V_DL / R.
+  EXPECT_LT(i, bias.v_dl_on / vp.r_nominal);
+  EXPECT_GT(i, 0.5 * bias.v_dl_on / vp.r_nominal);
+}
+
+TEST(Cell1T1R, InactiveLinesCarryNoCurrent) {
+  Cell1T1R cell(true, {0.0, 1e6});
+  EXPECT_DOUBLE_EQ(cell.read(true, false), 0.0);
+  EXPECT_LT(cell.read(false, true), 1e-9);  // gate off -> leakage only
+}
+
+TEST(Cell1T1R, VariabilitySuppressionVsBareFeFet) {
+  // Fig. 2(d): the 1R suppresses the ON-current spread. Compare relative σ of
+  // 60 bare FeFETs vs 60 1FeFET1R cells under V_TH variability.
+  util::Rng rng(33);
+  const FeFetParams fp;
+  VariabilityParams vp;
+  util::RunningStats bare, clamped;
+  for (int d = 0; d < 60; ++d) {
+    const double dvth = rng.normal(0.0, vp.sigma_vth);
+    const FeFet fet(fp.vth_low + dvth, fp);
+    bare.add(fet.drain_current(1.0, 0.8));
+    Cell1T1R cell(true, {dvth, vp.r_nominal}, fp);
+    clamped.add(cell.read(true, true));
+  }
+  const double bare_rel = bare.stddev() / bare.mean();
+  const double clamped_rel = clamped.stddev() / clamped.mean();
+  EXPECT_LT(clamped_rel, 0.5 * bare_rel);
+}
+
+TEST(Cell1T1R, StoredZeroOrdersOfMagnitudeBelowOne) {
+  Cell1T1R on(true, {0.0, 1e6});
+  Cell1T1R off(false, {0.0, 1e6});
+  EXPECT_GT(on.read(true, true) / off.read(true, true), 1e3);
+}
+
+TEST(Cell1T1R, NominalOnCurrentPositive) {
+  EXPECT_GT(nominal_on_current(), 1e-7);
+}
+
+}  // namespace
+}  // namespace cnash::fefet

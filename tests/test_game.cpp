@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "game/game.hpp"
+#include "game/games.hpp"
+#include "game/repeated_pd.hpp"
+#include "game/strategy.hpp"
+#include "game/verify.hpp"
+#include "util/rng.hpp"
+
+namespace cnash::game {
+namespace {
+
+TEST(BimatrixGame, ShapesValidated) {
+  EXPECT_THROW(BimatrixGame(la::Matrix{{1, 2}}, la::Matrix{{1}, {2}}),
+               std::invalid_argument);
+}
+
+TEST(BimatrixGame, ExpectedPayoffs) {
+  const BimatrixGame g = battle_of_sexes();
+  EXPECT_DOUBLE_EQ(g.expected_payoff1({1, 0}, {1, 0}), 2.0);
+  EXPECT_DOUBLE_EQ(g.expected_payoff2({1, 0}, {1, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(g.expected_payoff1({0.5, 0.5}, {0.5, 0.5}), 0.75);
+}
+
+TEST(BimatrixGame, RowColPayoffVectors) {
+  const BimatrixGame g = battle_of_sexes();
+  const la::Vector mq = g.row_payoffs({1.0 / 3, 2.0 / 3});
+  EXPECT_NEAR(mq[0], 2.0 / 3, 1e-12);
+  EXPECT_NEAR(mq[1], 2.0 / 3, 1e-12);
+  const la::Vector ntp = g.col_payoffs({2.0 / 3, 1.0 / 3});
+  EXPECT_NEAR(ntp[0], 2.0 / 3, 1e-12);
+  EXPECT_NEAR(ntp[1], 2.0 / 3, 1e-12);
+}
+
+TEST(BimatrixGame, ZeroSumConstruction) {
+  const BimatrixGame g = matching_pennies();
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 2; ++j)
+      EXPECT_DOUBLE_EQ(g.payoff1()(i, j) + g.payoff2()(i, j), 0.0);
+}
+
+TEST(BimatrixGame, ShiftedNonNegativePreservesEquilibria) {
+  const BimatrixGame g = matching_pennies();
+  const BimatrixGame s = g.shifted_non_negative(0.0);
+  EXPECT_GE(s.payoff1().min_element(), 0.0);
+  EXPECT_GE(s.payoff2().min_element(), 0.0);
+  // NE of matching pennies: uniform mixing — still an NE after shift.
+  EXPECT_TRUE(is_nash_equilibrium(s, {0.5, 0.5}, {0.5, 0.5}));
+}
+
+TEST(Strategy, DistributionChecks) {
+  EXPECT_TRUE(is_distribution({0.25, 0.75}));
+  EXPECT_FALSE(is_distribution({0.5, 0.6}));
+  EXPECT_FALSE(is_distribution({-0.1, 1.1}));
+  EXPECT_FALSE(is_distribution({}));
+}
+
+TEST(Strategy, SupportAndPure) {
+  const la::Vector v{0.0, 0.7, 0.3};
+  EXPECT_EQ(support(v), (std::vector<std::size_t>{1, 2}));
+  EXPECT_DOUBLE_EQ(pure_strategy(3, 1)[1], 1.0);
+  EXPECT_THROW(pure_strategy(3, 5), std::out_of_range);
+  const la::Vector u = uniform_on(4, {0, 2});
+  EXPECT_DOUBLE_EQ(u[0], 0.5);
+  EXPECT_DOUBLE_EQ(u[1], 0.0);
+}
+
+TEST(QuantizedStrategy, ConstructionInvariants) {
+  QuantizedStrategy s(3, 12);
+  EXPECT_EQ(s.count(0), 12u);
+  EXPECT_THROW(QuantizedStrategy({1, 2}, 12), std::invalid_argument);
+  EXPECT_THROW(QuantizedStrategy(0, 12), std::invalid_argument);
+  EXPECT_THROW(QuantizedStrategy(3, 0), std::invalid_argument);
+}
+
+TEST(QuantizedStrategy, FromDistributionExactGridPoint) {
+  const auto s = QuantizedStrategy::from_distribution({2.0 / 3, 1.0 / 3}, 12);
+  EXPECT_EQ(s.count(0), 8u);
+  EXPECT_EQ(s.count(1), 4u);
+}
+
+TEST(QuantizedStrategy, FromDistributionRoundsAndPreservesTotal) {
+  const auto s = QuantizedStrategy::from_distribution({0.26, 0.37, 0.37}, 10);
+  std::uint32_t total = 0;
+  for (auto c : s.counts()) total += c;
+  EXPECT_EQ(total, 10u);
+}
+
+TEST(QuantizedStrategy, ToDistributionRoundTrip) {
+  const auto s = QuantizedStrategy({3, 4, 5}, 12);
+  const la::Vector d = s.to_distribution();
+  EXPECT_TRUE(is_distribution(d));
+  EXPECT_DOUBLE_EQ(d[0], 0.25);
+  const auto back = QuantizedStrategy::from_distribution(d, 12);
+  EXPECT_EQ(back, s);
+}
+
+TEST(QuantizedStrategy, MoveTick) {
+  QuantizedStrategy s({6, 6}, 12);
+  s.move_tick(0, 1);
+  EXPECT_EQ(s.count(0), 5u);
+  EXPECT_EQ(s.count(1), 7u);
+  QuantizedStrategy t({0, 12}, 12);
+  EXPECT_THROW(t.move_tick(0, 1), std::logic_error);
+}
+
+TEST(QuantizedStrategy, Representable) {
+  EXPECT_TRUE(QuantizedStrategy::representable({2.0 / 3, 1.0 / 3}, 12));
+  EXPECT_FALSE(QuantizedStrategy::representable({2.0 / 3, 1.0 / 3}, 10));
+  EXPECT_TRUE(QuantizedStrategy::representable({0.25, 0.75}, 4));
+}
+
+TEST(QuantizedStrategy, RandomIsValidComposition) {
+  util::Rng rng(9);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto s = QuantizedStrategy::random(5, 12, rng);
+    std::uint32_t total = 0;
+    for (auto c : s.counts()) total += c;
+    EXPECT_EQ(total, 12u);
+  }
+}
+
+TEST(QuantizedProfile, KeyDistinguishesProfiles) {
+  QuantizedProfile a{QuantizedStrategy({6, 6}, 12), QuantizedStrategy({12, 0}, 12)};
+  QuantizedProfile b{QuantizedStrategy({12, 0}, 12), QuantizedStrategy({6, 6}, 12)};
+  EXPECT_NE(a.key(), b.key());
+  EXPECT_EQ(a.key(), a.key());
+}
+
+TEST(Verify, BattleOfSexesEquilibria) {
+  const BimatrixGame g = battle_of_sexes();
+  EXPECT_TRUE(is_nash_equilibrium(g, {1, 0}, {1, 0}));
+  EXPECT_TRUE(is_nash_equilibrium(g, {0, 1}, {0, 1}));
+  EXPECT_TRUE(is_nash_equilibrium(g, {2.0 / 3, 1.0 / 3}, {1.0 / 3, 2.0 / 3}));
+  EXPECT_FALSE(is_nash_equilibrium(g, {1, 0}, {0, 1}));
+  EXPECT_FALSE(is_nash_equilibrium(g, {0.5, 0.5}, {0.5, 0.5}));
+}
+
+TEST(Verify, PrisonersDilemmaOnlyDefect) {
+  const BimatrixGame g = prisoners_dilemma();
+  EXPECT_TRUE(is_nash_equilibrium(g, {0, 1}, {0, 1}));
+  EXPECT_FALSE(is_nash_equilibrium(g, {1, 0}, {1, 0}));
+}
+
+TEST(Verify, RegretsReported) {
+  const BimatrixGame g = prisoners_dilemma();
+  const auto chk = check_equilibrium(g, {1, 0}, {1, 0});
+  EXPECT_FALSE(chk.is_equilibrium);
+  EXPECT_NEAR(chk.regret1, 2.0, 1e-12);  // defecting gains 5-3
+  EXPECT_NEAR(chk.regret2, 2.0, 1e-12);
+}
+
+TEST(Verify, GapZeroExactlyAtEquilibrium) {
+  const BimatrixGame g = matching_pennies();
+  EXPECT_NEAR(equilibrium_gap(g, {0.5, 0.5}, {0.5, 0.5}), 0.0, 1e-12);
+  EXPECT_GT(equilibrium_gap(g, {1, 0}, {1, 0}), 0.5);
+}
+
+TEST(Verify, InvalidDistributionNotEquilibrium) {
+  const BimatrixGame g = battle_of_sexes();
+  EXPECT_FALSE(is_nash_equilibrium(g, {0.5, 0.6}, {1, 0}));
+}
+
+TEST(Verify, PureProfileDetection) {
+  EXPECT_TRUE(is_pure_profile({1, 0}, {0, 1}));
+  EXPECT_FALSE(is_pure_profile({0.5, 0.5}, {1, 0}));
+}
+
+TEST(Verify, DedupRemovesNearDuplicates) {
+  std::vector<Equilibrium> eqs = {
+      {{1, 0}, {1, 0}, true},
+      {{1.0 - 1e-9, 1e-9}, {1, 0}, true},
+      {{0, 1}, {0, 1}, true},
+  };
+  EXPECT_EQ(dedup(std::move(eqs)).size(), 2u);
+}
+
+TEST(Verify, MatchEquilibrium) {
+  const std::vector<Equilibrium> gt = {{{1, 0}, {1, 0}, true},
+                                       {{0, 1}, {0, 1}, true}};
+  EXPECT_EQ(match_equilibrium(gt, {0, 1}, {0, 1}), 1u);
+  EXPECT_EQ(match_equilibrium(gt, {0.5, 0.5}, {0.5, 0.5}), kNoMatch);
+}
+
+TEST(RepeatedPd, RosterHasEightDistinctAutomata) {
+  const auto roster = memory_one_roster();
+  EXPECT_EQ(roster.size(), 8u);
+  for (std::size_t i = 0; i < roster.size(); ++i)
+    for (std::size_t j = i + 1; j < roster.size(); ++j)
+      EXPECT_FALSE(roster[i].first_move == roster[j].first_move &&
+                   roster[i].reply_to_cooperate == roster[j].reply_to_cooperate &&
+                   roster[i].reply_to_defect == roster[j].reply_to_defect);
+}
+
+TEST(RepeatedPd, AllCvsAllDPayoffs) {
+  const auto roster = memory_one_roster();
+  const auto& allc = roster[0];
+  const auto& alld = roster[7];
+  const auto [pa, pb] = play_repeated(allc, alld, 100);
+  EXPECT_DOUBLE_EQ(pa, 0.0);  // sucker every round
+  EXPECT_DOUBLE_EQ(pb, 5.0);  // temptation every round
+}
+
+TEST(RepeatedPd, TftVsAllDLosesOnlyFirstRound) {
+  const auto roster = memory_one_roster();
+  const auto& tft = roster[1];
+  const auto& alld = roster[7];
+  const auto [pa, pb] = play_repeated(tft, alld, 100);
+  // TFT: sucker once then punishment: (0 + 99*1)/100.
+  EXPECT_DOUBLE_EQ(pa, 0.99);
+  EXPECT_DOUBLE_EQ(pb, (5.0 + 99.0) / 100.0);
+}
+
+TEST(RepeatedPd, MetagameIsSymmetric) {
+  const BimatrixGame g = repeated_pd_metagame(32);
+  EXPECT_EQ(g.num_actions1(), 8u);
+  for (std::size_t i = 0; i < 8; ++i)
+    for (std::size_t j = 0; j < 8; ++j)
+      EXPECT_DOUBLE_EQ(g.payoff1()(i, j), g.payoff2()(j, i));
+}
+
+TEST(RepeatedPd, AllDvsAllDIsEquilibrium) {
+  const BimatrixGame g = repeated_pd_metagame(64);
+  la::Vector alld(8, 0.0);
+  alld[7] = 1.0;
+  EXPECT_TRUE(is_nash_equilibrium(g, alld, alld, 1e-9));
+}
+
+}  // namespace
+}  // namespace cnash::game

@@ -1,0 +1,129 @@
+// End-to-end integration tests: the full C-Nash stack (game -> bi-crossbar ->
+// WTA -> two-phase SA -> metrics) against the ground-truth solvers, plus the
+// S-QUBO / D-Wave proxy pipeline on the same games.
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "core/solver.hpp"
+#include "core/timing.hpp"
+#include "game/games.hpp"
+#include "game/support_enum.hpp"
+#include "qubo/dwave_proxy.hpp"
+
+namespace cnash::core {
+namespace {
+
+std::vector<CandidateSolution> to_candidates(
+    const std::vector<RunOutcome>& outcomes) {
+  std::vector<CandidateSolution> c;
+  c.reserve(outcomes.size());
+  for (const auto& o : outcomes) c.push_back({o.p, o.q});
+  return c;
+}
+
+TEST(Integration, CNashFindsAllBattleOfSexesSolutionsOnHardware) {
+  CNashConfig cfg;
+  cfg.intervals = 12;
+  cfg.sa.iterations = 6000;
+  cfg.seed = 91;
+  CNashSolver solver(game::battle_of_sexes(), cfg);
+  const auto gt = game::all_equilibria(solver.game());
+  const auto report =
+      classify(solver.game(), gt, to_candidates(solver.run(60)), 1e-9);
+  EXPECT_GE(report.success_rate(), 0.9);
+  EXPECT_EQ(report.distinct_found(), 3u);
+}
+
+TEST(Integration, CNashFindsMixedBirdGameSolutionsOnHardware) {
+  CNashConfig cfg;
+  cfg.intervals = 12;
+  cfg.sa.iterations = 8000;
+  cfg.seed = 92;
+  CNashSolver solver(game::bird_game(), cfg);
+  const auto gt = game::all_equilibria(solver.game());
+  const auto report =
+      classify(solver.game(), gt, to_candidates(solver.run(80)), 1e-9);
+  EXPECT_GE(report.success_rate(), 0.6);
+  EXPECT_GT(report.mixed_successes, 0u);
+  EXPECT_GE(report.distinct_found(), 5u);
+}
+
+TEST(Integration, DWaveProxyFindsOnlyPureSolutions) {
+  util::Rng rng(93);
+  const auto g = game::bird_game();
+  const auto gt = game::all_equilibria(g);
+  const qubo::DWaveProxy proxy(g, qubo::dwave_2000q6_config());
+  std::vector<CandidateSolution> cands;
+  for (const auto& s : proxy.run(100, rng)) cands.push_back({s.p, s.q});
+  const auto report = classify(g, gt, cands, 1e-9);
+  EXPECT_EQ(report.mixed_successes, 0u);  // binary variables: pure only
+  EXPECT_LE(report.distinct_found(), 3u);
+}
+
+TEST(Integration, CNashBeatsDWaveProxyOnSolutionCoverage) {
+  // The headline qualitative claim: C-Nash recovers pure AND mixed equilibria,
+  // the S-QUBO annealer only a subset of the pure ones.
+  const auto g = game::bird_game();
+  const auto gt = game::all_equilibria(g);
+
+  CNashConfig cfg;
+  cfg.intervals = 12;
+  cfg.sa.iterations = 8000;
+  cfg.seed = 94;
+  CNashSolver solver(g, cfg);
+  const auto cnash_report =
+      classify(g, gt, to_candidates(solver.run(80)), 1e-9);
+
+  util::Rng rng(95);
+  const qubo::DWaveProxy proxy(g, qubo::dwave_advantage41_config());
+  std::vector<CandidateSolution> dwave_cands;
+  for (const auto& s : proxy.run(80, rng)) dwave_cands.push_back({s.p, s.q});
+  const auto dwave_report = classify(g, gt, dwave_cands, 1e-9);
+
+  EXPECT_GT(cnash_report.distinct_found(), dwave_report.distinct_found());
+}
+
+TEST(Integration, CNashTimeToSolutionBeatsDWaveModel) {
+  const xbar::MappingGeometry geom{2, 2, 12, 2};
+  const CNashTimingModel cnash_t;
+  const DWaveTimingModel dwave_t(dwave_2000q6_timing());
+  const double c = cnash_t.time_to_solution_s(geom, 10000, 1.0);
+  const double d = dwave_t.time_to_solution_s(0.99);
+  EXPECT_GT(d / c, 50.0);
+}
+
+TEST(Integration, ExactAndHardwareBackendsAgreeOnSuccess) {
+  CNashConfig hw_cfg;
+  hw_cfg.intervals = 12;
+  hw_cfg.sa.iterations = 5000;
+  hw_cfg.seed = 96;
+  CNashConfig sw_cfg = hw_cfg;
+  sw_cfg.use_hardware = false;
+
+  const auto g = game::battle_of_sexes();
+  const auto gt = game::all_equilibria(g);
+  CNashSolver hw(g, hw_cfg);
+  CNashSolver sw(g, sw_cfg);
+  const auto rh = classify(g, gt, to_candidates(hw.run(40)), 1e-9);
+  const auto rs = classify(g, gt, to_candidates(sw.run(40)), 1e-9);
+  EXPECT_NEAR(rh.success_rate(), rs.success_rate(), 0.25);
+}
+
+TEST(Integration, ModifiedPdHardwareRunsEndToEnd) {
+  // Smoke-scale version of the paper's largest instance (I = 60 grid).
+  CNashConfig cfg;
+  cfg.intervals = 60;
+  cfg.sa.iterations = 3000;
+  cfg.seed = 97;
+  CNashSolver solver(game::modified_prisoners_dilemma(), cfg);
+  const auto outcomes = solver.run(3);
+  for (const auto& o : outcomes) {
+    EXPECT_TRUE(game::is_distribution(o.p));
+    EXPECT_TRUE(game::is_distribution(o.q));
+    EXPECT_GE(o.objective, -1.0);  // hardware noise can dip slightly below 0
+  }
+}
+
+}  // namespace
+}  // namespace cnash::core

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/matrix.hpp"
+#include "la/solve.hpp"
+#include "util/rng.hpp"
+
+namespace cnash::la {
+namespace {
+
+TEST(Matrix, InitializerListAndAccess) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 6.0);
+  EXPECT_THROW(m.at(2, 0), std::out_of_range);
+  EXPECT_THROW((Matrix{{1, 2}, {3}}), std::invalid_argument);
+}
+
+TEST(Matrix, IdentityAndDiagonal) {
+  const Matrix i3 = Matrix::identity(3);
+  EXPECT_DOUBLE_EQ(i3(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(i3(0, 1), 0.0);
+  const Matrix d = Matrix::diagonal({2, 5});
+  EXPECT_DOUBLE_EQ(d(1, 1), 5.0);
+}
+
+TEST(Matrix, TransposeRoundTrip) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(m.transposed().transposed(), m);
+  EXPECT_DOUBLE_EQ(m.transposed()(2, 1), 6.0);
+}
+
+TEST(Matrix, ArithmeticOps) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{5, 6}, {7, 8}};
+  const Matrix sum = a + b;
+  EXPECT_DOUBLE_EQ(sum(1, 1), 12.0);
+  const Matrix diff = b - a;
+  EXPECT_DOUBLE_EQ(diff(0, 0), 4.0);
+  const Matrix prod = a * b;
+  EXPECT_DOUBLE_EQ(prod(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(prod(1, 1), 50.0);
+  const Matrix scaled = a * 2.0;
+  EXPECT_DOUBLE_EQ(scaled(1, 0), 6.0);
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{1, 2, 3}};
+  EXPECT_THROW(a + b, std::invalid_argument);
+  EXPECT_THROW(b * a, std::invalid_argument);
+}
+
+TEST(Matrix, MultiplyVector) {
+  Matrix m{{1, 2}, {3, 4}, {5, 6}};
+  const Vector v = m.multiply({1.0, 2.0});
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[0], 5.0);
+  EXPECT_DOUBLE_EQ(v[2], 17.0);
+  const Vector w = m.multiply_transposed({1.0, 1.0, 1.0});
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_DOUBLE_EQ(w[0], 9.0);
+  EXPECT_DOUBLE_EQ(w[1], 12.0);
+}
+
+TEST(Matrix, MultiplyTransposedMatchesExplicitTranspose) {
+  util::Rng rng(5);
+  Matrix m(4, 6);
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 6; ++c) m(r, c) = rng.uniform(-2, 2);
+  Vector v(4);
+  for (auto& x : v) x = rng.uniform(-1, 1);
+  const Vector a = m.multiply_transposed(v);
+  const Vector b = m.transposed().multiply(v);
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_NEAR(a[i], b[i], 1e-12);
+}
+
+TEST(VectorOps, DotAddSubtractScale) {
+  Vector a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+  EXPECT_DOUBLE_EQ(add(a, b)[2], 9.0);
+  EXPECT_DOUBLE_EQ(subtract(b, a)[0], 3.0);
+  EXPECT_DOUBLE_EQ(scale(a, -2.0)[1], -4.0);
+  EXPECT_DOUBLE_EQ(sum(a), 6.0);
+  EXPECT_DOUBLE_EQ(norm_inf(subtract(a, b)), 3.0);
+  EXPECT_DOUBLE_EQ(max_element(b), 6.0);
+  EXPECT_EQ(argmax(a), 2u);
+}
+
+TEST(VectorOps, VmvMatchesManual) {
+  Matrix m{{2, 0}, {0, 1}};
+  EXPECT_DOUBLE_EQ(vmv({0.5, 0.5}, m, {0.5, 0.5}), 0.75);
+}
+
+TEST(Solve, UniqueSquareSystem) {
+  Matrix a{{2, 1}, {1, 3}};
+  const auto x = solve_unique(a, {5, 10});
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR((*x)[0], 1.0, 1e-10);
+  EXPECT_NEAR((*x)[1], 3.0, 1e-10);
+}
+
+TEST(Solve, SingularDetected) {
+  Matrix a{{1, 2}, {2, 4}};
+  EXPECT_FALSE(solve_unique(a, {1, 3}).has_value());  // inconsistent
+  const auto res = solve_general(a, {1, 2});
+  EXPECT_EQ(res.status, SolveStatus::kUnderdetermined);
+  // Particular solution still satisfies the system.
+  EXPECT_NEAR(res.x[0] + 2 * res.x[1], 1.0, 1e-10);
+}
+
+TEST(Solve, InconsistentDetected) {
+  Matrix a{{1, 0}, {1, 0}};
+  const auto res = solve_general(a, {1, 2});
+  EXPECT_EQ(res.status, SolveStatus::kInconsistent);
+}
+
+TEST(Solve, OverdeterminedConsistent) {
+  // Three equations, two unknowns, all consistent with x=(1,2).
+  Matrix a{{1, 0}, {0, 1}, {1, 1}};
+  const auto res = solve_general(a, {1, 2, 3});
+  EXPECT_EQ(res.status, SolveStatus::kUnique);
+  EXPECT_NEAR(res.x[0], 1.0, 1e-10);
+  EXPECT_NEAR(res.x[1], 2.0, 1e-10);
+}
+
+TEST(Solve, RankComputation) {
+  EXPECT_EQ(rank(Matrix{{1, 2}, {2, 4}}), 1u);
+  EXPECT_EQ(rank(Matrix::identity(4)), 4u);
+  EXPECT_EQ(rank(Matrix{{1, 2, 3}, {4, 5, 6}}), 2u);
+}
+
+TEST(Solve, Determinant) {
+  EXPECT_DOUBLE_EQ(determinant(Matrix{{2, 0}, {0, 3}}), 6.0);
+  EXPECT_DOUBLE_EQ(determinant(Matrix{{1, 2}, {2, 4}}), 0.0);
+  EXPECT_NEAR(determinant(Matrix{{0, 1}, {1, 0}}), -1.0, 1e-12);
+}
+
+TEST(Solve, InverseRoundTrip) {
+  Matrix a{{4, 7}, {2, 6}};
+  const auto inv = inverse(a);
+  ASSERT_TRUE(inv.has_value());
+  const Matrix prod = a * *inv;
+  EXPECT_NEAR(prod(0, 0), 1.0, 1e-10);
+  EXPECT_NEAR(prod(0, 1), 0.0, 1e-10);
+  EXPECT_FALSE(inverse(Matrix{{1, 2}, {2, 4}}).has_value());
+}
+
+TEST(Solve, RandomSystemsRoundTrip) {
+  util::Rng rng(77);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 2 + rng.uniform_index(6);
+    Matrix a(n, n);
+    Vector x_true(n);
+    for (std::size_t r = 0; r < n; ++r) {
+      x_true[r] = rng.uniform(-3, 3);
+      for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.uniform(-5, 5);
+    }
+    const Vector b = a.multiply(x_true);
+    const auto res = solve_general(a, b);
+    if (res.status != SolveStatus::kUnique) continue;  // rare near-singular
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(res.x[i], x_true[i], 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace cnash::la

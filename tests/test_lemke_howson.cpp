@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "game/games.hpp"
+#include "game/lemke_howson.hpp"
+#include "game/random_games.hpp"
+#include "game/support_enum.hpp"
+#include "util/rng.hpp"
+
+namespace cnash::game {
+namespace {
+
+TEST(LemkeHowson, FindsEquilibriumOfPrisonersDilemma) {
+  const BimatrixGame g = prisoners_dilemma();
+  const auto eq = lemke_howson(g, 0);
+  ASSERT_TRUE(eq.has_value());
+  EXPECT_TRUE(is_nash_equilibrium(g, eq->p, eq->q, 1e-6));
+  EXPECT_NEAR(eq->p[1], 1.0, 1e-9);
+  EXPECT_NEAR(eq->q[1], 1.0, 1e-9);
+}
+
+TEST(LemkeHowson, FindsMixedEquilibriumOfMatchingPennies) {
+  const BimatrixGame g = matching_pennies();
+  const auto eq = lemke_howson(g, 0);
+  ASSERT_TRUE(eq.has_value());
+  EXPECT_NEAR(eq->p[0], 0.5, 1e-9);
+  EXPECT_NEAR(eq->q[0], 0.5, 1e-9);
+}
+
+TEST(LemkeHowson, EveryLabelYieldsValidEquilibrium) {
+  const BimatrixGame g = battle_of_sexes();
+  for (std::size_t lbl = 0; lbl < 4; ++lbl) {
+    const auto eq = lemke_howson(g, lbl);
+    if (!eq) continue;  // degenerate path allowed, but most labels succeed
+    EXPECT_TRUE(is_nash_equilibrium(g, eq->p, eq->q, 1e-6));
+  }
+}
+
+TEST(LemkeHowson, LabelOutOfRangeThrows) {
+  EXPECT_THROW(lemke_howson(battle_of_sexes(), 4), std::out_of_range);
+}
+
+TEST(LemkeHowson, AllLabelsSubsetOfSupportEnumeration) {
+  util::Rng rng(2718);
+  for (int trial = 0; trial < 25; ++trial) {
+    const BimatrixGame g = random_game(3, 4, rng);
+    const auto lh = lemke_howson_all_labels(g);
+    const auto se = all_equilibria(g);
+    for (const auto& eq : lh) {
+      const bool found =
+          std::any_of(se.begin(), se.end(), [&](const Equilibrium& e) {
+            return e.matches(eq.p, eq.q, 1e-5);
+          });
+      EXPECT_TRUE(found) << "LH equilibrium missing from support enumeration";
+    }
+  }
+}
+
+TEST(LemkeHowson, FindsAtLeastOneOnRandomGames) {
+  util::Rng rng(31415);
+  int solved = 0;
+  const int trials = 30;
+  for (int trial = 0; trial < trials; ++trial) {
+    const BimatrixGame g = random_game(4, 4, rng);
+    if (!lemke_howson_all_labels(g).empty()) ++solved;
+  }
+  // LH can fail on degenerate paths but should succeed nearly always.
+  EXPECT_GE(solved, trials - 2);
+}
+
+TEST(LemkeHowson, ScalesToLargerGames) {
+  util::Rng rng(555);
+  const BimatrixGame g = random_game(10, 10, rng);
+  const auto eqs = lemke_howson_all_labels(g);
+  ASSERT_FALSE(eqs.empty());
+  for (const auto& e : eqs) EXPECT_TRUE(is_nash_equilibrium(g, e.p, e.q, 1e-6));
+}
+
+}  // namespace
+}  // namespace cnash::game

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/maxqubo.hpp"
+#include "game/games.hpp"
+#include "game/random_games.hpp"
+#include "game/support_enum.hpp"
+#include "util/rng.hpp"
+
+namespace cnash::core {
+namespace {
+
+la::Vector random_simplex(std::size_t n, util::Rng& rng) {
+  la::Vector v(n);
+  double s = 0.0;
+  for (auto& x : v) {
+    x = -std::log(1.0 - rng.uniform());
+    s += x;
+  }
+  for (auto& x : v) x /= s;
+  return v;
+}
+
+TEST(MaxQubo, ZeroExactlyAtKnownEquilibria) {
+  ExactMaxQubo f(game::battle_of_sexes());
+  EXPECT_NEAR(f.evaluate_continuous({1, 0}, {1, 0}), 0.0, 1e-12);
+  EXPECT_NEAR(f.evaluate_continuous({0, 1}, {0, 1}), 0.0, 1e-12);
+  EXPECT_NEAR(
+      f.evaluate_continuous({2.0 / 3, 1.0 / 3}, {1.0 / 3, 2.0 / 3}), 0.0,
+      1e-12);
+}
+
+TEST(MaxQubo, PositiveAtNonEquilibria) {
+  ExactMaxQubo f(game::battle_of_sexes());
+  EXPECT_GT(f.evaluate_continuous({1, 0}, {0, 1}), 0.5);
+  EXPECT_GT(f.evaluate_continuous({0.5, 0.5}, {0.5, 0.5}), 0.1);
+}
+
+TEST(MaxQubo, NonNegativeEverywhereOnRandomGames) {
+  util::Rng rng(52);
+  for (int g = 0; g < 10; ++g) {
+    const auto game = game::random_game(3, 4, rng);
+    ExactMaxQubo f(game);
+    for (int t = 0; t < 200; ++t) {
+      const auto p = random_simplex(3, rng);
+      const auto q = random_simplex(4, rng);
+      EXPECT_GE(f.evaluate_continuous(p, q), -1e-10);
+    }
+  }
+}
+
+TEST(MaxQubo, ZeroIffNashOnRandomGames) {
+  // f == 0 exactly at equilibria (both directions, statistically probed).
+  util::Rng rng(53);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto game = game::random_game(3, 3, rng);
+    ExactMaxQubo f(game);
+    for (const auto& eq : game::all_equilibria(game))
+      EXPECT_NEAR(f.evaluate_continuous(eq.p, eq.q), 0.0, 1e-8);
+    for (int t = 0; t < 100; ++t) {
+      const auto p = random_simplex(3, rng);
+      const auto q = random_simplex(3, rng);
+      const double v = f.evaluate_continuous(p, q);
+      if (v < 1e-10)
+        EXPECT_TRUE(game::is_nash_equilibrium(game, p, q, 1e-6));
+    }
+  }
+}
+
+TEST(MaxQubo, ShiftInvariance) {
+  util::Rng rng(54);
+  const auto game = game::random_game(4, 3, rng);
+  la::Matrix m2 = game.payoff1();
+  la::Matrix n2 = game.payoff2();
+  for (std::size_t r = 0; r < m2.rows(); ++r)
+    for (std::size_t c = 0; c < m2.cols(); ++c) {
+      m2(r, c) += 7.5;
+      n2(r, c) += 7.5;
+    }
+  ExactMaxQubo f1(game);
+  ExactMaxQubo f2(game::BimatrixGame(m2, n2, "shifted"));
+  for (int t = 0; t < 100; ++t) {
+    const auto p = random_simplex(4, rng);
+    const auto q = random_simplex(3, rng);
+    EXPECT_NEAR(f1.evaluate_continuous(p, q), f2.evaluate_continuous(p, q),
+                1e-9);
+  }
+}
+
+TEST(MaxQubo, ComponentsAssembleObjective) {
+  ExactMaxQubo f(game::bird_game());
+  const la::Vector p{0.2, 0.3, 0.5}, q{0.1, 0.6, 0.3};
+  const auto c = f.components(p, q);
+  EXPECT_NEAR(c.objective(), f.evaluate_continuous(p, q), 1e-12);
+  EXPECT_NEAR(c.max_mq, la::max_element(game::bird_game().row_payoffs(q)),
+              1e-12);
+}
+
+TEST(MaxQubo, QuantizedProfileEvaluationMatchesContinuous) {
+  ExactMaxQubo f(game::battle_of_sexes());
+  game::QuantizedProfile prof{
+      game::QuantizedStrategy::from_distribution({2.0 / 3, 1.0 / 3}, 12),
+      game::QuantizedStrategy::from_distribution({1.0 / 3, 2.0 / 3}, 12)};
+  EXPECT_NEAR(f.evaluate(prof), 0.0, 1e-12);
+}
+
+TEST(MaxQubo, AgreesWithEquilibriumGapAtOptimum) {
+  // f upper-bounds nothing in general, but at f = 0 the equilibrium gap is 0.
+  util::Rng rng(55);
+  const auto game = game::random_game(3, 3, rng);
+  ExactMaxQubo f(game);
+  for (const auto& eq : game::all_equilibria(game))
+    EXPECT_NEAR(game::equilibrium_gap(game, eq.p, eq.q), 0.0, 1e-8);
+}
+
+}  // namespace
+}  // namespace cnash::core

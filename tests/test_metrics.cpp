@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "game/games.hpp"
+#include "game/support_enum.hpp"
+
+namespace cnash::core {
+namespace {
+
+TEST(Metrics, ClassifiesPureMixedAndErrors) {
+  const auto g = game::battle_of_sexes();
+  const auto gt = game::all_equilibria(g);
+  std::vector<CandidateSolution> cands = {
+      {{1, 0}, {1, 0}},                          // pure NE
+      {{0, 1}, {0, 1}},                          // pure NE
+      {{2.0 / 3, 1.0 / 3}, {1.0 / 3, 2.0 / 3}},  // mixed NE
+      {{1, 0}, {0, 1}},                          // not an NE
+      {{0.5, 0.5}, {0.5, 0.5}},                  // not an NE
+  };
+  const auto r = classify(g, gt, cands, 1e-9);
+  EXPECT_EQ(r.runs, 5u);
+  EXPECT_EQ(r.pure_successes, 2u);
+  EXPECT_EQ(r.mixed_successes, 1u);
+  EXPECT_EQ(r.errors, 2u);
+  EXPECT_DOUBLE_EQ(r.success_rate(), 0.6);
+  EXPECT_DOUBLE_EQ(r.error_fraction(), 0.4);
+  EXPECT_EQ(r.distinct_found(), 3u);
+  EXPECT_EQ(r.target(), 3u);
+}
+
+TEST(Metrics, RepeatedSolutionsCountOnceForDistinct) {
+  const auto g = game::battle_of_sexes();
+  const auto gt = game::all_equilibria(g);
+  std::vector<CandidateSolution> cands(10, {{1, 0}, {1, 0}});
+  const auto r = classify(g, gt, cands, 1e-9);
+  EXPECT_EQ(r.pure_successes, 10u);
+  EXPECT_EQ(r.distinct_found(), 1u);
+}
+
+TEST(Metrics, InvalidDistributionsAreErrors) {
+  const auto g = game::battle_of_sexes();
+  const auto gt = game::all_equilibria(g);
+  std::vector<CandidateSolution> cands = {
+      {{0.7, 0.7}, {1, 0}},   // not a distribution
+      {{1, 0, 0}, {1, 0}},    // wrong arity
+      {{}, {}},               // empty
+  };
+  const auto r = classify(g, gt, cands, 1e-9);
+  EXPECT_EQ(r.errors, 3u);
+  EXPECT_DOUBLE_EQ(r.success_rate(), 0.0);
+}
+
+TEST(Metrics, EmptyReportSafe) {
+  SolverReport r;
+  EXPECT_DOUBLE_EQ(r.success_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(r.error_fraction(), 0.0);
+  EXPECT_EQ(r.distinct_found(), 0u);
+}
+
+TEST(Metrics, SuccessNotInGroundTruthStillCountsAsSuccess) {
+  // An ε-NE that matches no listed ground-truth point (e.g. truncated list):
+  // counted as success but not as a distinct hit.
+  const auto g = game::battle_of_sexes();
+  const std::vector<game::Equilibrium> partial_gt = {{{1, 0}, {1, 0}, true}};
+  std::vector<CandidateSolution> cands = {{{0, 1}, {0, 1}}};
+  const auto r = classify(g, partial_gt, cands, 1e-9);
+  EXPECT_EQ(r.pure_successes, 1u);
+  EXPECT_EQ(r.distinct_found(), 0u);
+}
+
+TEST(Metrics, PercentFormatting) {
+  EXPECT_EQ(percent(0.819, 2), "81.90");
+  EXPECT_EQ(percent(1.0, 1), "100.0");
+  EXPECT_EQ(percent(0.0), "0.00");
+}
+
+}  // namespace
+}  // namespace cnash::core

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "game/games.hpp"
+#include "game/parse.hpp"
+#include "game/verify.hpp"
+
+namespace cnash::game {
+namespace {
+
+constexpr const char* kBos = R"(# Battle of the Sexes
+name: BoS
+M:
+2 0
+0 1
+N:
+1 0
+0 2
+)";
+
+TEST(Parse, ParsesWellFormedGame) {
+  const BimatrixGame g = parse_game_text(kBos);
+  EXPECT_EQ(g.name(), "BoS");
+  EXPECT_EQ(g.num_actions1(), 2u);
+  EXPECT_DOUBLE_EQ(g.payoff1()(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(g.payoff2()(1, 1), 2.0);
+  EXPECT_TRUE(is_nash_equilibrium(g, {1, 0}, {1, 0}));
+}
+
+TEST(Parse, CommentsAndBlankLinesIgnored) {
+  const BimatrixGame g = parse_game_text(
+      "\n# header\n\nM:\n# inner comment\n1 0\n0 1\n\nN:\n1 0\n0 1\n");
+  EXPECT_EQ(g.num_actions1(), 2u);
+}
+
+TEST(Parse, DefaultNameWhenMissing) {
+  const BimatrixGame g = parse_game_text("M:\n1\nN:\n1\n");
+  EXPECT_EQ(g.name(), "unnamed");
+}
+
+TEST(Parse, NegativeAndFractionalPayoffs) {
+  const BimatrixGame g =
+      parse_game_text("M:\n-1.5 2e2\nN:\n0.25 -3\n");
+  EXPECT_DOUBLE_EQ(g.payoff1()(0, 1), 200.0);
+  EXPECT_DOUBLE_EQ(g.payoff2()(0, 0), 0.25);
+}
+
+TEST(Parse, ErrorsCarryLineNumbers) {
+  try {
+    parse_game_text("M:\n1 0\n0 x\nN:\n1 0\n0 1\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 3u);
+  }
+}
+
+TEST(Parse, RejectsStructuralErrors) {
+  EXPECT_THROW(parse_game_text("1 2\n"), ParseError);       // row before header
+  EXPECT_THROW(parse_game_text("M:\n1 2\n"), ParseError);   // missing N
+  EXPECT_THROW(parse_game_text("M:\n1 2\n3\nN:\n1 2\n3 4\n"),
+               ParseError);                                  // ragged M
+  EXPECT_THROW(parse_game_text("M:\n1 2\nN:\n1 2 3\n"), ParseError);  // shapes
+  EXPECT_THROW(parse_game_text("M:\nN:\n1\n"), ParseError);  // empty M
+}
+
+TEST(Parse, SerializeRoundTripsLibraryGames) {
+  for (const auto& g :
+       {battle_of_sexes(), bird_game(), modified_prisoners_dilemma(),
+        matching_pennies(), chicken()}) {
+    const BimatrixGame back = parse_game_text(serialize_game(g));
+    EXPECT_EQ(back.name(), g.name());
+    ASSERT_EQ(back.num_actions1(), g.num_actions1());
+    ASSERT_EQ(back.num_actions2(), g.num_actions2());
+    for (std::size_t r = 0; r < g.num_actions1(); ++r)
+      for (std::size_t c = 0; c < g.num_actions2(); ++c) {
+        EXPECT_DOUBLE_EQ(back.payoff1()(r, c), g.payoff1()(r, c));
+        EXPECT_DOUBLE_EQ(back.payoff2()(r, c), g.payoff2()(r, c));
+      }
+  }
+}
+
+}  // namespace
+}  // namespace cnash::game

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qubo/annealer.hpp"
+#include "qubo/encoding.hpp"
+#include "qubo/qubo.hpp"
+#include "util/rng.hpp"
+
+namespace cnash::qubo {
+namespace {
+
+TEST(QuboModel, EnergyOfLinearTerms) {
+  QuboModel m(3);
+  m.add_linear(0, 2.0);
+  m.add_linear(2, -1.0);
+  m.add_offset(0.5);
+  EXPECT_DOUBLE_EQ(m.energy({0, 0, 0}), 0.5);
+  EXPECT_DOUBLE_EQ(m.energy({1, 0, 1}), 1.5);
+}
+
+TEST(QuboModel, EnergyOfQuadraticTerms) {
+  QuboModel m(2);
+  m.add_quadratic(0, 1, 3.0);
+  EXPECT_DOUBLE_EQ(m.energy({1, 1}), 3.0);
+  EXPECT_DOUBLE_EQ(m.energy({1, 0}), 0.0);
+  EXPECT_THROW(m.add_quadratic(1, 1, 1.0), std::invalid_argument);
+}
+
+TEST(QuboModel, FlipDeltaMatchesEnergyDifference) {
+  util::Rng rng(8);
+  QuboModel m(8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    m.add_linear(i, rng.uniform(-2, 2));
+    for (std::size_t j = i + 1; j < 8; ++j)
+      m.add_quadratic(i, j, rng.uniform(-1, 1));
+  }
+  Bits x(8);
+  for (auto& b : x) b = rng.bernoulli(0.5);
+  for (std::size_t i = 0; i < 8; ++i) {
+    Bits y = x;
+    y[i] ^= 1;
+    EXPECT_NEAR(m.flip_delta(x, i), m.energy(y) - m.energy(x), 1e-10);
+  }
+}
+
+TEST(QuboModel, SquaredPenaltyExpandsCorrectly) {
+  // penalty * (x0 + x1 - 1)^2: zero iff exactly one bit set.
+  QuboModel m(2);
+  m.add_squared_penalty({0, 1}, {1.0, 1.0}, -1.0, 4.0);
+  EXPECT_DOUBLE_EQ(m.energy({0, 0}), 4.0);
+  EXPECT_DOUBLE_EQ(m.energy({1, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(m.energy({0, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(m.energy({1, 1}), 4.0);
+}
+
+TEST(QuboModel, SquaredPenaltyWithCoefficients) {
+  // (2 x0 - 3 x1 + 1)^2 over all four states.
+  QuboModel m(2);
+  m.add_squared_penalty({0, 1}, {2.0, -3.0}, 1.0, 1.0);
+  EXPECT_DOUBLE_EQ(m.energy({0, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(m.energy({1, 0}), 9.0);
+  EXPECT_DOUBLE_EQ(m.energy({0, 1}), 4.0);
+  EXPECT_DOUBLE_EQ(m.energy({1, 1}), 0.0);
+}
+
+TEST(QuboModel, QuantizedPreservesScaleRoughly) {
+  QuboModel m(2);
+  m.add_linear(0, 1.0);
+  m.add_quadratic(0, 1, -0.37);
+  const QuboModel q = m.quantized(4);
+  EXPECT_NEAR(q.q()(0, 0), 1.0, 0.15);
+  EXPECT_NEAR(q.q()(0, 1) + q.q()(1, 0), -0.37, 0.15);
+  // bits == 0 leaves untouched.
+  EXPECT_EQ(m.quantized(0).q(), m.q());
+}
+
+TEST(ScalarEncoding, DecodeRange) {
+  ScalarEncoding e(2, 4, 0.0, 15.0);
+  Bits x(6, 0);
+  EXPECT_DOUBLE_EQ(e.decode(x), 0.0);
+  x[2] = x[3] = x[4] = x[5] = 1;
+  EXPECT_DOUBLE_EQ(e.decode(x), 15.0);
+  x = {0, 0, 1, 0, 1, 0};  // bits 0 and 2 of the encoding -> 1 + 4
+  EXPECT_DOUBLE_EQ(e.decode(x), 5.0);
+}
+
+TEST(ScalarEncoding, QuantizeClampsAndRounds) {
+  ScalarEncoding e(0, 3, -1.0, 6.0);
+  EXPECT_DOUBLE_EQ(e.quantize(-5.0), -1.0);
+  EXPECT_DOUBLE_EQ(e.quantize(100.0), 6.0);
+  EXPECT_NEAR(e.quantize(2.4), 2.0, e.resolution());
+}
+
+TEST(ScalarEncoding, PenaltyViewConsistent) {
+  ScalarEncoding e(1, 3, 2.0, 9.0);
+  const auto idx = e.indices();
+  const auto coeff = e.coefficients();
+  ASSERT_EQ(idx.size(), 3u);
+  Bits x(4, 0);
+  x[1] = 1;
+  x[3] = 1;  // bits 0 and 2
+  double value = e.constant();
+  for (std::size_t k = 0; k < idx.size(); ++k)
+    if (x[idx[k]]) value += coeff[k];
+  EXPECT_DOUBLE_EQ(value, e.decode(x));
+}
+
+TEST(Annealer, SolvesSmallKnownMinimum) {
+  // E = (x0 + x1 + x2 - 2)^2 has minimum 0 at any two bits set.
+  QuboModel m(3);
+  m.add_squared_penalty({0, 1, 2}, {1, 1, 1}, -2.0, 1.0);
+  util::Rng rng(42);
+  const auto res = anneal(m, {5.0, 0.01, 100}, rng);
+  EXPECT_DOUBLE_EQ(res.best_energy, 0.0);
+  int set = res.best_state[0] + res.best_state[1] + res.best_state[2];
+  EXPECT_EQ(set, 2);
+}
+
+TEST(Annealer, FindsGroundStateOfRandomInstancesMostly) {
+  util::Rng rng(7);
+  int hits = 0;
+  const int trials = 20;
+  for (int t = 0; t < trials; ++t) {
+    QuboModel m(10);
+    for (std::size_t i = 0; i < 10; ++i) {
+      m.add_linear(i, rng.uniform(-1, 1));
+      for (std::size_t j = i + 1; j < 10; ++j)
+        m.add_quadratic(i, j, rng.uniform(-1, 1));
+    }
+    // Exhaustive ground truth over 2^10 states.
+    double best = 1e100;
+    for (unsigned s = 0; s < 1024; ++s) {
+      Bits x(10);
+      for (int b = 0; b < 10; ++b) x[b] = (s >> b) & 1;
+      best = std::min(best, m.energy(x));
+    }
+    const auto res = anneal(m, {5.0, 0.01, 300}, rng);
+    if (std::abs(res.best_energy - best) < 1e-9) ++hits;
+  }
+  EXPECT_GE(hits, trials - 3);
+}
+
+TEST(Annealer, BestEnergyConsistentWithState) {
+  QuboModel m(6);
+  util::Rng rng(3);
+  for (std::size_t i = 0; i < 6; ++i) m.add_linear(i, rng.uniform(-1, 1));
+  const auto res = anneal(m, {2.0, 0.05, 50}, rng);
+  EXPECT_NEAR(res.best_energy, m.energy(res.best_state), 1e-9);
+}
+
+TEST(Annealer, SampleProducesRequestedReads) {
+  QuboModel m(4);
+  m.add_linear(0, -1.0);
+  util::Rng rng(5);
+  const auto reads = sample(m, {2.0, 0.05, 20}, 7, rng);
+  EXPECT_EQ(reads.size(), 7u);
+}
+
+}  // namespace
+}  // namespace cnash::qubo

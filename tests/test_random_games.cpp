@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "game/random_games.hpp"
+#include "game/verify.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace cnash::game {
+namespace {
+
+TEST(RandomGames, ShapesAndBounds) {
+  util::Rng rng(1);
+  const BimatrixGame g = random_game(3, 5, rng, -2.0, 4.0);
+  EXPECT_EQ(g.num_actions1(), 3u);
+  EXPECT_EQ(g.num_actions2(), 5u);
+  EXPECT_GE(g.payoff1().min_element(), -2.0);
+  EXPECT_LE(g.payoff1().max_element(), 4.0);
+  EXPECT_GE(g.payoff2().min_element(), -2.0);
+  EXPECT_LE(g.payoff2().max_element(), 4.0);
+}
+
+TEST(RandomGames, ZeroSumSumsToZero) {
+  util::Rng rng(2);
+  const BimatrixGame g = random_zero_sum_game(4, 4, rng);
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 4; ++j)
+      EXPECT_DOUBLE_EQ(g.payoff1()(i, j) + g.payoff2()(i, j), 0.0);
+}
+
+TEST(RandomGames, SymmetricHasTransposedPayoffs) {
+  util::Rng rng(3);
+  const BimatrixGame g = random_symmetric_game(5, rng);
+  for (std::size_t i = 0; i < 5; ++i)
+    for (std::size_t j = 0; j < 5; ++j)
+      EXPECT_DOUBLE_EQ(g.payoff2()(i, j), g.payoff1()(j, i));
+}
+
+TEST(RandomGames, CoordinationDiagonalDominates) {
+  util::Rng rng(4);
+  const BimatrixGame g = random_coordination_game(4, rng, 2.0, 3.0, 0.1);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      if (i == j) continue;
+      EXPECT_GT(g.payoff1()(i, i), g.payoff1()(i, j) + 1.0);
+    }
+    // Every matched pure profile is an equilibrium of a coordination game.
+    la::Vector e(4, 0.0);
+    e[i] = 1.0;
+    EXPECT_TRUE(is_nash_equilibrium(g, e, e, 1e-9));
+  }
+}
+
+TEST(RandomGames, IntegerPayoffsAreIntegers) {
+  util::Rng rng(5);
+  const BimatrixGame g = random_integer_game(4, 6, rng, 0, 7);
+  for (double v : g.payoff1().data()) {
+    EXPECT_DOUBLE_EQ(v, std::round(v));
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 7.0);
+  }
+}
+
+TEST(RandomGames, DistinctDraws) {
+  util::Rng rng(6);
+  const BimatrixGame a = random_game(3, 3, rng);
+  const BimatrixGame b = random_game(3, 3, rng);
+  EXPECT_FALSE(a.payoff1() == b.payoff1());
+}
+
+TEST(RandomGames, PayoffsRoughlyUniform) {
+  util::Rng rng(7);
+  util::RunningStats stats;
+  for (int t = 0; t < 200; ++t) {
+    const BimatrixGame g = random_game(4, 4, rng, 0.0, 1.0);
+    for (double v : g.payoff1().data()) stats.add(v);
+  }
+  EXPECT_NEAR(stats.mean(), 0.5, 0.02);
+  EXPECT_NEAR(stats.stddev(), std::sqrt(1.0 / 12.0), 0.02);
+}
+
+}  // namespace
+}  // namespace cnash::game

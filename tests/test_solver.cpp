@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "core/solver.hpp"
+#include "game/games.hpp"
+#include "game/support_enum.hpp"
+
+namespace cnash::core {
+namespace {
+
+TEST(Solver, ExactBackendSolvesBattleOfSexes) {
+  CNashConfig cfg;
+  cfg.use_hardware = false;
+  cfg.intervals = 12;
+  cfg.sa.iterations = 4000;
+  cfg.seed = 81;
+  CNashSolver solver(game::battle_of_sexes(), cfg);
+  const auto outcomes = solver.run(30);
+  ASSERT_EQ(outcomes.size(), 30u);
+  int nash = 0;
+  for (const auto& o : outcomes)
+    if (game::is_nash_equilibrium(solver.game(), o.p, o.q, 1e-9)) ++nash;
+  EXPECT_GE(nash, 27);
+}
+
+TEST(Solver, HardwareBackendSolvesBattleOfSexes) {
+  CNashConfig cfg;
+  cfg.use_hardware = true;
+  cfg.intervals = 12;
+  cfg.sa.iterations = 4000;
+  cfg.seed = 82;
+  CNashSolver solver(game::battle_of_sexes(), cfg);
+  ASSERT_NE(solver.hardware(), nullptr);
+  const auto outcomes = solver.run(20);
+  int nash = 0;
+  for (const auto& o : outcomes)
+    if (game::is_nash_equilibrium(solver.game(), o.p, o.q, 1e-9)) ++nash;
+  EXPECT_GE(nash, 15);
+}
+
+TEST(Solver, FindsBothPureAndMixedSolutions) {
+  CNashConfig cfg;
+  cfg.use_hardware = false;
+  cfg.intervals = 12;
+  cfg.sa.iterations = 5000;
+  cfg.seed = 83;
+  CNashSolver solver(game::battle_of_sexes(), cfg);
+  const auto gt = game::all_equilibria(solver.game());
+  std::vector<CandidateSolution> cands;
+  for (const auto& o : solver.run(60)) cands.push_back({o.p, o.q});
+  const auto report = classify(solver.game(), gt, cands, 1e-9);
+  EXPECT_GT(report.pure_successes, 0u);
+  EXPECT_GT(report.mixed_successes, 0u);
+  EXPECT_EQ(report.target(), 3u);
+  EXPECT_EQ(report.distinct_found(), 3u);  // all three BoS equilibria
+}
+
+TEST(Solver, DeterministicGivenSeed) {
+  CNashConfig cfg;
+  cfg.use_hardware = false;
+  cfg.sa.iterations = 500;
+  cfg.seed = 84;
+  CNashSolver a(game::bird_game(), cfg);
+  CNashSolver b(game::bird_game(), cfg);
+  const auto oa = a.run(5);
+  const auto ob = b.run(5);
+  for (std::size_t i = 0; i < 5; ++i)
+    EXPECT_EQ(oa[i].profile.key(), ob[i].profile.key());
+}
+
+TEST(Solver, ReportBestOptionNeverWorseThanFinal) {
+  CNashConfig final_cfg;
+  final_cfg.use_hardware = false;
+  final_cfg.sa.iterations = 300;
+  final_cfg.seed = 85;
+  CNashConfig best_cfg = final_cfg;
+  best_cfg.report_best = true;
+  CNashSolver fin(game::bird_game(), final_cfg);
+  CNashSolver best(game::bird_game(), best_cfg);
+  const auto of = fin.run(10);
+  const auto ob = best.run(10);
+  for (std::size_t i = 0; i < 10; ++i)
+    EXPECT_LE(ob[i].objective, of[i].objective + 1e-12);
+}
+
+TEST(Solver, OutcomeDistributionsAreValid) {
+  CNashConfig cfg;
+  cfg.use_hardware = false;
+  cfg.sa.iterations = 200;
+  cfg.seed = 86;
+  CNashSolver solver(game::modified_prisoners_dilemma(), cfg);
+  for (const auto& o : solver.run(5)) {
+    EXPECT_TRUE(game::is_distribution(o.p));
+    EXPECT_TRUE(game::is_distribution(o.q));
+  }
+}
+
+}  // namespace
+}  // namespace cnash::core

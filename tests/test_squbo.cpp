@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "game/games.hpp"
+#include "game/verify.hpp"
+#include "qubo/dwave_proxy.hpp"
+#include "qubo/squbo_builder.hpp"
+#include "util/rng.hpp"
+
+namespace cnash::qubo {
+namespace {
+
+Bits encode_pure(const SQubo& sq, std::size_t i, std::size_t j) {
+  Bits x(sq.num_vars(), 0);
+  x[i] = 1;
+  x[sq.game().num_actions1() + j] = 1;
+  return x;
+}
+
+TEST(SQubo, VariableLayoutCounts) {
+  SQuboOptions opts;
+  opts.style = SlackStyle::kAggregate;
+  opts.level_bits = 4;
+  opts.slack_bits = 3;
+  const SQubo sq(game::battle_of_sexes(), opts);
+  // 2 + 2 strategies + 4 + 4 level bits + 3 + 3 slack bits.
+  EXPECT_EQ(sq.num_vars(), 2u + 2 + 4 + 4 + 3 + 3);
+
+  SQuboOptions per_row = opts;
+  per_row.style = SlackStyle::kPerRow;
+  const SQubo sq2(game::battle_of_sexes(), per_row);
+  // Slacks per row/column: 2*3 + 2*3.
+  EXPECT_EQ(sq2.num_vars(), 2u + 2 + 4 + 4 + 6 + 6);
+}
+
+TEST(SQubo, DecodeReadsStrategiesAndLevels) {
+  const SQubo sq(game::battle_of_sexes());
+  Bits x = encode_pure(sq, 0, 1);
+  const auto d = sq.decode(x);
+  EXPECT_TRUE(d.valid_strategies);
+  EXPECT_DOUBLE_EQ(d.p[0], 1.0);
+  EXPECT_DOUBLE_EQ(d.q[1], 1.0);
+}
+
+TEST(SQubo, InvalidStrategiesFlagged) {
+  const SQubo sq(game::battle_of_sexes());
+  Bits x(sq.num_vars(), 0);  // no action chosen
+  EXPECT_FALSE(sq.decode(x).valid_strategies);
+  x[0] = x[1] = 1;  // two actions for player 1
+  x[2] = 1;
+  EXPECT_FALSE(sq.decode(x).valid_strategies);
+}
+
+TEST(SQubo, SimplexPenaltyDiscouragesInvalidStates) {
+  const SQubo sq(game::battle_of_sexes());
+  const Bits valid = encode_pure(sq, 0, 0);
+  Bits invalid(sq.num_vars(), 0);  // all-zero violates both simplex penalties
+  EXPECT_LT(sq.energy(valid), sq.energy(invalid));
+}
+
+TEST(SQubo, PureNashHasLowerEnergyThanNonNash) {
+  // For BoS, (0,0) and (1,1) are NE; (0,1)/(1,0) are not. With the level and
+  // slack bits at their best settings, the NE assignments should beat the
+  // non-NE ones. Search over all level/slack bits for each strategy pair.
+  SQuboOptions opts;
+  opts.style = SlackStyle::kAggregate;
+  opts.level_bits = 2;
+  opts.slack_bits = 2;
+  const SQubo sq(game::battle_of_sexes(), opts);
+  const std::size_t strategy_bits = 4;
+  const std::size_t aux_bits = sq.num_vars() - strategy_bits;
+  ASSERT_LE(aux_bits, 12u);
+  auto best_energy_for = [&](std::size_t i, std::size_t j) {
+    double best = 1e100;
+    for (std::uint64_t aux = 0; aux < (1ull << aux_bits); ++aux) {
+      Bits x = encode_pure(sq, i, j);
+      for (std::size_t b = 0; b < aux_bits; ++b)
+        x[strategy_bits + b] = (aux >> b) & 1;
+      best = std::min(best, sq.energy(x));
+    }
+    return best;
+  };
+  const double ne1 = best_energy_for(0, 0);
+  const double ne2 = best_energy_for(1, 1);
+  const double non1 = best_energy_for(0, 1);
+  const double non2 = best_energy_for(1, 0);
+  EXPECT_LT(ne1, non1);
+  EXPECT_LT(ne1, non2);
+  EXPECT_LT(ne2, non1);
+  EXPECT_LT(ne2, non2);
+}
+
+TEST(SQubo, OriginalObjectiveZeroAtPureNash) {
+  const SQubo sq(game::prisoners_dilemma());
+  // (Defect, Defect) is the unique NE: original objective (Eq. 3 rewritten
+  // with α = max(Mq), β = max(Nᵀp)) equals 0 there.
+  const Bits x = encode_pure(sq, 1, 1);
+  EXPECT_NEAR(sq.original_objective(x), 0.0, 1e-12);
+  // Not zero at the non-equilibrium (C, C).
+  const Bits y = encode_pure(sq, 0, 0);
+  EXPECT_LT(sq.original_objective(y), -1e-9);
+}
+
+TEST(DWaveProxy, ConfigsDiffer) {
+  const auto q2000 = dwave_2000q6_config();
+  const auto adv = dwave_advantage41_config();
+  EXPECT_GT(q2000.schedule.sweeps, adv.schedule.sweeps);
+  EXPECT_GT(q2000.time_per_sample_s, adv.time_per_sample_s);
+  EXPECT_LT(q2000.q_noise_rel, adv.q_noise_rel);
+}
+
+TEST(DWaveProxy, FindsPureNashOnBattleOfSexes) {
+  util::Rng rng(11);
+  const game::BimatrixGame g = game::battle_of_sexes();
+  const DWaveProxy proxy(g, dwave_2000q6_config());
+  const auto samples = proxy.run(50, rng);
+  ASSERT_EQ(samples.size(), 50u);
+  int nash = 0;
+  for (const auto& s : samples) {
+    if (s.valid && game::is_nash_equilibrium(g, s.p, s.q, 1e-6)) ++nash;
+  }
+  // The well-converged 2000Q proxy should find pure NE in most reads.
+  EXPECT_GT(nash, 35);
+}
+
+TEST(DWaveProxy, OnlyPureStrategiesEverReturned) {
+  util::Rng rng(13);
+  const game::BimatrixGame g = game::bird_game();
+  const DWaveProxy proxy(g, dwave_advantage41_config());
+  for (const auto& s : proxy.run(30, rng)) {
+    for (double v : s.p) EXPECT_TRUE(v == 0.0 || v == 1.0);
+    for (double v : s.q) EXPECT_TRUE(v == 0.0 || v == 1.0);
+  }
+}
+
+TEST(DWaveProxy, ElapsedTimeScalesWithReads) {
+  const DWaveProxy proxy(game::battle_of_sexes(), dwave_advantage41_config());
+  EXPECT_DOUBLE_EQ(proxy.elapsed_seconds(1000),
+                   1000 * proxy.config().time_per_sample_s);
+}
+
+}  // namespace
+}  // namespace cnash::qubo

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/timing.hpp"
+
+namespace cnash::core {
+namespace {
+
+xbar::MappingGeometry bos_geometry() {
+  // Battle of the Sexes at I=12, t=2: 2 actions each.
+  return {2, 2, 12, 2};
+}
+
+xbar::MappingGeometry mpd_geometry() { return {8, 8, 60, 22}; }
+
+TEST(CNashTiming, ControllerBoundsIteration) {
+  const CNashTimingModel model;
+  // Analog path is nanoseconds; the 1 MHz controller dominates.
+  EXPECT_LT(model.analog_path_s(bos_geometry()), 1e-6);
+  EXPECT_DOUBLE_EQ(model.iteration_s(bos_geometry()),
+                   model.params().controller_period_s);
+}
+
+TEST(CNashTiming, AnalogPathGrowsWithArray) {
+  const CNashTimingModel model;
+  EXPECT_GT(model.analog_path_s(mpd_geometry()),
+            model.analog_path_s(bos_geometry()));
+}
+
+TEST(CNashTiming, RunTimeScalesWithIterations) {
+  const CNashTimingModel model;
+  const double t1 = model.run_time_s(bos_geometry(), 10000);
+  const double t2 = model.run_time_s(bos_geometry(), 20000);
+  EXPECT_DOUBLE_EQ(t2, 2.0 * t1);
+  // 10k iterations at 1 MHz controller -> 10 ms (paper's scale for BoS).
+  EXPECT_NEAR(t1, 0.01, 1e-6);
+}
+
+TEST(CNashTiming, TimeToSolutionDividesBySuccessRate) {
+  const CNashTimingModel model;
+  const double run = model.run_time_s(bos_geometry(), 10000);
+  EXPECT_DOUBLE_EQ(model.time_to_solution_s(bos_geometry(), 10000, 0.5),
+                   2.0 * run);
+  EXPECT_TRUE(std::isinf(model.time_to_solution_s(bos_geometry(), 10000, 0.0)));
+}
+
+TEST(DWaveTiming, JobTimeComposition) {
+  const DWaveTimingModel m(dwave_2000q6_timing());
+  const auto& p = m.params();
+  EXPECT_DOUBLE_EQ(m.job_time_s(),
+                   p.programming_s + p.per_sample_s * p.reads_per_job);
+}
+
+TEST(DWaveTiming, GenerationsOrdered) {
+  const DWaveTimingModel q2000(dwave_2000q6_timing());
+  const DWaveTimingModel adv(dwave_advantage41_timing());
+  EXPECT_GT(q2000.job_time_s(), adv.job_time_s());
+}
+
+TEST(DWaveTiming, PaperScaleRatios) {
+  // Sanity: the calibration lands near the paper's reported speedups —
+  // 2000Q / C-Nash ≈ 157.9X and Advantage / C-Nash ≈ 79X on BoS.
+  const CNashTimingModel cnash;
+  const DWaveTimingModel q2000(dwave_2000q6_timing());
+  const DWaveTimingModel adv(dwave_advantage41_timing());
+  const double c = cnash.time_to_solution_s(bos_geometry(), 10000, 1.0);
+  const double r2000 = q2000.time_to_solution_s(0.9962) / c;
+  const double radv = adv.time_to_solution_s(0.9804) / c;
+  EXPECT_NEAR(r2000, 157.9, 25.0);
+  EXPECT_NEAR(radv, 79.0, 15.0);
+}
+
+TEST(DWaveTiming, ZeroReadsRejected) {
+  EXPECT_THROW(DWaveTimingModel({0.1, 1e-4, 0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cnash::core

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "wta/corners.hpp"
+#include "wta/wta_cell.hpp"
+#include "wta/wta_tree.hpp"
+
+namespace cnash::wta {
+namespace {
+
+TEST(Corners, NamesAndFactors) {
+  EXPECT_EQ(corner_name(ProcessCorner::kTT), "tt");
+  EXPECT_EQ(corner_name(ProcessCorner::kSNFP), "snfp");
+  EXPECT_DOUBLE_EQ(corner_factors(ProcessCorner::kTT).latency_scale, 1.0);
+  EXPECT_GT(corner_factors(ProcessCorner::kSS).latency_scale, 1.0);
+  EXPECT_LT(corner_factors(ProcessCorner::kFF).latency_scale, 1.0);
+  EXPECT_EQ(kAllCorners.size(), 5u);
+}
+
+TEST(WtaCell, DeterministicWorstCaseOffset) {
+  // Without an rng the cell freezes the +1 sigma worst-case mismatch.
+  const WtaCell cell;
+  const double out = cell.output(10e-6, 4e-6);
+  EXPECT_NEAR(out, 10e-6 * 1.0025, 1e-12);
+}
+
+TEST(WtaCell, StaticMismatchWithinSpecAcrossCells) {
+  // Mismatch is a per-cell fabrication artefact: its statistics show across
+  // many physical cells, not across reads of one cell.
+  util::Rng rng(41);
+  util::RunningStats offsets;
+  for (int c = 0; c < 20000; ++c) {
+    const WtaCell cell({}, &rng);
+    offsets.add(cell.static_offset());
+  }
+  EXPECT_NEAR(offsets.mean(), 0.0, 5e-5);
+  EXPECT_NEAR(offsets.stddev(), 0.0025, 2e-4);  // 0.25 % (Fig. 5(c))
+}
+
+TEST(WtaCell, RepeatedReadsOfOneCellAreStable) {
+  util::Rng rng(42);
+  const WtaCell cell({}, &rng);
+  util::RunningStats reads;
+  for (int t = 0; t < 5000; ++t) reads.add(cell.output(10e-6, 3e-6, &rng));
+  // Per-read noise is an order of magnitude below the static mismatch spec.
+  EXPECT_LT(reads.stddev() / reads.mean(), 0.0005);
+}
+
+TEST(WtaCell, SymmetricInInputs) {
+  const WtaCell cell;
+  EXPECT_DOUBLE_EQ(cell.output(2e-6, 7e-6), cell.output(7e-6, 2e-6));
+}
+
+TEST(WtaCell, LatencyMatchesSpecAtTT) {
+  const WtaCell cell;
+  EXPECT_DOUBLE_EQ(cell.latency_s(), 0.08e-9);
+}
+
+TEST(WtaCell, CornerScalesLatencyAndOffset) {
+  WtaCellParams ss;
+  ss.corner = ProcessCorner::kSS;
+  WtaCellParams ff;
+  ff.corner = ProcessCorner::kFF;
+  EXPECT_GT(WtaCell(ss).latency_s(), WtaCell().latency_s());
+  EXPECT_LT(WtaCell(ff).latency_s(), WtaCell().latency_s());
+}
+
+TEST(WtaCell, TransientSettlesTo95PercentAtLatency) {
+  const WtaCell cell;
+  const double settled = cell.output(10e-6, 1e-6);
+  const double at_latency = cell.transient(10e-6, 1e-6, cell.latency_s());
+  EXPECT_NEAR(at_latency / settled, 0.95, 0.005);
+  EXPECT_DOUBLE_EQ(cell.transient(10e-6, 1e-6, 0.0), 0.0);
+  EXPECT_NEAR(cell.transient(10e-6, 1e-6, 10 * cell.latency_s()), settled,
+              1e-9 * settled);
+}
+
+TEST(WtaTree, CellCountFormula) {
+  // N = 2^K - 1 with K = ceil(log2 D) (Sec. 3.3).
+  EXPECT_EQ(WtaTree(2).num_cells(), 1u);
+  EXPECT_EQ(WtaTree(4).num_cells(), 3u);
+  EXPECT_EQ(WtaTree(5).num_cells(), 7u);
+  EXPECT_EQ(WtaTree(8).num_cells(), 7u);
+  EXPECT_EQ(WtaTree(9).num_cells(), 15u);
+}
+
+TEST(WtaTree, DepthIsCeilLog2) {
+  EXPECT_EQ(WtaTree(1).depth(), 0u);
+  EXPECT_EQ(WtaTree(2).depth(), 1u);
+  EXPECT_EQ(WtaTree(3).depth(), 2u);
+  EXPECT_EQ(WtaTree(8).depth(), 3u);
+}
+
+TEST(WtaTree, ReduceFindsMaxDeterministically) {
+  WtaCellParams params;
+  params.offset_sigma = 0.0;
+  params.read_noise_rel = 0.0;
+  const WtaTree tree(6, params);
+  const double out = tree.reduce({1e-6, 9e-6, 3e-6, 2e-6, 8e-6, 4e-6});
+  EXPECT_DOUBLE_EQ(out, 9e-6);
+}
+
+TEST(WtaTree, ReduceErrorBoundedByDepthOffsets) {
+  const WtaTree tree(8);
+  util::Rng rng(43);
+  for (int t = 0; t < 200; ++t) {
+    std::vector<double> in(8);
+    double truth = 0.0;
+    for (auto& v : in) {
+      v = rng.uniform(1e-6, 20e-6);
+      truth = std::max(truth, v);
+    }
+    const double out = tree.reduce(in, &rng);
+    // 3 levels of 0.25% Gaussian offsets: 5σ bound ≈ 2.2%.
+    EXPECT_NEAR(out, truth, 0.03 * truth);
+  }
+}
+
+TEST(WtaTree, WinnerMatchesArgmaxForSeparatedInputs) {
+  const WtaTree tree(5);
+  util::Rng rng(44);
+  const std::vector<double> in{1e-6, 2e-6, 15e-6, 3e-6, 4e-6};
+  for (int t = 0; t < 50; ++t) EXPECT_EQ(tree.winner(in, &rng), 2u);
+}
+
+TEST(WtaTree, SingleInputPassesThrough) {
+  const WtaTree tree(1);
+  EXPECT_DOUBLE_EQ(tree.reduce({5e-6}), 5e-6);
+  EXPECT_EQ(tree.winner({5e-6}), 0u);
+}
+
+TEST(WtaTree, LatencyIsDepthTimesCellLatency) {
+  const WtaTree tree(8);
+  EXPECT_DOUBLE_EQ(tree.latency_s(), 3 * 0.08e-9);
+}
+
+TEST(WtaTree, ArityMismatchThrows) {
+  const WtaTree tree(4);
+  EXPECT_THROW(tree.reduce({1e-6, 2e-6}), std::invalid_argument);
+}
+
+TEST(WtaTree, CloseInputsCanFlipButValueStaysClose) {
+  // When two inputs are within the offset band the winner may flip, but the
+  // reduced value must stay within the offset envelope of the true max.
+  const WtaTree tree(2);
+  util::Rng rng(45);
+  const double a = 10.00e-6, b = 10.01e-6;
+  for (int t = 0; t < 500; ++t) {
+    const double out = tree.reduce({a, b}, &rng);
+    EXPECT_NEAR(out, b, 5.0 * 0.0025 * b);  // within 5 sigma of the offset
+  }
+}
+
+}  // namespace
+}  // namespace cnash::wta
