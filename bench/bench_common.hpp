@@ -4,16 +4,22 @@
 // model) and both D-Wave proxies, classifying every run against the exact
 // ground truth.
 //
+// C-Nash runs dispatch through core::SolverEngine, so they spread across
+// worker threads (--threads N, default: all hardware threads) with
+// bit-identical results for any thread count.
+//
 // Scale note: the paper uses 5000 SA runs per instance; the default here is
-// smaller so every bench binary finishes in seconds. Pass a run count as
-// argv[1] to scale up (e.g. `bench_table1_success_rate 5000`).
+// smaller so every bench binary finishes in seconds. Pass a run count as the
+// first positional argument to scale up (e.g.
+// `bench_table1_success_rate 5000 --threads 8`).
 
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
+#include "core/engine.hpp"
 #include "core/metrics.hpp"
-#include "core/solver.hpp"
 #include "game/games.hpp"
 #include "game/support_enum.hpp"
 #include "qubo/dwave_proxy.hpp"
@@ -50,28 +56,51 @@ inline PaperReference paper_reference(std::size_t instance_index) {
   }
 }
 
+/// Command line shared by the solver benches: `[runs] [--threads N]`.
+struct CliOptions {
+  std::size_t runs = 0;     // 0 = per-instance default
+  std::size_t threads = 0;  // 0 = one worker per hardware thread
+};
+
+inline CliOptions parse_cli(int argc, char** argv) {
+  CliOptions cli;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--threads=", 10) == 0) {
+      cli.threads = std::strtoul(arg + 10, nullptr, 10);
+    } else if (std::strcmp(arg, "--threads") == 0 && i + 1 < argc) {
+      cli.threads = std::strtoul(argv[++i], nullptr, 10);
+    } else {
+      const long v = std::strtol(arg, nullptr, 10);
+      if (v > 0) cli.runs = static_cast<std::size_t>(v);
+    }
+  }
+  return cli;
+}
+
+/// Kept for drivers that only take a run count.
 inline std::size_t runs_from_argv(int argc, char** argv,
                                   std::size_t default_runs) {
-  if (argc > 1) {
-    const long v = std::strtol(argv[1], nullptr, 10);
-    if (v > 0) return static_cast<std::size_t>(v);
-  }
-  return default_runs;
+  const CliOptions cli = parse_cli(argc, argv);
+  return cli.runs > 0 ? cli.runs : default_runs;
 }
 
 inline InstanceEvaluation evaluate_instance(
     const game::BenchmarkInstance& inst, std::size_t runs,
-    std::uint64_t seed = 0xDA11A5) {
+    std::size_t threads = 0, std::uint64_t seed = 0xDA11A5) {
   InstanceEvaluation ev{inst, game::all_equilibria(inst.game), {}, {}, {}, runs};
 
-  // --- C-Nash on the full hardware model. ---------------------------------
-  core::CNashConfig cfg;
-  cfg.intervals = inst.intervals;
-  cfg.sa.iterations = inst.sa_iterations;
-  cfg.seed = seed;
-  core::CNashSolver solver(inst.game, cfg);
+  // --- C-Nash on the full hardware model, across the engine's pool. --------
+  core::EngineOptions opts;
+  opts.intervals = inst.intervals;
+  opts.sa.iterations = inst.sa_iterations;
+  opts.seed = seed;
+  opts.threads = threads;
+  auto factory = std::make_shared<core::HardwareEvaluatorFactory>(
+      inst.game, inst.intervals, core::TwoPhaseConfig{}, util::Rng(seed));
+  core::SolverEngine engine(std::move(factory), opts);
   std::vector<core::CandidateSolution> cnash_cands;
-  for (const auto& o : solver.run(runs)) cnash_cands.push_back({o.p, o.q});
+  for (const auto& o : engine.run(runs)) cnash_cands.push_back({o.p, o.q});
   ev.cnash = core::classify(inst.game, ev.ground_truth, cnash_cands, 1e-9);
 
   // --- D-Wave proxies. ------------------------------------------------------

@@ -21,14 +21,15 @@ int main(int argc, char** argv) {
   const core::DWaveTimingModel t2000(core::dwave_2000q6_timing());
   const core::DWaveTimingModel tadv(core::dwave_advantage41_timing());
 
+  const bench::CliOptions cli = bench::parse_cli(argc, argv);
   const auto instances = game::paper_benchmarks();
   for (std::size_t i = 0; i < instances.size(); ++i) {
     const auto& inst = instances[i];
     const std::size_t runs =
-        bench::runs_from_argv(argc, argv, bench::default_runs_for(i));
+        cli.runs > 0 ? cli.runs : bench::default_runs_for(i);
     std::fprintf(stderr, "running %s (%zu runs)...\n", inst.game.name().c_str(),
                  runs);
-    const auto ev = bench::evaluate_instance(inst, runs);
+    const auto ev = bench::evaluate_instance(inst, runs, cli.threads);
     const auto ref = bench::paper_reference(i);
 
     // Crossbar geometry for the C-Nash latency model.

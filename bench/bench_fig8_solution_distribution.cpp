@@ -10,13 +10,14 @@ int main(int argc, char** argv) {
   using namespace cnash;
 
   std::printf("=== Fig. 8: Solution Distributions (error / pure / mixed) ===\n\n");
+  const bench::CliOptions cli = bench::parse_cli(argc, argv);
   const auto instances = game::paper_benchmarks();
   for (std::size_t i = 0; i < instances.size(); ++i) {
     const std::size_t runs =
-        bench::runs_from_argv(argc, argv, bench::default_runs_for(i));
+        cli.runs > 0 ? cli.runs : bench::default_runs_for(i);
     std::fprintf(stderr, "running %s (%zu runs)...\n",
                  instances[i].game.name().c_str(), runs);
-    const auto ev = bench::evaluate_instance(instances[i], runs);
+    const auto ev = bench::evaluate_instance(instances[i], runs, cli.threads);
 
     std::printf("--- (%c) %s ---\n", static_cast<char>('a' + i),
                 instances[i].game.name().c_str());

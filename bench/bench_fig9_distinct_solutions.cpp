@@ -14,13 +14,14 @@ int main(int argc, char** argv) {
                      "D-Wave Advantage 4.1 (proxy)", "C-Nash (this work)",
                      "paper target"});
 
+  const bench::CliOptions cli = bench::parse_cli(argc, argv);
   const auto instances = game::paper_benchmarks();
   for (std::size_t i = 0; i < instances.size(); ++i) {
     const std::size_t runs =
-        bench::runs_from_argv(argc, argv, bench::default_runs_for(i));
+        cli.runs > 0 ? cli.runs : bench::default_runs_for(i);
     std::fprintf(stderr, "running %s (%zu runs)...\n",
                  instances[i].game.name().c_str(), runs);
-    const auto ev = bench::evaluate_instance(instances[i], runs);
+    const auto ev = bench::evaluate_instance(instances[i], runs, cli.threads);
     auto frac = [&](const core::SolverReport& r) {
       return std::to_string(r.distinct_found()) + "/" +
              std::to_string(r.target());

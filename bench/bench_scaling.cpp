@@ -1,23 +1,48 @@
-// Scaling study (beyond the paper's three fixed instances): C-Nash success
-// rate, distinct-solution coverage and modelled time-to-solution on random
-// coordination games of growing size — the regime where the paper argues
-// S-QUBO solvers collapse.
+// Scaling study (beyond the paper's three fixed instances), two axes:
+//
+//  1. Problem size: C-Nash success rate, distinct-solution coverage and
+//     modelled time-to-solution on random coordination games of growing size
+//     — the regime where the paper argues S-QUBO solvers collapse.
+//  2. Host parallelism: wall-clock speedup of the SolverEngine dispatching a
+//     fixed batch of hardware-evaluator runs across 1..N worker threads
+//     (identical outcomes at every thread count — only the clock moves).
+//
+// Usage: bench_scaling [runs] [--threads N]
+//   runs       SA runs per game size in the size sweep (default 60)
+//   --threads  max worker threads for both sweeps (default: all hw threads)
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <thread>
 
+#include "bench_common.hpp"
+#include "core/engine.hpp"
 #include "core/metrics.hpp"
-#include "core/solver.hpp"
 #include "core/timing.hpp"
 #include "game/random_games.hpp"
 #include "game/support_enum.hpp"
 #include "qubo/dwave_proxy.hpp"
 #include "util/table.hpp"
 
+namespace {
+
+double seconds_to_run(cnash::core::SolverEngine& engine, std::size_t runs) {
+  const auto t0 = std::chrono::steady_clock::now();
+  engine.run(runs);
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace cnash;
 
-  const std::size_t runs = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 60;
+  const bench::CliOptions cli = bench::parse_cli(argc, argv);
+  const std::size_t runs = cli.runs > 0 ? cli.runs : 60;
+
+  // ---- Axis 1: problem size. ----------------------------------------------
   std::printf("=== Scaling: random coordination games, %zu runs each ===\n\n",
               runs);
   util::Table table({"actions", "ground-truth NE", "C-Nash success %",
@@ -40,19 +65,23 @@ int main(int argc, char** argv) {
     const std::uint32_t intervals = 24;  // random-diagonal mixed NE rarely sit
     // exactly on this grid, so success counts eps-NE with eps = the grid's
     // intrinsic payoff resolution (range / I).
-    core::CNashConfig cfg;
-    cfg.intervals = intervals;
-    cfg.sa.iterations = 4000 * n;
-    cfg.seed = 6000 + n;
-    core::CNashSolver solver(g, cfg);
+    core::EngineOptions opts;
+    opts.intervals = intervals;
+    opts.sa.iterations = 4000 * n;
+    opts.seed = 6000 + n;
+    opts.threads = cli.threads;
+    auto factory = std::make_shared<core::HardwareEvaluatorFactory>(
+        g, intervals, core::TwoPhaseConfig{}, util::Rng(opts.seed));
+    const auto probe = factory->create_hardware(core::kProbeInstanceKey);
+    const xbar::MappingGeometry geom = probe->crossbar_m().mapping().geometry();
+    core::SolverEngine engine(factory, opts);
     std::vector<core::CandidateSolution> cands;
-    for (const auto& o : solver.run(runs)) cands.push_back({o.p, o.q});
+    for (const auto& o : engine.run(runs)) cands.push_back({o.p, o.q});
     const double grid_eps =
         (g.payoff1().max_element() - g.payoff1().min_element()) / intervals;
     const auto r = core::classify(g, gt, cands, grid_eps, 2.0 / intervals);
 
-    const auto& geom = solver.hardware()->crossbar_m().mapping().geometry();
-    const double tts = timing.time_to_solution_s(geom, cfg.sa.iterations,
+    const double tts = timing.time_to_solution_s(geom, opts.sa.iterations,
                                                  r.success_rate());
 
     util::Rng rng(6100 + n);
@@ -71,6 +100,51 @@ int main(int argc, char** argv) {
   std::printf("%s\n", table.pretty().c_str());
   std::printf(
       "Shape: C-Nash success decays gently with size while the S-QUBO proxy\n"
-      "falls off a cliff once the slack encoding outgrows its precision.\n");
+      "falls off a cliff once the slack encoding outgrows its precision.\n\n");
+
+  // ---- Axis 2: engine thread scaling. -------------------------------------
+  // A fixed batch of hardware-evaluator runs, timed at growing worker counts.
+  // Outcomes are bit-identical at every thread count (keyed per-run RNG
+  // streams), so the speedup column is a pure wall-clock measurement.
+  const std::size_t batch = 64;
+  const game::BimatrixGame g = game::bird_game();
+  auto make_engine = [&](std::size_t threads) {
+    core::EngineOptions opts;
+    opts.intervals = 12;
+    opts.sa.iterations = 4000;
+    opts.seed = 0x5CA1E;
+    opts.threads = threads;
+    return core::SolverEngine(
+        std::make_shared<core::HardwareEvaluatorFactory>(
+            g, opts.intervals, core::TwoPhaseConfig{}, util::Rng(opts.seed)),
+        opts);
+  };
+
+  std::size_t max_threads = cli.threads;
+  if (max_threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    max_threads = hw > 0 ? hw : 1;
+  }
+
+  std::printf("=== Engine thread scaling: %zu hardware-evaluator runs ===\n\n",
+              batch);
+  util::Table scaling({"threads", "wall clock (s)", "speedup", "runs/s"});
+  std::vector<std::size_t> sweep;
+  for (std::size_t threads = 1; threads < max_threads; threads *= 2)
+    sweep.push_back(threads);
+  sweep.push_back(max_threads);  // always measure the requested maximum
+  double t1 = 0.0;
+  for (const std::size_t threads : sweep) {
+    auto engine = make_engine(threads);
+    const double dt = seconds_to_run(engine, batch);
+    if (threads == 1) t1 = dt;
+    scaling.add_row({std::to_string(threads), util::Table::num(dt, 3),
+                     util::Table::num(t1 / dt, 2) + "X",
+                     util::Table::num(batch / dt, 1)});
+  }
+  std::printf("%s\n", scaling.pretty().c_str());
+  std::printf(
+      "Expected: near-linear speedup to the physical core count (runs are\n"
+      "independent; evaluator instances are thread-confined by design).\n");
   return 0;
 }

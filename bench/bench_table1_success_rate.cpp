@@ -15,14 +15,15 @@ int main(int argc, char** argv) {
                      "Bird Game (3 actions)",
                      "Modified Prisoner's Dilemma (8 actions)"});
 
+  const bench::CliOptions cli = bench::parse_cli(argc, argv);
   const auto instances = game::paper_benchmarks();
   std::vector<bench::InstanceEvaluation> evals;
   for (std::size_t i = 0; i < instances.size(); ++i) {
     const std::size_t runs =
-        bench::runs_from_argv(argc, argv, bench::default_runs_for(i));
+        cli.runs > 0 ? cli.runs : bench::default_runs_for(i);
     std::fprintf(stderr, "running %s (%zu runs)...\n",
                  instances[i].game.name().c_str(), runs);
-    evals.push_back(bench::evaluate_instance(instances[i], runs));
+    evals.push_back(bench::evaluate_instance(instances[i], runs, cli.threads));
   }
 
   auto row = [&](const std::string& name,

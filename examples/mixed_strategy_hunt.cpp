@@ -6,6 +6,8 @@
 // and shows which equilibria each one can reach.
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <set>
 
 #include "core/metrics.hpp"
@@ -15,8 +17,13 @@
 #include "qubo/dwave_proxy.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cnash;
+
+  std::size_t threads = 0;  // 0 = one engine worker per hardware thread
+  for (int a = 1; a + 1 < argc; ++a)
+    if (!std::strcmp(argv[a], "--threads"))
+      threads = std::strtoul(argv[a + 1], nullptr, 10);
 
   const game::BimatrixGame g = game::bird_game();
   const auto ground_truth = game::all_equilibria(g);
@@ -35,6 +42,7 @@ int main() {
   cfg.intervals = 12;
   cfg.sa.iterations = 15000;
   cfg.seed = 99;
+  cfg.threads = threads;
   core::CNashSolver solver(g, cfg);
   std::vector<core::CandidateSolution> cnash_cands;
   for (const auto& o : solver.run(300)) cnash_cands.push_back({o.p, o.q});

@@ -6,6 +6,8 @@
 // rediscover them.
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <set>
 
 #include "core/metrics.hpp"
@@ -14,8 +16,13 @@
 #include "game/support_enum.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cnash;
+
+  std::size_t threads = 0;  // 0 = one engine worker per hardware thread
+  for (int a = 1; a + 1 < argc; ++a)
+    if (!std::strcmp(argv[a], "--threads"))
+      threads = std::strtoul(argv[a + 1], nullptr, 10);
 
   const auto roster = game::memory_one_roster();
   const game::BimatrixGame g = game::repeated_pd_metagame(64);
@@ -63,6 +70,7 @@ int main() {
   cfg.intervals = 16;
   cfg.sa.iterations = 20000;
   cfg.seed = 64;
+  cfg.threads = threads;
   core::CNashSolver solver(g, cfg);
   std::vector<core::CandidateSolution> cands;
   for (const auto& o : solver.run(100)) cands.push_back({o.p, o.q});

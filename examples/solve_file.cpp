@@ -2,7 +2,7 @@
 // with the C-Nash hardware model, cross-checked against exact ground truth.
 //
 //   solve_file <game-file|-> [--runs N] [--iterations N] [--intervals I]
-//              [--exact] [--scale S]
+//              [--exact] [--scale S] [--threads T]
 //
 // Game file format (see src/game/parse.hpp):
 //   name: my game
@@ -15,7 +15,8 @@
 //
 // --scale multiplies payoffs before integer coding (use when payoffs are
 // fractional, e.g. --scale 10 for one decimal place); --exact bypasses the
-// hardware model.
+// hardware model; --threads spreads the runs across T engine workers
+// (0 = all hardware threads; results are identical for any T).
 
 #include <cstdio>
 #include <cstring>
@@ -35,12 +36,12 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s <game-file|-> [--runs N] [--iterations N] "
-                 "[--intervals I] [--exact] [--scale S]\n",
+                 "[--intervals I] [--exact] [--scale S] [--threads T]\n",
                  argv[0]);
     return 2;
   }
 
-  std::size_t runs = 100, iterations = 10000;
+  std::size_t runs = 100, iterations = 10000, threads = 0;
   std::uint32_t intervals = 12;
   bool exact = false;
   double scale = 1.0;
@@ -61,6 +62,8 @@ int main(int argc, char** argv) {
           std::strtoul(next("--intervals"), nullptr, 10));
     else if (!std::strcmp(argv[a], "--scale"))
       scale = std::strtod(next("--scale"), nullptr);
+    else if (!std::strcmp(argv[a], "--threads"))
+      threads = std::strtoul(next("--threads"), nullptr, 10);
     else if (!std::strcmp(argv[a], "--exact"))
       exact = true;
     else {
@@ -98,6 +101,7 @@ int main(int argc, char** argv) {
   cfg.sa.iterations = iterations;
   cfg.use_hardware = !exact;
   cfg.hardware.value_scale = scale;
+  cfg.threads = threads;
   core::CNashSolver solver(g, cfg);
   const auto outcomes = solver.run(runs);
 

@@ -8,19 +8,23 @@ namespace cnash::core {
 
 namespace {
 
-/// Move one probability tick between two distinct actions of a strategy.
-/// No-op for single-action strategies.
-void perturb(game::QuantizedStrategy& s, util::Rng& rng) {
+/// Draw one probability-tick move between two distinct actions of a strategy:
+/// source uniformly among actions currently holding mass, destination
+/// uniformly among the others. Returns false (consuming no randomness) for
+/// single-action strategies.
+bool draw_tick_move(const game::QuantizedStrategy& s, util::Rng& rng,
+                    std::uint32_t& from, std::uint32_t& to) {
   const std::size_t n = s.num_actions();
-  if (n < 2) return;
-  // Source: uniformly among actions currently holding mass.
-  std::size_t from = 0;
+  if (n < 2) return false;
+  std::size_t src = 0;
   std::size_t holders = 0;
   for (std::size_t i = 0; i < n; ++i)
-    if (s.count(i) > 0 && rng.uniform_index(++holders) == 0) from = i;
-  std::size_t to = rng.uniform_index(n - 1);
-  if (to >= from) ++to;
-  s.move_tick(from, to);
+    if (s.count(i) > 0 && rng.uniform_index(++holders) == 0) src = i;
+  std::size_t dst = rng.uniform_index(n - 1);
+  if (dst >= src) ++dst;
+  from = static_cast<std::uint32_t>(src);
+  to = static_cast<std::uint32_t>(dst);
+  return true;
 }
 
 }  // namespace
@@ -61,24 +65,50 @@ SaRunResult simulated_annealing_from(ObjectiveEvaluator& objective,
   SaRunResult res{initial, f0, std::move(initial), f0,
                   /*accepted=*/0, /*iterations=*/0, /*evaluations=*/1};
 
+  // Incremental fast path: evaluators exposing the propose/commit protocol
+  // score each candidate in O(m+n) from the move list instead of a full
+  // re-evaluation. The RNG draw sequence is identical on both paths.
+  IncrementalEvaluator* inc = objective.incremental();
+  if (inc) inc->reset(res.final_profile);
+
   double temperature = t_max;
   for (std::size_t it = 0; it < opts.iterations; ++it, temperature *= decay) {
-    game::QuantizedProfile candidate = res.final_profile;
     // Perturb one player always, the other with configured probability —
     // both-player moves are required to hop between equilibria of
     // coordination-style games.
+    TickMove moves[2];
+    std::size_t num_moves = 0;
+    auto draw_p = [&] {
+      std::uint32_t from, to;
+      if (draw_tick_move(res.final_profile.p, rng, from, to))
+        moves[num_moves++] = {TickMove::Player::kRow, from, to};
+    };
+    auto draw_q = [&] {
+      std::uint32_t from, to;
+      if (draw_tick_move(res.final_profile.q, rng, from, to))
+        moves[num_moves++] = {TickMove::Player::kCol, from, to};
+    };
     if (rng.bernoulli(0.5)) {
-      perturb(candidate.p, rng);
-      if (rng.bernoulli(opts.both_players_prob)) perturb(candidate.q, rng);
+      draw_p();
+      if (rng.bernoulli(opts.both_players_prob)) draw_q();
     } else {
-      perturb(candidate.q, rng);
-      if (rng.bernoulli(opts.both_players_prob)) perturb(candidate.p, rng);
+      draw_q();
+      if (rng.bernoulli(opts.both_players_prob)) draw_p();
     }
 
-    const double f_n = objective.evaluate(candidate);
+    game::QuantizedProfile candidate = res.final_profile;
+    for (std::size_t i = 0; i < num_moves; ++i) {
+      auto& s = moves[i].player == TickMove::Player::kRow ? candidate.p
+                                                          : candidate.q;
+      s.move_tick(moves[i].from, moves[i].to);
+    }
+
+    const double f_n = inc ? inc->propose(moves, num_moves)
+                           : objective.evaluate(candidate);
     ++res.evaluations;
     const double delta = f_n - res.final_objective;
     if (delta <= 0.0 || rng.uniform() < std::exp(-delta / temperature)) {
+      if (inc) inc->commit();
       res.final_profile = std::move(candidate);
       res.final_objective = f_n;
       ++res.accepted;

@@ -1,0 +1,127 @@
+#pragma once
+// core::SolverEngine — batched, multi-threaded dispatch of independent
+// two-phase SA runs across per-run evaluator instances.
+//
+// The paper's headline numbers (Table 1 success rate, Fig. 10
+// time-to-solution) aggregate thousands of INDEPENDENT annealing runs, so the
+// engine treats "one run" as the unit of work: a pool of std::threads pulls
+// run indices off a shared counter, and every run r derives
+//   * its SA stream            from  Rng(seed).split(2r + 1)
+//   * its evaluator instance   from  EvaluatorFactory::create(2r)
+// Because both are keyed (counter-derived) rather than sequential, the
+// RunOutcome vector is bit-identical for ANY thread count — a serial sweep,
+// 2 workers and 8 workers all reproduce the same per-run streams no matter
+// which worker picks up which run. Evaluator instances are created per run
+// and never shared, so the mutable hardware model (device variability, ADC
+// noise draws) stays thread-confined.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/anneal.hpp"
+#include "core/two_phase.hpp"
+#include "util/rng.hpp"
+
+namespace cnash::core {
+
+/// Stream key reserved for probe/inspection evaluator instances. Run r uses
+/// keys 2r and 2r+1, so this largest odd key could only collide with run
+/// index (2^64 - 2) / 2 — unreachable in practice.
+inline constexpr std::uint64_t kProbeInstanceKey = ~0ULL;
+
+/// One SA run's solution candidate.
+struct RunOutcome {
+  la::Vector p;
+  la::Vector q;
+  double objective;   // MAX-QUBO value as measured by the evaluator
+  game::QuantizedProfile profile;
+};
+
+/// Creates fresh, thread-confined evaluator instances for the engine's
+/// workers. `instance_key` addresses the instance's RNG stream
+/// deterministically — the same key always yields an identically-behaving
+/// instance (same sampled device variability, same noise stream).
+class EvaluatorFactory {
+ public:
+  virtual ~EvaluatorFactory() = default;
+  virtual const game::BimatrixGame& game() const = 0;
+  virtual std::unique_ptr<ObjectiveEvaluator> create(
+      std::uint64_t instance_key) const = 0;
+};
+
+/// Exact software objective (ablation backend). Instances are stateless
+/// w.r.t. the key — every instance evaluates Eq. 9 identically.
+class ExactEvaluatorFactory final : public EvaluatorFactory {
+ public:
+  explicit ExactEvaluatorFactory(game::BimatrixGame game);
+  const game::BimatrixGame& game() const override { return game_; }
+  std::unique_ptr<ObjectiveEvaluator> create(std::uint64_t) const override;
+
+ private:
+  game::BimatrixGame game_;
+};
+
+/// Full hardware model: each instance programs its own bi-crossbar / WTA /
+/// ADC stack with device variability sampled from the keyed split of
+/// `device_rng` — the Monte-Carlo-over-chips view of the architecture.
+class HardwareEvaluatorFactory final : public EvaluatorFactory {
+ public:
+  HardwareEvaluatorFactory(game::BimatrixGame game, std::uint32_t intervals,
+                           TwoPhaseConfig config, util::Rng device_rng);
+  const game::BimatrixGame& game() const override { return game_; }
+  std::uint32_t intervals() const { return intervals_; }
+  std::unique_ptr<ObjectiveEvaluator> create(std::uint64_t key) const override;
+  /// Typed variant for crossbar / WTA / ADC introspection.
+  std::unique_ptr<TwoPhaseEvaluator> create_hardware(std::uint64_t key) const;
+
+ private:
+  game::BimatrixGame game_;
+  std::uint32_t intervals_;
+  TwoPhaseConfig config_;
+  util::Rng device_rng_;
+};
+
+struct EngineOptions {
+  std::uint32_t intervals = 12;  // strategy quantization I
+  SaOptions sa;
+  /// Report the best profile seen during a run instead of the final accepted
+  /// one (Alg. 1 reports the final recorded pair).
+  bool report_best = false;
+  std::uint64_t seed = 0xC0FFEE;
+  /// Worker threads for run(); 0 = one per hardware thread.
+  std::size_t threads = 0;
+};
+
+class SolverEngine {
+ public:
+  SolverEngine(std::shared_ptr<const EvaluatorFactory> factory,
+               EngineOptions options);
+
+  const EvaluatorFactory& factory() const { return *factory_; }
+  const EngineOptions& options() const { return options_; }
+  /// The worker count threads == 0 resolves to.
+  std::size_t resolved_threads() const;
+
+  /// `num_runs` independent SA runs, ordered by run index. The result is
+  /// bit-identical for any `threads` setting given the same seed.
+  /// Consecutive calls continue the run-index sequence, so run(5) twice
+  /// equals run(10).
+  std::vector<RunOutcome> run(std::size_t num_runs);
+
+  /// The next single run of the sequence.
+  RunOutcome solve_once();
+
+  /// Rewind the run-index counter: the next batch replays from run 0.
+  void rewind() { next_run_ = 0; }
+
+ private:
+  RunOutcome run_one(std::uint64_t run_index) const;
+
+  std::shared_ptr<const EvaluatorFactory> factory_;
+  EngineOptions options_;
+  util::Rng root_;  // keyed splits only — never advanced
+  std::uint64_t next_run_ = 0;
+};
+
+}  // namespace cnash::core

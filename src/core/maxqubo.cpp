@@ -1,6 +1,15 @@
 #include "core/maxqubo.hpp"
 
+#include <stdexcept>
+
 namespace cnash::core {
+
+namespace {
+/// Full recomputes every this many commits bound incremental fp drift; the
+/// property tests require agreement with the full objective to 1e-9 over
+/// arbitrarily long move sequences.
+constexpr std::size_t kRefreshInterval = 1024;
+}  // namespace
 
 ExactMaxQubo::ExactMaxQubo(game::BimatrixGame game) : game_(std::move(game)) {}
 
@@ -23,6 +32,94 @@ ExactMaxQubo::Components ExactMaxQubo::components(const la::Vector& p,
   c.max_ntp = la::max_element(ntp);
   c.vmv = la::dot(p, mq) + la::dot(q, ntp);
   return c;
+}
+
+// ---- Incremental fast path --------------------------------------------------
+
+double ExactMaxQubo::DeltaState::objective() const {
+  return la::max_element(mq) + la::max_element(ntp) - ptmq - ptnq;
+}
+
+void ExactMaxQubo::recompute(DeltaState& st) const {
+  const double inv = 1.0 / static_cast<double>(intervals_);
+  la::Vector p(p_counts_.size()), q(q_counts_.size());
+  for (std::size_t i = 0; i < p.size(); ++i)
+    p[i] = static_cast<double>(p_counts_[i]) * inv;
+  for (std::size_t j = 0; j < q.size(); ++j)
+    q[j] = static_cast<double>(q_counts_[j]) * inv;
+  st.mq = game_.payoff1().multiply(q);
+  st.nq = game_.payoff2().multiply(q);
+  st.mtp = game_.payoff1().multiply_transposed(p);
+  st.ntp = game_.payoff2().multiply_transposed(p);
+  st.ptmq = la::dot(p, st.mq);
+  st.ptnq = la::dot(p, st.nq);
+}
+
+void ExactMaxQubo::apply_move(DeltaState& st, const TickMove& mv,
+                              double tick) const {
+  const la::Matrix& m = game_.payoff1();
+  const la::Matrix& n = game_.payoff2();
+  if (mv.player == TickMove::Player::kRow) {
+    // p' = p + tick * (e_to − e_from): the bilinear terms move by the row
+    // difference against the CURRENT q-products in `st`, which already
+    // reflect any earlier q-move of the same proposal (exact cross term).
+    st.ptmq += (st.mq[mv.to] - st.mq[mv.from]) * tick;
+    st.ptnq += (st.nq[mv.to] - st.nq[mv.from]) * tick;
+    for (std::size_t j = 0; j < st.mtp.size(); ++j) {
+      st.mtp[j] += (m(mv.to, j) - m(mv.from, j)) * tick;
+      st.ntp[j] += (n(mv.to, j) - n(mv.from, j)) * tick;
+    }
+  } else {
+    st.ptmq += (st.mtp[mv.to] - st.mtp[mv.from]) * tick;
+    st.ptnq += (st.ntp[mv.to] - st.ntp[mv.from]) * tick;
+    for (std::size_t i = 0; i < st.mq.size(); ++i) {
+      st.mq[i] += (m(i, mv.to) - m(i, mv.from)) * tick;
+      st.nq[i] += (n(i, mv.to) - n(i, mv.from)) * tick;
+    }
+  }
+}
+
+void ExactMaxQubo::reset(const game::QuantizedProfile& profile) {
+  if (profile.p.num_actions() != game_.num_actions1() ||
+      profile.q.num_actions() != game_.num_actions2())
+    throw std::invalid_argument("ExactMaxQubo::reset: profile shape mismatch");
+  if (profile.p.intervals() != profile.q.intervals())
+    throw std::invalid_argument("ExactMaxQubo::reset: mixed interval counts");
+  intervals_ = profile.p.intervals();
+  p_counts_ = profile.p.counts();
+  q_counts_ = profile.q.counts();
+  pending_.clear();
+  proposal_outstanding_ = false;
+  commits_since_refresh_ = 0;
+  recompute(committed_);
+}
+
+double ExactMaxQubo::propose(const TickMove* moves, std::size_t count) {
+  if (intervals_ == 0)
+    throw std::logic_error("ExactMaxQubo::propose before reset()");
+  scratch_ = committed_;
+  const double tick = 1.0 / static_cast<double>(intervals_);
+  for (std::size_t i = 0; i < count; ++i) apply_move(scratch_, moves[i], tick);
+  pending_.assign(moves, moves + count);
+  proposal_outstanding_ = true;
+  return scratch_.objective();
+}
+
+void ExactMaxQubo::commit() {
+  if (!proposal_outstanding_)
+    throw std::logic_error("ExactMaxQubo::commit without propose()");
+  proposal_outstanding_ = false;
+  for (const TickMove& mv : pending_) {
+    auto& counts = mv.player == TickMove::Player::kRow ? p_counts_ : q_counts_;
+    counts[mv.from] -= 1;
+    counts[mv.to] += 1;
+  }
+  pending_.clear();
+  std::swap(committed_, scratch_);
+  if (++commits_since_refresh_ >= kRefreshInterval) {
+    commits_since_refresh_ = 0;
+    recompute(committed_);
+  }
 }
 
 }  // namespace cnash::core

@@ -2,34 +2,46 @@
 
 namespace cnash::core {
 
+namespace {
+
+std::shared_ptr<const EvaluatorFactory> make_factory(
+    const game::BimatrixGame& game, const CNashConfig& config) {
+  if (config.use_hardware)
+    return std::make_shared<HardwareEvaluatorFactory>(
+        game, config.intervals, config.hardware, util::Rng(config.seed));
+  return std::make_shared<ExactEvaluatorFactory>(game);
+}
+
+EngineOptions engine_options(const CNashConfig& config) {
+  EngineOptions opts;
+  opts.intervals = config.intervals;
+  opts.sa = config.sa;
+  opts.report_best = config.report_best;
+  opts.seed = config.seed;
+  opts.threads = config.threads;
+  return opts;
+}
+
+}  // namespace
+
 CNashSolver::CNashSolver(game::BimatrixGame game, CNashConfig config)
-    : game_(std::move(game)), config_(config), rng_(config.seed) {
+    : game_(std::move(game)),
+      config_(config),
+      engine_(make_factory(game_, config_), engine_options(config_)) {
   if (config_.use_hardware) {
-    auto hw = std::make_unique<TwoPhaseEvaluator>(game_, config_.intervals,
-                                                  config_.hardware, rng_.split());
-    hardware_ = hw.get();
-    evaluator_ = std::move(hw);
+    auto hw = static_cast<const HardwareEvaluatorFactory&>(engine_.factory())
+                  .create_hardware(kProbeInstanceKey);
+    probe_hardware_ = hw.get();
+    probe_ = std::move(hw);
   } else {
-    evaluator_ = std::make_unique<ExactMaxQubo>(game_);
+    probe_ = engine_.factory().create(kProbeInstanceKey);
   }
 }
 
-RunOutcome CNashSolver::solve_once() {
-  const SaRunResult res =
-      simulated_annealing(*evaluator_, config_.intervals, config_.sa, rng_);
-  const game::QuantizedProfile& chosen =
-      config_.report_best ? res.best_profile : res.final_profile;
-  const double objective =
-      config_.report_best ? res.best_objective : res.final_objective;
-  return RunOutcome{chosen.p.to_distribution(), chosen.q.to_distribution(),
-                    objective, chosen};
-}
+RunOutcome CNashSolver::solve_once() { return engine_.solve_once(); }
 
 std::vector<RunOutcome> CNashSolver::run(std::size_t num_runs) {
-  std::vector<RunOutcome> out;
-  out.reserve(num_runs);
-  for (std::size_t r = 0; r < num_runs; ++r) out.push_back(solve_once());
-  return out;
+  return engine_.run(num_runs);
 }
 
 }  // namespace cnash::core

@@ -3,12 +3,18 @@
 // then launch any number of two-phase SA runs and collect strategy-pair
 // solutions. The evaluator can be the hardware model (default, full device /
 // WTA / ADC non-idealities) or the exact software objective (ablation).
+//
+// Since the SolverEngine refactor this is a thin wrapper: runs are dispatched
+// through a core::SolverEngine, so they execute across `threads` workers with
+// per-run keyed RNG streams. For a fixed `seed`, run() returns bit-identical
+// outcomes for EVERY thread count (1, 2, 8, ...) — see engine.hpp.
 
 #include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "core/anneal.hpp"
+#include "core/engine.hpp"
 #include "core/two_phase.hpp"
 
 namespace cnash::core {
@@ -21,15 +27,12 @@ struct CNashConfig {
   /// Report the best profile seen during the run instead of the final
   /// accepted one (Alg. 1 reports the final recorded pair).
   bool report_best = false;
+  /// Root seed: every run r derives its SA stream and evaluator instance
+  /// from keyed splits of this value, independent of thread scheduling.
   std::uint64_t seed = 0xC0FFEE;
-};
-
-/// One SA run's solution candidate.
-struct RunOutcome {
-  la::Vector p;
-  la::Vector q;
-  double objective;   // MAX-QUBO value as measured by the evaluator
-  game::QuantizedProfile profile;
+  /// Worker threads for run(); 0 = one per hardware thread. Any value
+  /// produces the same outcomes for the same seed.
+  std::size_t threads = 0;
 };
 
 class CNashSolver {
@@ -38,23 +41,30 @@ class CNashSolver {
 
   const game::BimatrixGame& game() const { return game_; }
   const CNashConfig& config() const { return config_; }
-  ObjectiveEvaluator& evaluator() { return *evaluator_; }
 
-  /// Hardware evaluator access (nullptr when use_hardware is false).
-  const TwoPhaseEvaluator* hardware() const { return hardware_; }
+  /// The engine dispatching this solver's runs.
+  SolverEngine& engine() { return engine_; }
 
-  /// One annealing run.
+  /// Probe evaluator for inspection (crossbar geometry, WTA corners, ADC
+  /// scale, ...). A dedicated instance addressed by a reserved stream key —
+  /// runs never share it, so reading it perturbs nothing.
+  ObjectiveEvaluator& evaluator() { return *probe_; }
+
+  /// Hardware probe access (nullptr when use_hardware is false).
+  const TwoPhaseEvaluator* hardware() const { return probe_hardware_; }
+
+  /// One annealing run (continues the engine's run-index sequence).
   RunOutcome solve_once();
 
-  /// `num_runs` independent annealing runs.
+  /// `num_runs` independent annealing runs across the configured threads.
   std::vector<RunOutcome> run(std::size_t num_runs);
 
  private:
   game::BimatrixGame game_;
   CNashConfig config_;
-  util::Rng rng_;
-  std::unique_ptr<ObjectiveEvaluator> evaluator_;
-  TwoPhaseEvaluator* hardware_ = nullptr;  // borrowed view of evaluator_
+  SolverEngine engine_;
+  std::unique_ptr<ObjectiveEvaluator> probe_;
+  TwoPhaseEvaluator* probe_hardware_ = nullptr;  // borrowed view of probe_
 };
 
 }  // namespace cnash::core

@@ -150,9 +150,15 @@ std::string QuantizedStrategy::to_string() const {
 
 std::string QuantizedProfile::key() const {
   std::string k = "p";
-  for (auto c : p.counts()) k += ":" + std::to_string(c);
+  for (auto c : p.counts()) {
+    k += ':';
+    k += std::to_string(c);
+  }
   k += "|q";
-  for (auto c : q.counts()) k += ":" + std::to_string(c);
+  for (auto c : q.counts()) {
+    k += ':';
+    k += std::to_string(c);
+  }
   return k;
 }
 

@@ -91,4 +91,14 @@ Rng Rng::split() {
   return Rng(splitmix64(sm));
 }
 
+Rng Rng::split(std::uint64_t key) const {
+  // Fold the full 256-bit state and the key through two splitmix64 rounds so
+  // nearby keys (0, 1, 2, ...) land in unrelated streams.
+  std::uint64_t sm = s_[0] ^ rotl(s_[1], 13) ^ rotl(s_[2], 29) ^ rotl(s_[3], 47);
+  sm ^= 0x9e3779b97f4a7c15ULL * (key + 1);
+  std::uint64_t seed = splitmix64(sm);
+  seed ^= splitmix64(sm);
+  return Rng(seed);
+}
+
 }  // namespace cnash::util

@@ -42,7 +42,16 @@ class Rng {
   bool bernoulli(double p_true);
 
   /// Split off an independent stream (jump-free; reseeds via splitmix of state).
+  /// Advances this generator by one draw.
   Rng split();
+
+  /// Counter-derived keyed split: an independent stream addressed by `key`,
+  /// WITHOUT advancing this generator. The same (state, key) pair always
+  /// yields the same stream, so a pool of workers can reproduce the exact
+  /// per-run streams of a serial sweep regardless of which worker picks up
+  /// which run — the basis of the SolverEngine's thread-count-invariant
+  /// determinism.
+  Rng split(std::uint64_t key) const;
 
  private:
   std::array<std::uint64_t, 4> s_;

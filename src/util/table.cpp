@@ -62,11 +62,16 @@ std::string Table::csv() const {
     return q + '"';
   };
   std::string out;
-  for (std::size_t c = 0; c < headers_.size(); ++c)
-    out += (c ? "," : "") + quote(headers_[c]);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c) out += ',';
+    out += quote(headers_[c]);
+  }
   out += '\n';
   for (const auto& row : rows_) {
-    for (std::size_t c = 0; c < row.size(); ++c) out += (c ? "," : "") + quote(row[c]);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out += ',';
+      out += quote(row[c]);
+    }
     out += '\n';
   }
   return out;

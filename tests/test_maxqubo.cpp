@@ -62,8 +62,9 @@ TEST(MaxQubo, ZeroIffNashOnRandomGames) {
       const auto p = random_simplex(3, rng);
       const auto q = random_simplex(3, rng);
       const double v = f.evaluate_continuous(p, q);
-      if (v < 1e-10)
+      if (v < 1e-10) {
         EXPECT_TRUE(game::is_nash_equilibrium(game, p, q, 1e-6));
+      }
     }
   }
 }
@@ -103,6 +104,89 @@ TEST(MaxQubo, QuantizedProfileEvaluationMatchesContinuous) {
       game::QuantizedStrategy::from_distribution({2.0 / 3, 1.0 / 3}, 12),
       game::QuantizedStrategy::from_distribution({1.0 / 3, 2.0 / 3}, 12)};
   EXPECT_NEAR(f.evaluate(prof), 0.0, 1e-12);
+}
+
+// --- Incremental (propose/commit) fast path ---------------------------------
+
+/// Draw a random valid single-tick move for one player of `prof`.
+TickMove random_move(const game::QuantizedProfile& prof, bool row,
+                     util::Rng& rng) {
+  const game::QuantizedStrategy& s = row ? prof.p : prof.q;
+  std::vector<std::uint32_t> holders;
+  for (std::uint32_t i = 0; i < s.num_actions(); ++i)
+    if (s.count(i) > 0) holders.push_back(i);
+  const std::uint32_t from = holders[rng.uniform_index(holders.size())];
+  std::uint32_t to = static_cast<std::uint32_t>(
+      rng.uniform_index(s.num_actions() - 1));
+  if (to >= from) ++to;
+  return {row ? TickMove::Player::kRow : TickMove::Player::kCol, from, to};
+}
+
+TEST(MaxQuboIncremental, MatchesFullRecomputeOverRandomMoveSequences) {
+  // Property: over random games and random accept/reject single-tick move
+  // sequences (including two-player proposals, which exercise the bilinear
+  // cross term), the incremental objective never drifts more than 1e-9 from
+  // a full from-scratch evaluation.
+  util::Rng rng(561);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::size_t n = 2 + rng.uniform_index(5);
+    const std::size_t m = 2 + rng.uniform_index(5);
+    const auto game = game::random_game(n, m, rng, -2.0, 3.0);
+    ExactMaxQubo f(game);
+    ExactMaxQubo full(game);  // reference evaluator, full path only
+    const std::uint32_t intervals = 8 + 4 * (trial % 3);
+
+    game::QuantizedProfile prof{
+        game::QuantizedStrategy::random(n, intervals, rng),
+        game::QuantizedStrategy::random(m, intervals, rng)};
+    IncrementalEvaluator* inc = f.incremental();
+    ASSERT_NE(inc, nullptr);
+    inc->reset(prof);
+
+    for (int step = 0; step < 2000; ++step) {
+      TickMove moves[2];
+      std::size_t count = 0;
+      moves[count++] = random_move(prof, rng.bernoulli(0.5), rng);
+      if (rng.bernoulli(0.4)) {
+        const bool other = moves[0].player != TickMove::Player::kRow;
+        moves[count++] = random_move(prof, other, rng);
+      }
+
+      game::QuantizedProfile candidate = prof;
+      for (std::size_t i = 0; i < count; ++i) {
+        auto& s = moves[i].player == TickMove::Player::kRow ? candidate.p
+                                                            : candidate.q;
+        s.move_tick(moves[i].from, moves[i].to);
+      }
+
+      const double inc_val = inc->propose(moves, count);
+      const double full_val = full.evaluate(candidate);
+      ASSERT_NEAR(inc_val, full_val, 1e-9)
+          << "trial " << trial << " step " << step;
+
+      if (rng.bernoulli(0.7)) {  // accept
+        inc->commit();
+        prof = std::move(candidate);
+      }
+    }
+  }
+}
+
+TEST(MaxQuboIncremental, EmptyProposalScoresCommittedProfile) {
+  ExactMaxQubo f(game::bird_game());
+  util::Rng rng(9);
+  game::QuantizedProfile prof{game::QuantizedStrategy::random(3, 12, rng),
+                              game::QuantizedStrategy::pure(3, 1, 12)};
+  f.reset(prof);
+  EXPECT_NEAR(f.propose(nullptr, 0), f.evaluate(prof), 1e-12);
+}
+
+TEST(MaxQuboIncremental, CommitWithoutProposeThrows) {
+  ExactMaxQubo f(game::bird_game());
+  game::QuantizedProfile prof{game::QuantizedStrategy::pure(3, 0, 12),
+                              game::QuantizedStrategy::pure(3, 1, 12)};
+  f.reset(prof);
+  EXPECT_THROW(f.commit(), std::logic_error);
 }
 
 TEST(MaxQubo, AgreesWithEquilibriumGapAtOptimum) {

@@ -96,6 +96,36 @@ TEST(Rng, SplitStreamsAreIndependentish) {
   EXPECT_LT(same, 2);
 }
 
+TEST(Rng, KeyedSplitIsPureAndDeterministic) {
+  // split(key) must not advance the parent and must be a pure function of
+  // (state, key): the engine relies on this to rebuild per-run streams.
+  Rng a(99), b(99);
+  Rng s1 = a.split(7);
+  Rng s2 = a.split(7);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(s1(), s2());
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(a(), b());  // parent untouched
+}
+
+TEST(Rng, KeyedSplitAdjacentKeysDecorrelated) {
+  Rng root(1234);
+  Rng s0 = root.split(0);
+  Rng s1 = root.split(1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (s0() == s1()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, KeyedSplitDependsOnParentState) {
+  Rng a(5), b(6);
+  Rng sa = a.split(3);
+  Rng sb = b.split(3);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (sa() == sb()) ++same;
+  EXPECT_LT(same, 2);
+}
+
 TEST(RunningStats, EmptyIsZero) {
   RunningStats s;
   EXPECT_EQ(s.count(), 0u);
