@@ -13,9 +13,14 @@
 // first positional argument to scale up (e.g.
 // `bench_table1_success_rate 5000 --threads 8`).
 
+#include <chrono>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <sys/stat.h>
+#include <utility>
 #include <vector>
 
 #include "core/engine.hpp"
@@ -25,6 +30,136 @@
 #include "qubo/dwave_proxy.hpp"
 
 namespace cnash::bench {
+
+// ---- Machine-readable bench output (--json <path>) --------------------------
+//
+// Every bench can serialise its headline numbers (name, config, wall clock,
+// iteration throughput, per-instance results) into a BENCH_*.json file so the
+// perf trajectory is tracked across PRs by tooling instead of eyeballs.
+
+/// Minimal ordered JSON tree: objects keep insertion order, numbers print
+/// with round-trip precision. Only what the benches need — no parsing.
+class Json {
+ public:
+  Json& set(const std::string& key, double v) {
+    return child(key, make_number(v));
+  }
+  Json& set(const std::string& key, std::size_t v) {
+    return set(key, static_cast<double>(v));
+  }
+  Json& set(const std::string& key, int v) {
+    return set(key, static_cast<double>(v));
+  }
+  Json& set(const std::string& key, const std::string& v) {
+    Json j;
+    j.type_ = Type::kString;
+    j.str_ = v;
+    return child(key, std::move(j));
+  }
+  Json& set(const std::string& key, const char* v) {
+    return set(key, std::string(v));
+  }
+  Json& set(const std::string& key, bool v) {
+    Json j;
+    j.type_ = Type::kBool;
+    j.flag_ = v;
+    return child(key, std::move(j));
+  }
+  /// Nested object / array members (created on demand).
+  Json& obj(const std::string& key) { return member(key, Type::kObject); }
+  Json& arr(const std::string& key) { return member(key, Type::kArray); }
+  /// Appends an object element to an array and returns it.
+  Json& push() {
+    Json j;
+    j.type_ = Type::kObject;
+    children_.emplace_back("", std::move(j));
+    return children_.back().second;
+  }
+
+  std::string dump(int depth = 0) const {
+    switch (type_) {
+      case Type::kNumber: {
+        // Infinite TTS (zero success rate) and the like have no JSON
+        // representation — emit null so the artifact stays parseable.
+        if (!std::isfinite(num_)) return "null";
+        char buf[40];
+        std::snprintf(buf, sizeof buf, "%.17g", num_);
+        return buf;
+      }
+      case Type::kBool:
+        return flag_ ? "true" : "false";
+      case Type::kString:
+        return quote(str_);
+      case Type::kObject:
+      case Type::kArray: {
+        const bool is_obj = type_ == Type::kObject;
+        std::string out(is_obj ? "{" : "[");
+        for (std::size_t i = 0; i < children_.size(); ++i) {
+          out += i ? ",\n" : "\n";
+          out.append((depth + 1) * 2, ' ');
+          if (is_obj) {
+            out += quote(children_[i].first);
+            out += ": ";
+          }
+          out += children_[i].second.dump(depth + 1);
+        }
+        if (!children_.empty()) {
+          out += '\n';
+          out.append(depth * 2, ' ');
+        }
+        out += is_obj ? '}' : ']';
+        return out;
+      }
+    }
+    return "null";
+  }
+
+ private:
+  enum class Type { kObject, kArray, kNumber, kString, kBool };
+
+  static Json make_number(double v) {
+    Json j;
+    j.type_ = Type::kNumber;
+    j.num_ = v;
+    return j;
+  }
+  static std::string quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      if (c == '\n') {
+        out += "\\n";
+        continue;
+      }
+      out += c;
+    }
+    out += '"';
+    return out;
+  }
+  Json& child(const std::string& key, Json&& j) {
+    for (auto& kv : children_)
+      if (kv.first == key) {
+        kv.second = std::move(j);
+        return *this;
+      }
+    children_.emplace_back(key, std::move(j));
+    return *this;
+  }
+  Json& member(const std::string& key, Type t) {
+    for (auto& kv : children_)
+      if (kv.first == key) return kv.second;
+    Json j;
+    j.type_ = t;
+    children_.emplace_back(key, std::move(j));
+    return children_.back().second;
+  }
+
+  Type type_ = Type::kObject;
+  double num_ = 0.0;
+  bool flag_ = false;
+  std::string str_;
+  std::vector<std::pair<std::string, Json>> children_;
+};
 
 struct InstanceEvaluation {
   game::BenchmarkInstance instance;
@@ -56,10 +191,12 @@ inline PaperReference paper_reference(std::size_t instance_index) {
   }
 }
 
-/// Command line shared by the solver benches: `[runs] [--threads N]`.
+/// Command line shared by the solver benches:
+/// `[runs] [--threads N] [--json <path>]`.
 struct CliOptions {
   std::size_t runs = 0;     // 0 = per-instance default
   std::size_t threads = 0;  // 0 = one worker per hardware thread
+  std::string json_path;    // empty = no JSON output
 };
 
 inline CliOptions parse_cli(int argc, char** argv) {
@@ -70,6 +207,10 @@ inline CliOptions parse_cli(int argc, char** argv) {
       cli.threads = std::strtoul(arg + 10, nullptr, 10);
     } else if (std::strcmp(arg, "--threads") == 0 && i + 1 < argc) {
       cli.threads = std::strtoul(argv[++i], nullptr, 10);
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      cli.json_path = arg + 7;
+    } else if (std::strcmp(arg, "--json") == 0 && i + 1 < argc) {
+      cli.json_path = argv[++i];
     } else {
       const long v = std::strtol(arg, nullptr, 10);
       if (v > 0) cli.runs = static_cast<std::size_t>(v);
@@ -77,6 +218,62 @@ inline CliOptions parse_cli(int argc, char** argv) {
   }
   return cli;
 }
+
+/// Scoped JSON report: construct at bench start, fill root() with results,
+/// call finish() last. Writes BENCH_<name>.json under --json <path> (a file
+/// path, or a directory to use the default name); without --json it is a
+/// no-op. `wall_clock_s` covers construct→finish; pass the total iteration
+/// count (e.g. SA runs) to also record throughput.
+class JsonReport {
+ public:
+  JsonReport(std::string name, const CliOptions& cli)
+      : name_(std::move(name)),
+        path_(cli.json_path),
+        start_(std::chrono::steady_clock::now()) {
+    root_.set("bench", name_);
+    Json& cfg = root_.obj("config");
+    cfg.set("runs", cli.runs);
+    cfg.set("threads", cli.threads);
+  }
+
+  Json& root() { return root_; }
+
+  bool finish(double iterations = 0.0) {
+    if (path_.empty()) return true;
+    const double dt = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start_)
+                          .count();
+    root_.set("wall_clock_s", dt);
+    if (iterations > 0.0 && dt > 0.0)
+      root_.set("iterations_per_sec", iterations / dt);
+    std::string path = path_;
+    struct stat st{};
+    const bool is_dir =
+        path.back() == '/' ||
+        (::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode));
+    if (is_dir) {
+      if (path.back() != '/') path += '/';
+      path += "BENCH_" + name_ + ".json";
+    }
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::string text = root_.dump();
+    text += '\n';
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  std::string name_;
+  std::string path_;
+  std::chrono::steady_clock::time_point start_;
+  Json root_;
+};
 
 /// Kept for drivers that only take a run count.
 inline std::size_t runs_from_argv(int argc, char** argv,
@@ -119,6 +316,22 @@ inline InstanceEvaluation evaluate_instance(
 /// Default run counts per instance, sized so each bench finishes in seconds.
 inline std::size_t default_runs_for(std::size_t instance_index) {
   return instance_index == 2 ? 60 : 200;
+}
+
+/// One-line JSON serialisation of an instance evaluation, shared by the
+/// solver-comparison benches.
+inline void report_instance(Json& node, const InstanceEvaluation& ev) {
+  node.set("game", ev.instance.game.name());
+  node.set("runs", ev.runs);
+  node.set("ground_truth_ne", ev.ground_truth.size());
+  auto solver = [&](const std::string& key, const core::SolverReport& r) {
+    Json& s = node.obj(key);
+    s.set("success_rate", r.success_rate());
+    s.set("distinct_found", r.distinct_found());
+  };
+  solver("cnash", ev.cnash);
+  solver("dwave_2000q", ev.dwave_2000q);
+  solver("dwave_advantage", ev.dwave_advantage);
 }
 
 }  // namespace cnash::bench

@@ -22,6 +22,8 @@ int main(int argc, char** argv) {
   const core::DWaveTimingModel tadv(core::dwave_advantage41_timing());
 
   const bench::CliOptions cli = bench::parse_cli(argc, argv);
+  bench::JsonReport report("fig10_time_to_solution", cli);
+  std::size_t total_runs = 0;
   const auto instances = game::paper_benchmarks();
   for (std::size_t i = 0; i < instances.size(); ++i) {
     const auto& inst = instances[i];
@@ -31,6 +33,7 @@ int main(int argc, char** argv) {
                  runs);
     const auto ev = bench::evaluate_instance(inst, runs, cli.threads);
     const auto ref = bench::paper_reference(i);
+    total_runs += 3 * runs;  // three solvers per instance
 
     // Crossbar geometry for the C-Nash latency model.
     const auto shifted = inst.game.shifted_non_negative(0.0);
@@ -63,11 +66,18 @@ int main(int argc, char** argv) {
     add("D-Wave Advantage 4.1 (proxy)", ev.dwave_advantage.success_rate(),
         tts_adv, ref.speedup_advantage);
     add("C-Nash (this work)", ev.cnash.success_rate(), cnash_tts, 1.0);
+
+    bench::Json& node = report.root().arr("instances").push();
+    bench::report_instance(node, ev);
+    node.set("cnash_tts_s", cnash_tts);
+    node.set("dwave_2000q_tts_s", tts_2000);
+    node.set("dwave_advantage_tts_s", tts_adv);
   }
   std::printf("%s\n", table.pretty().c_str());
   std::printf(
       "C-Nash TTS = SA iterations x iteration latency (1 MHz controller, "
       "analog path\nin ns) / success rate; D-Wave TTS = (programming + 5000 "
       "reads) / success rate.\n");
+  report.finish(static_cast<double>(total_runs));
   return 0;
 }

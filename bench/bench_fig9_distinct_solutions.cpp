@@ -15,6 +15,8 @@ int main(int argc, char** argv) {
                      "paper target"});
 
   const bench::CliOptions cli = bench::parse_cli(argc, argv);
+  bench::JsonReport report("fig9_distinct_solutions", cli);
+  std::size_t total_runs = 0;
   const auto instances = game::paper_benchmarks();
   for (std::size_t i = 0; i < instances.size(); ++i) {
     const std::size_t runs =
@@ -22,6 +24,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "running %s (%zu runs)...\n",
                  instances[i].game.name().c_str(), runs);
     const auto ev = bench::evaluate_instance(instances[i], runs, cli.threads);
+    total_runs += 3 * runs;
+    bench::report_instance(report.root().arr("instances").push(), ev);
     auto frac = [&](const core::SolverReport& r) {
       return std::to_string(r.distinct_found()) + "/" +
              std::to_string(r.target());
@@ -37,5 +41,6 @@ int main(int argc, char** argv) {
       "Paper shape: C-Nash discovers every target solution (3/3, 6/6, 25/25)\n"
       "while the D-Wave solvers find at most a few pure ones (2/3, 2/6, "
       "3/25).\n");
+  report.finish(static_cast<double>(total_runs));
   return 0;
 }

@@ -17,6 +17,49 @@ namespace {
 
 using namespace cnash;
 
+void BM_LaMultiply(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(11);
+  la::Matrix m(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) m(r, c) = rng.uniform();
+  la::Vector v(n), out;
+  for (auto& x : v) x = rng.uniform();
+  for (auto _ : state) {
+    m.multiply_into(v, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_LaMultiply)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_LaMultiplyTransposed(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(12);
+  la::Matrix m(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) m(r, c) = rng.uniform();
+  la::Vector v(n), out;
+  for (auto& x : v) x = rng.uniform();
+  for (auto _ : state) {
+    m.multiply_transposed_into(v, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_LaMultiplyTransposed)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_LaVmv(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(13);
+  la::Matrix m(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) m(r, c) = rng.uniform();
+  la::Vector v(n), w(n);
+  for (auto& x : v) x = rng.uniform();
+  for (auto& x : w) x = rng.uniform();
+  for (auto _ : state) benchmark::DoNotOptimize(la::vmv(v, m, w));
+}
+BENCHMARK(BM_LaVmv)->Arg(8)->Arg(64)->Arg(256);
+
 void BM_ExactObjective(benchmark::State& state) {
   core::ExactMaxQubo f(game::modified_prisoners_dilemma());
   util::Rng rng(1);
@@ -52,6 +95,31 @@ void BM_CrossbarVmvRead(benchmark::State& state) {
     benchmark::DoNotOptimize(hw.crossbar_m().read_vmv(p, q));
 }
 BENCHMARK(BM_CrossbarVmvRead);
+
+void BM_TwoPhaseIncrementalPropose(benchmark::State& state) {
+  // One SA tick move scored through the incremental propose/commit path —
+  // O(m+n) crossbar delta reads + WTA/ADC — vs the full re-read of
+  // BM_TwoPhaseHardwareEval.
+  const auto inst = game::paper_benchmarks()[static_cast<std::size_t>(
+      state.range(0))];
+  core::TwoPhaseConfig cfg;
+  core::TwoPhaseEvaluator hw(inst.game, inst.intervals, cfg, util::Rng(2));
+  util::Rng rng(3);
+  game::QuantizedProfile prof{
+      game::QuantizedStrategy::random(inst.game.num_actions1(), inst.intervals,
+                                      rng),
+      game::QuantizedStrategy::random(inst.game.num_actions2(), inst.intervals,
+                                      rng)};
+  hw.reset(prof);
+  std::size_t from = 0;
+  while (prof.p.count(from) == 0) ++from;
+  const std::size_t to = (from + 1) % inst.game.num_actions1();
+  const core::TickMove mv{core::TickMove::Player::kRow,
+                          static_cast<std::uint32_t>(from),
+                          static_cast<std::uint32_t>(to)};
+  for (auto _ : state) benchmark::DoNotOptimize(hw.propose(&mv, 1));
+}
+BENCHMARK(BM_TwoPhaseIncrementalPropose)->Arg(0)->Arg(1)->Arg(2);
 
 void BM_WtaTreeReduce(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

@@ -16,6 +16,8 @@ int main(int argc, char** argv) {
                      "Modified Prisoner's Dilemma (8 actions)"});
 
   const bench::CliOptions cli = bench::parse_cli(argc, argv);
+  bench::JsonReport report("table1_success_rate", cli);
+  std::size_t total_runs = 0;
   const auto instances = game::paper_benchmarks();
   std::vector<bench::InstanceEvaluation> evals;
   for (std::size_t i = 0; i < instances.size(); ++i) {
@@ -24,6 +26,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "running %s (%zu runs)...\n",
                  instances[i].game.name().c_str(), runs);
     evals.push_back(bench::evaluate_instance(instances[i], runs, cli.threads));
+    bench::report_instance(report.root().arr("instances").push(), evals.back());
+    total_runs += 3 * runs;
   }
 
   auto row = [&](const std::string& name,
@@ -59,5 +63,6 @@ int main(int argc, char** argv) {
               "(paper: 3 / 6 / 25 — see DESIGN.md on the reconstruction).\n",
               evals[0].ground_truth.size(), evals[1].ground_truth.size(),
               evals[2].ground_truth.size());
+  report.finish(static_cast<double>(total_runs));
   return 0;
 }

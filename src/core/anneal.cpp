@@ -71,6 +71,11 @@ SaRunResult simulated_annealing_from(ObjectiveEvaluator& objective,
   IncrementalEvaluator* inc = objective.incremental();
   if (inc) inc->reset(res.final_profile);
 
+  // Candidate buffer for the full-evaluation path only; the incremental path
+  // mutates res.final_profile in place (apply, then undo on rejection)
+  // instead of copying the whole profile every iteration.
+  game::QuantizedProfile candidate = res.final_profile;
+
   double temperature = t_max;
   for (std::size_t it = 0; it < opts.iterations; ++it, temperature *= decay) {
     // Perturb one player always, the other with configured probability —
@@ -96,25 +101,45 @@ SaRunResult simulated_annealing_from(ObjectiveEvaluator& objective,
       if (rng.bernoulli(opts.both_players_prob)) draw_p();
     }
 
-    game::QuantizedProfile candidate = res.final_profile;
-    for (std::size_t i = 0; i < num_moves; ++i) {
-      auto& s = moves[i].player == TickMove::Player::kRow ? candidate.p
-                                                          : candidate.q;
-      s.move_tick(moves[i].from, moves[i].to);
+    double f_n;
+    if (inc) {
+      for (std::size_t i = 0; i < num_moves; ++i) {
+        auto& s = moves[i].player == TickMove::Player::kRow
+                      ? res.final_profile.p
+                      : res.final_profile.q;
+        s.move_tick(moves[i].from, moves[i].to);
+      }
+      f_n = inc->propose(moves, num_moves);
+    } else {
+      candidate = res.final_profile;
+      for (std::size_t i = 0; i < num_moves; ++i) {
+        auto& s = moves[i].player == TickMove::Player::kRow ? candidate.p
+                                                            : candidate.q;
+        s.move_tick(moves[i].from, moves[i].to);
+      }
+      f_n = objective.evaluate(candidate);
     }
-
-    const double f_n = inc ? inc->propose(moves, num_moves)
-                           : objective.evaluate(candidate);
     ++res.evaluations;
     const double delta = f_n - res.final_objective;
     if (delta <= 0.0 || rng.uniform() < std::exp(-delta / temperature)) {
-      if (inc) inc->commit();
-      res.final_profile = std::move(candidate);
+      if (inc) {
+        inc->commit();
+      } else {
+        res.final_profile = candidate;
+      }
       res.final_objective = f_n;
       ++res.accepted;
       if (f_n < res.best_objective) {
         res.best_objective = f_n;
         res.best_profile = res.final_profile;
+      }
+    } else if (inc) {
+      // Rejected: undo the in-place moves (reverse order, ticks swapped).
+      for (std::size_t i = num_moves; i-- > 0;) {
+        auto& s = moves[i].player == TickMove::Player::kRow
+                      ? res.final_profile.p
+                      : res.final_profile.q;
+        s.move_tick(moves[i].to, moves[i].from);
       }
     }
     ++res.iterations;

@@ -42,17 +42,18 @@ double ExactMaxQubo::DeltaState::objective() const {
 
 void ExactMaxQubo::recompute(DeltaState& st) const {
   const double inv = 1.0 / static_cast<double>(intervals_);
-  la::Vector p(p_counts_.size()), q(q_counts_.size());
-  for (std::size_t i = 0; i < p.size(); ++i)
-    p[i] = static_cast<double>(p_counts_[i]) * inv;
-  for (std::size_t j = 0; j < q.size(); ++j)
-    q[j] = static_cast<double>(q_counts_[j]) * inv;
-  st.mq = game_.payoff1().multiply(q);
-  st.nq = game_.payoff2().multiply(q);
-  st.mtp = game_.payoff1().multiply_transposed(p);
-  st.ntp = game_.payoff2().multiply_transposed(p);
-  st.ptmq = la::dot(p, st.mq);
-  st.ptnq = la::dot(p, st.nq);
+  dist_p_.resize(p_counts_.size());
+  dist_q_.resize(q_counts_.size());
+  for (std::size_t i = 0; i < dist_p_.size(); ++i)
+    dist_p_[i] = static_cast<double>(p_counts_[i]) * inv;
+  for (std::size_t j = 0; j < dist_q_.size(); ++j)
+    dist_q_[j] = static_cast<double>(q_counts_[j]) * inv;
+  game_.payoff1().multiply_into(dist_q_, st.mq);
+  game_.payoff2().multiply_into(dist_q_, st.nq);
+  game_.payoff1().multiply_transposed_into(dist_p_, st.mtp);
+  game_.payoff2().multiply_transposed_into(dist_p_, st.ntp);
+  st.ptmq = la::dot(dist_p_, st.mq);
+  st.ptnq = la::dot(dist_p_, st.nq);
 }
 
 void ExactMaxQubo::apply_move(DeltaState& st, const TickMove& mv,
@@ -89,9 +90,13 @@ void ExactMaxQubo::reset(const game::QuantizedProfile& profile) {
   p_counts_ = profile.p.counts();
   q_counts_ = profile.q.counts();
   pending_.clear();
+  pending_.reserve(4);  // SA proposals carry at most two tick moves
   proposal_outstanding_ = false;
   commits_since_refresh_ = 0;
   recompute(committed_);
+  // Pre-size the proposal scratch so the first propose() (and every later
+  // one) only copies into existing capacity — no per-iteration heap churn.
+  scratch_ = committed_;
 }
 
 double ExactMaxQubo::propose(const TickMove* moves, std::size_t count) {

@@ -110,6 +110,7 @@ class ExactMaxQubo final : public ObjectiveEvaluator,
   std::uint32_t intervals_ = 0;
   std::vector<std::uint32_t> p_counts_, q_counts_;
   DeltaState committed_, scratch_;
+  mutable la::Vector dist_p_, dist_q_;  // recompute() workspaces
   std::vector<TickMove> pending_;
   bool proposal_outstanding_ = false;
   std::size_t commits_since_refresh_ = 0;

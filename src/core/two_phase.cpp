@@ -17,6 +17,8 @@ TwoPhaseEvaluator::TwoPhaseEvaluator(game::BimatrixGame game,
   if (intervals_ == 0) throw std::invalid_argument("TwoPhaseEvaluator: I == 0");
   if (value_scale_ <= 0.0)
     throw std::invalid_argument("TwoPhaseEvaluator: value_scale <= 0");
+  if (config_.refresh_interval == 0)
+    throw std::invalid_argument("TwoPhaseEvaluator: refresh_interval == 0");
 
   // The MAX-QUBO objective is invariant to a common constant shift of both
   // payoff matrices (Σp = Σq = 1 exactly on the quantized grid), so shift to
@@ -64,6 +66,47 @@ TwoPhaseEvaluator::TwoPhaseEvaluator(game::BimatrixGame game,
   };
   adc_m_ = make_adc(*xbar_m_);
   adc_nt_ = make_adc(*xbar_nt_);
+
+  // Size the analog workspaces once; counts are (re)sized by reset().
+  const std::size_t n = game_.num_actions1();
+  const std::size_t m = game_.num_actions2();
+  for (AnalogState* st : {&committed_, &scratch_, &eval_state_}) {
+    st->mv_m.assign(n, 0.0);
+    st->mv_nt.assign(m, 0.0);
+  }
+}
+
+void TwoPhaseEvaluator::full_read(
+    AnalogState& st, const std::vector<std::uint32_t>& p_counts,
+    const std::vector<std::uint32_t>& q_counts) const {
+  xbar_m_->read_mv_into(q_counts, st.mv_m.data());
+  xbar_nt_->read_mv_into(p_counts, st.mv_nt.data());
+  st.vmv_m = xbar_m_->read_vmv(p_counts, q_counts);
+  st.vmv_nt = xbar_nt_->read_vmv(q_counts, p_counts);
+}
+
+double TwoPhaseEvaluator::digitize(const AnalogState& st) {
+  // ---- Phase 1: WTA trees -> max(Mq), max(Nᵀp). ---------------------------
+  const double max_mq_current =
+      wta_rows_->reduce(st.mv_m.data(), st.mv_m.size(), &rng_, wta_scratch_);
+  const double max_ntp_current =
+      wta_cols_->reduce(st.mv_nt.data(), st.mv_nt.size(), &rng_, wta_scratch_);
+  const double max_mq =
+      xbar_m_->current_to_value(adc_m_->convert(max_mq_current, rng_));
+  const double max_ntp =
+      xbar_nt_->current_to_value(adc_nt_->convert(max_ntp_current, rng_));
+
+  // ---- Phase 2: total currents (WTA bypassed) -> pᵀMq, pᵀNq. --------------
+  const double vmv_m =
+      xbar_m_->current_to_value(adc_m_->convert(st.vmv_m, rng_));
+  const double vmv_n =
+      xbar_nt_->current_to_value(adc_nt_->convert(st.vmv_nt, rng_));
+
+  last_ = {max_mq, max_ntp, vmv_m, vmv_n};
+
+  // Values are in shifted/scaled payoff units; the shift cancels inside f and
+  // the scale divides out.
+  return (max_mq + max_ntp - vmv_m - vmv_n) / value_scale_;
 }
 
 double TwoPhaseEvaluator::evaluate(const game::QuantizedProfile& profile) {
@@ -72,32 +115,92 @@ double TwoPhaseEvaluator::evaluate(const game::QuantizedProfile& profile) {
       profile.p.intervals() != intervals_ || profile.q.intervals() != intervals_)
     throw std::invalid_argument("TwoPhaseEvaluator: profile shape mismatch");
 
-  const auto& p_counts = profile.p.counts();
-  const auto& q_counts = profile.q.counts();
+  full_read(eval_state_, profile.p.counts(), profile.q.counts());
+  return digitize(eval_state_);
+}
 
-  // ---- Phase 1: MV reads + WTA trees -> max(Mq), max(Nᵀp). ----------------
-  const std::vector<double> mq_currents = xbar_m_->read_mv(q_counts);
-  const std::vector<double> ntp_currents = xbar_nt_->read_mv(p_counts);
-  const double max_mq_current = wta_rows_->reduce(mq_currents, &rng_);
-  const double max_ntp_current = wta_cols_->reduce(ntp_currents, &rng_);
-  const double max_mq =
-      xbar_m_->current_to_value(adc_m_->convert(max_mq_current, rng_));
-  const double max_ntp =
-      xbar_nt_->current_to_value(adc_nt_->convert(max_ntp_current, rng_));
+// ---- Incremental propose/commit protocol ------------------------------------
 
-  // ---- Phase 2: VMV reads (WTA bypassed) -> pᵀMq, pᵀNq. -------------------
-  const double vmv_m_current = xbar_m_->read_vmv(p_counts, q_counts);
-  const double vmv_nt_current = xbar_nt_->read_vmv(q_counts, p_counts);
-  const double vmv_m =
-      xbar_m_->current_to_value(adc_m_->convert(vmv_m_current, rng_));
-  const double vmv_n =
-      xbar_nt_->current_to_value(adc_nt_->convert(vmv_nt_current, rng_));
+void TwoPhaseEvaluator::reset(const game::QuantizedProfile& profile) {
+  if (profile.p.num_actions() != game_.num_actions1() ||
+      profile.q.num_actions() != game_.num_actions2() ||
+      profile.p.intervals() != intervals_ || profile.q.intervals() != intervals_)
+    throw std::invalid_argument("TwoPhaseEvaluator::reset: shape mismatch");
+  p_counts_ = profile.p.counts();
+  q_counts_ = profile.q.counts();
+  p_scratch_ = p_counts_;
+  q_scratch_ = q_counts_;
+  full_read(committed_, p_counts_, q_counts_);
+  scratch_ = committed_;
+  primed_ = true;
+  proposal_outstanding_ = false;
+  commits_since_refresh_ = 0;
+  refresh_count_ = 0;
+}
 
-  last_ = {max_mq, max_ntp, vmv_m, vmv_n};
+void TwoPhaseEvaluator::apply_move_analog(AnalogState& st, const TickMove& mv) {
+  if (mv.player == TickMove::Player::kRow) {
+    // p_from loses a word line of the M array / a column group of Nᵀ;
+    // p_to gains one. mv_m is an all-rows read and does not depend on p.
+    const std::uint32_t pf = p_scratch_[mv.from];
+    const std::uint32_t pt = p_scratch_[mv.to];
+    if (pf == 0 || pt >= intervals_)
+      throw std::logic_error("TwoPhaseEvaluator: invalid tick move");
+    st.vmv_m += xbar_m_->vmv_row_delta(mv.from, pf, pf - 1, q_scratch_) +
+                xbar_m_->vmv_row_delta(mv.to, pt, pt + 1, q_scratch_);
+    st.vmv_nt += xbar_nt_->vmv_group_delta(mv.from, pf, pf - 1, q_scratch_) +
+                 xbar_nt_->vmv_group_delta(mv.to, pt, pt + 1, q_scratch_);
+    xbar_nt_->mv_group_delta(mv.from, pf, pf - 1, st.mv_nt.data());
+    xbar_nt_->mv_group_delta(mv.to, pt, pt + 1, st.mv_nt.data());
+    p_scratch_[mv.from] = pf - 1;
+    p_scratch_[mv.to] = pt + 1;
+  } else {
+    const std::uint32_t qf = q_scratch_[mv.from];
+    const std::uint32_t qt = q_scratch_[mv.to];
+    if (qf == 0 || qt >= intervals_)
+      throw std::logic_error("TwoPhaseEvaluator: invalid tick move");
+    st.vmv_m += xbar_m_->vmv_group_delta(mv.from, qf, qf - 1, p_scratch_) +
+                xbar_m_->vmv_group_delta(mv.to, qt, qt + 1, p_scratch_);
+    st.vmv_nt += xbar_nt_->vmv_row_delta(mv.from, qf, qf - 1, p_scratch_) +
+                 xbar_nt_->vmv_row_delta(mv.to, qt, qt + 1, p_scratch_);
+    xbar_m_->mv_group_delta(mv.from, qf, qf - 1, st.mv_m.data());
+    xbar_m_->mv_group_delta(mv.to, qt, qt + 1, st.mv_m.data());
+    q_scratch_[mv.from] = qf - 1;
+    q_scratch_[mv.to] = qt + 1;
+  }
+}
 
-  // Values are in shifted/scaled payoff units; the shift cancels inside f and
-  // the scale divides out.
-  return (max_mq + max_ntp - vmv_m - vmv_n) / value_scale_;
+double TwoPhaseEvaluator::propose(const TickMove* moves, std::size_t count) {
+  if (!primed_)
+    throw std::logic_error("TwoPhaseEvaluator::propose before reset()");
+  // Rejected proposals are discarded by re-deriving scratch from the
+  // committed state — O(m+n) copies, no crossbar access.
+  scratch_.mv_m = committed_.mv_m;
+  scratch_.mv_nt = committed_.mv_nt;
+  scratch_.vmv_m = committed_.vmv_m;
+  scratch_.vmv_nt = committed_.vmv_nt;
+  p_scratch_ = p_counts_;
+  q_scratch_ = q_counts_;
+  for (std::size_t i = 0; i < count; ++i) apply_move_analog(scratch_, moves[i]);
+  proposal_outstanding_ = true;
+  return digitize(scratch_);
+}
+
+void TwoPhaseEvaluator::commit() {
+  if (!proposal_outstanding_)
+    throw std::logic_error("TwoPhaseEvaluator::commit without propose()");
+  proposal_outstanding_ = false;
+  p_counts_.swap(p_scratch_);
+  q_counts_.swap(q_scratch_);
+  committed_.mv_m.swap(scratch_.mv_m);
+  committed_.mv_nt.swap(scratch_.mv_nt);
+  committed_.vmv_m = scratch_.vmv_m;
+  committed_.vmv_nt = scratch_.vmv_nt;
+  if (++commits_since_refresh_ >= config_.refresh_interval) {
+    commits_since_refresh_ = 0;
+    ++refresh_count_;
+    full_read(committed_, p_counts_, q_counts_);
+  }
 }
 
 }  // namespace cnash::core

@@ -12,9 +12,20 @@
 // The evaluator owns two programmed crossbars (M and Nᵀ), two WTA trees and
 // the ADCs, so every SA iteration experiences device variability, WTA offset
 // and ADC quantization exactly as the architecture would.
+//
+// Incremental fast path (propose/commit protocol): a single SA tick move
+// changes one entry of p or q by ±1/I, so the architecture only re-drives one
+// word line / column group. The evaluator mirrors that: it carries the
+// committed analog state (Phase-1 line currents, Phase-2 total currents) and
+// updates it per move through the crossbars' O(n)/O(m) delta kernels instead
+// of a full O(n·m) re-read. WTA reduction, per-read noise and ADC conversion
+// are applied to the *updated analog currents* on every proposal, so fidelity
+// semantics (and rng draw order) are identical to the full-read path; a full
+// re-read every `refresh_interval` commits bounds floating-point drift.
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "core/maxqubo.hpp"
 #include "util/rng.hpp"
@@ -39,9 +50,16 @@ struct TwoPhaseConfig {
   /// multi-level-cell FeFET extension ([29]), shrinking the array at the cost
   /// of intermediate-level programming spread.
   std::uint32_t levels_per_cell = 2;
+  /// Expose the incremental propose/commit fast path to the SA loop. Off, the
+  /// annealer falls back to a full crossbar re-read per iteration.
+  bool incremental = true;
+  /// Commits between full crossbar re-reads on the incremental path (bounds
+  /// accumulated floating-point drift of the analog state).
+  std::size_t refresh_interval = 1024;
 };
 
-class TwoPhaseEvaluator final : public ObjectiveEvaluator {
+class TwoPhaseEvaluator final : public ObjectiveEvaluator,
+                                public IncrementalEvaluator {
  public:
   /// Programs both crossbars from the game. `intervals` is the strategy
   /// quantization I; `rng` drives the one-time device sampling and the
@@ -51,8 +69,21 @@ class TwoPhaseEvaluator final : public ObjectiveEvaluator {
 
   double evaluate(const game::QuantizedProfile& profile) override;
   const game::BimatrixGame& game() const override { return game_; }
+  IncrementalEvaluator* incremental() override {
+    return config_.incremental ? this : nullptr;
+  }
 
-  /// Phase observables of the last evaluate() call, in payoff units.
+  // IncrementalEvaluator protocol: O(m+n) per tick move, same noise/ADC
+  // semantics and rng draw sequence per scoring as evaluate().
+  void reset(const game::QuantizedProfile& profile) override;
+  double propose(const TickMove* moves, std::size_t count) override;
+  void commit() override;
+
+  /// Full crossbar re-reads performed by the incremental path since reset()
+  /// (drift refreshes; excludes the priming read of reset() itself).
+  std::size_t refresh_count() const { return refresh_count_; }
+
+  /// Phase observables of the last evaluate()/propose() call, in payoff units.
   struct PhaseReadout {
     double max_mq;
     double max_ntp;
@@ -69,6 +100,22 @@ class TwoPhaseEvaluator final : public ObjectiveEvaluator {
   const xbar::Adc& adc() const { return *adc_m_; }
 
  private:
+  /// Analog observables of one profile, before WTA/noise/ADC: the Phase-1
+  /// source-line current vectors and the Phase-2 total array currents.
+  struct AnalogState {
+    std::vector<double> mv_m;   // n line currents of the M array
+    std::vector<double> mv_nt;  // m line currents of the Nᵀ array
+    double vmv_m = 0.0;         // total M-array current (pᵀMq)
+    double vmv_nt = 0.0;        // total Nᵀ-array current (qᵀNᵀp = pᵀNq)
+  };
+
+  void full_read(AnalogState& st, const std::vector<std::uint32_t>& p_counts,
+                 const std::vector<std::uint32_t>& q_counts) const;
+  /// One tick move applied to the analog state and the scratch counts.
+  void apply_move_analog(AnalogState& st, const TickMove& mv);
+  /// WTA + noise + ADC on the analog state; updates last_ and returns f.
+  double digitize(const AnalogState& st);
+
   game::BimatrixGame game_;       // original payoffs
   std::uint32_t intervals_;
   TwoPhaseConfig config_;
@@ -81,6 +128,18 @@ class TwoPhaseEvaluator final : public ObjectiveEvaluator {
   std::unique_ptr<xbar::Adc> adc_m_;
   std::unique_ptr<xbar::Adc> adc_nt_;
   PhaseReadout last_{};
+
+  // Incremental state: committed counts + analog observables, their scratch
+  // copies for the outstanding proposal, and reusable workspaces.
+  std::vector<std::uint32_t> p_counts_, q_counts_;    // committed
+  std::vector<std::uint32_t> p_scratch_, q_scratch_;  // proposal
+  AnalogState committed_, scratch_;
+  AnalogState eval_state_;  // evaluate()'s workspace, independent of proposals
+  std::vector<double> wta_scratch_;
+  bool primed_ = false;
+  bool proposal_outstanding_ = false;
+  std::size_t commits_since_refresh_ = 0;
+  std::size_t refresh_count_ = 0;
 };
 
 }  // namespace cnash::core

@@ -132,27 +132,60 @@ double Matrix::max_element() const {
 }
 
 Vector Matrix::multiply(const Vector& v) const {
-  if (v.size() != cols_) throw std::invalid_argument("Matrix::multiply: size");
-  Vector out(rows_, 0.0);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    double acc = 0.0;
-    for (std::size_t c = 0; c < cols_; ++c) acc += (*this)(r, c) * v[c];
-    out[r] = acc;
-  }
+  Vector out;
+  multiply_into(v, out);
   return out;
 }
 
+void Matrix::multiply_into(const Vector& v, Vector& out) const {
+  if (v.size() != cols_) throw std::invalid_argument("Matrix::multiply: size");
+  out.resize(rows_);
+  const double* m = data_.data();
+  const double* x = v.data();
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* row = m + r * cols_;
+    // Four independent accumulators hide the FP-add latency and let the
+    // compiler vectorise the dot product.
+    double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+    std::size_t c = 0;
+    for (; c + 4 <= cols_; c += 4) {
+      a0 += row[c] * x[c];
+      a1 += row[c + 1] * x[c + 1];
+      a2 += row[c + 2] * x[c + 2];
+      a3 += row[c + 3] * x[c + 3];
+    }
+    double acc = (a0 + a1) + (a2 + a3);
+    for (; c < cols_; ++c) acc += row[c] * x[c];
+    out[r] = acc;
+  }
+}
+
 Vector Matrix::multiply_transposed(const Vector& v) const {
+  Vector out;
+  multiply_transposed_into(v, out);
+  return out;
+}
+
+void Matrix::multiply_transposed_into(const Vector& v, Vector& out) const {
   if (v.size() != rows_) {
     throw std::invalid_argument("Matrix::multiply_transposed: size");
   }
-  Vector out(cols_, 0.0);
+  out.assign(cols_, 0.0);
+  const double* m = data_.data();
+  double* y = out.data();
   for (std::size_t r = 0; r < rows_; ++r) {
     const double vr = v[r];
     if (vr == 0.0) continue;
-    for (std::size_t c = 0; c < cols_; ++c) out[c] += vr * (*this)(r, c);
+    const double* row = m + r * cols_;
+    std::size_t c = 0;
+    for (; c + 4 <= cols_; c += 4) {
+      y[c] += vr * row[c];
+      y[c + 1] += vr * row[c + 1];
+      y[c + 2] += vr * row[c + 2];
+      y[c + 3] += vr * row[c + 3];
+    }
+    for (; c < cols_; ++c) y[c] += vr * row[c];
   }
-  return out;
 }
 
 std::string Matrix::to_string(int precision) const {
@@ -218,7 +251,30 @@ std::size_t argmax(const Vector& a) {
 }
 
 double vmv(const Vector& v, const Matrix& m, const Vector& w) {
-  return dot(v, m.multiply(w));
+  if (v.size() != m.rows() || w.size() != m.cols())
+    throw std::invalid_argument("vmv: size mismatch");
+  // Single pass, no temporary Mw vector: rows with v_r == 0 are skipped
+  // entirely (quantized strategies are sparse on the simplex).
+  const double* md = m.data().data();
+  const std::size_t cols = m.cols();
+  double total = 0.0;
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const double vr = v[r];
+    if (vr == 0.0) continue;
+    const double* row = md + r * cols;
+    double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+    std::size_t c = 0;
+    for (; c + 4 <= cols; c += 4) {
+      a0 += row[c] * w[c];
+      a1 += row[c + 1] * w[c + 1];
+      a2 += row[c + 2] * w[c + 2];
+      a3 += row[c + 3] * w[c + 3];
+    }
+    double acc = (a0 + a1) + (a2 + a3);
+    for (; c < cols; ++c) acc += row[c] * w[c];
+    total += vr * acc;
+  }
+  return total;
 }
 
 }  // namespace cnash::la

@@ -1,7 +1,9 @@
 #pragma once
 // Small dense linear algebra tailored to bimatrix games and QUBO matrices.
-// Row-major, value-semantic. Sizes here are tiny (n,m <= a few hundred), so the
-// implementation favours clarity and strong checking over blocking/vectorisation.
+// Row-major, value-semantic. Sizes are modest (n,m <= a few hundred), so there
+// is no blocking, but the matrix-vector kernels are pointer-based, unrolled
+// and allocation-free (multiply_into / multiply_transposed_into) — they sit on
+// the per-iteration path of the annealer.
 
 #include <cstddef>
 #include <initializer_list>
@@ -52,6 +54,11 @@ class Matrix {
   Vector multiply(const Vector& v) const;
   /// Mᵀ * v (v has rows() entries) without materialising the transpose.
   Vector multiply_transposed(const Vector& v) const;
+
+  /// Allocation-free variants for hot loops: `out` is resized to fit and
+  /// overwritten. `out` must not alias `v`.
+  void multiply_into(const Vector& v, Vector& out) const;
+  void multiply_transposed_into(const Vector& v, Vector& out) const;
 
   std::string to_string(int precision = 3) const;
 

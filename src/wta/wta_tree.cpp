@@ -31,19 +31,27 @@ std::size_t WtaTree::num_cells() const {
 
 double WtaTree::reduce(const std::vector<double>& inputs,
                        util::Rng* rng) const {
-  if (inputs.size() != num_inputs_)
+  std::vector<double> scratch;
+  return reduce(inputs.data(), inputs.size(), rng, scratch);
+}
+
+double WtaTree::reduce(const double* inputs, std::size_t count, util::Rng* rng,
+                       std::vector<double>& scratch) const {
+  if (count != num_inputs_)
     throw std::invalid_argument("WtaTree::reduce: input arity mismatch");
-  std::vector<double> level = inputs;
+  // Levels collapse in place: pair k/k+1 writes slot k/2, an odd tail
+  // bypasses — same cell order and rng draw sequence as a per-level copy.
+  scratch.assign(inputs, inputs + count);
+  std::size_t len = count;
   std::size_t cell_idx = 0;
-  while (level.size() > 1) {
-    std::vector<double> next;
-    next.reserve((level.size() + 1) / 2);
-    for (std::size_t k = 0; k + 1 < level.size(); k += 2)
-      next.push_back(cells_[cell_idx++].output(level[k], level[k + 1], rng));
-    if (level.size() % 2 == 1) next.push_back(level.back());  // bypass
-    level = std::move(next);
+  while (len > 1) {
+    std::size_t next = 0;
+    for (std::size_t k = 0; k + 1 < len; k += 2)
+      scratch[next++] = cells_[cell_idx++].output(scratch[k], scratch[k + 1], rng);
+    if (len % 2 == 1) scratch[next++] = scratch[len - 1];  // bypass
+    len = next;
   }
-  return level.front();
+  return scratch.front();
 }
 
 std::size_t WtaTree::winner(const std::vector<double>& inputs,

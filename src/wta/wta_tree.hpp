@@ -28,6 +28,11 @@ class WtaTree {
   /// offsets apply always; pass an rng for the per-read noise on top.
   double reduce(const std::vector<double>& inputs, util::Rng* rng = nullptr) const;
 
+  /// Allocation-free reduce for hot loops: identical cell order and noise
+  /// draws as the vector overload; `scratch` is resized and clobbered.
+  double reduce(const double* inputs, std::size_t count, util::Rng* rng,
+                std::vector<double>& scratch) const;
+
   /// Index of the winning input (argmax through the noisy pairwise cells).
   std::size_t winner(const std::vector<double>& inputs,
                      util::Rng* rng = nullptr) const;

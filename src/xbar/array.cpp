@@ -59,6 +59,7 @@ ProgrammedCrossbar::ProgrammedCrossbar(CrossbarMapping mapping,
   const std::uint32_t t = g.cells_per_element;
   const std::uint32_t per_cell = g.levels_per_cell - 1;
   table_dim_ = intervals + 1;
+  block_stride_ = table_dim_ * table_dim_;
 
   const FastCellModel fast = FastCellModel::calibrate(config_);
 
@@ -68,10 +69,10 @@ ProgrammedCrossbar::ProgrammedCrossbar(CrossbarMapping mapping,
                                  config_.fet);
   const double i_off_nominal = off_cell.read(true, true, config_.bias);
 
-  prefix_.assign(g.n * g.m, std::vector<double>(table_dim_ * table_dim_, 0.0));
+  prefix_.assign(g.n * g.m * block_stride_, 0.0);
   for (std::size_t i = 0; i < g.n; ++i) {
     for (std::size_t j = 0; j < g.m; ++j) {
-      auto& table = prefix_[i * g.m + j];
+      double* table = prefix_.data() + (i * g.m + j) * block_stride_;
       const std::uint32_t value = mapping_.element(i, j);
       // cell_sum[r][gr]: total current of the t cells at (row r, group gr).
       for (std::uint32_t r = 0; r < intervals; ++r) {
@@ -122,6 +123,16 @@ ProgrammedCrossbar::ProgrammedCrossbar(CrossbarMapping mapping,
       }
     }
   }
+
+  // Per-column MV table: the last prefix row (r = I) of every block,
+  // transposed so the n line currents of one (j, g) column are contiguous.
+  mv_table_.assign(g.m * table_dim_ * g.n, 0.0);
+  for (std::size_t j = 0; j < g.m; ++j)
+    for (std::size_t gr = 0; gr < table_dim_; ++gr) {
+      double* col = mv_table_.data() + (j * table_dim_ + gr) * g.n;
+      for (std::size_t i = 0; i < g.n; ++i)
+        col[i] = block_table(i, j)[intervals * table_dim_ + gr];
+    }
 }
 
 double ProgrammedCrossbar::block_row_current(
@@ -133,33 +144,101 @@ double ProgrammedCrossbar::block_row_current(
     throw std::invalid_argument("block_row_current: activation size mismatch");
   const std::uint32_t r = rows_active[i];
   if (r > g.intervals) throw std::invalid_argument("rows_active > I");
+  const double* row = block_table(i, 0) + r * table_dim_;
   double current = 0.0;
   for (std::size_t j = 0; j < g.m; ++j) {
     const std::uint32_t gr = groups_active[j];
     if (gr > g.intervals) throw std::invalid_argument("groups_active > I");
-    current += prefix_[i * g.m + j][r * table_dim_ + gr];
+    current += row[j * block_stride_ + gr];
   }
   return current;
 }
 
 std::vector<double> ProgrammedCrossbar::read_mv(
     const std::vector<std::uint32_t>& groups_active) const {
-  const auto& g = mapping_.geometry();
-  const std::vector<std::uint32_t> all_rows(g.n, g.intervals);
-  std::vector<double> out(g.n);
-  for (std::size_t i = 0; i < g.n; ++i)
-    out[i] = block_row_current(i, all_rows, groups_active);
+  std::vector<double> out(mapping_.geometry().n);
+  read_mv_into(groups_active, out.data());
   return out;
+}
+
+void ProgrammedCrossbar::read_mv_into(
+    const std::vector<std::uint32_t>& groups_active, double* out) const {
+  const auto& g = mapping_.geometry();
+  if (groups_active.size() != g.m)
+    throw std::invalid_argument("read_mv: activation size mismatch");
+  std::fill(out, out + g.n, 0.0);
+  // Accumulate one contiguous n-vector per block column — the SoA layout
+  // turns the MV read into m contiguous vector additions.
+  for (std::size_t j = 0; j < g.m; ++j) {
+    const std::uint32_t gr = groups_active[j];
+    if (gr > g.intervals) throw std::invalid_argument("groups_active > I");
+    const double* col = mv_table_.data() + (j * table_dim_ + gr) * g.n;
+    for (std::size_t i = 0; i < g.n; ++i) out[i] += col[i];
+  }
 }
 
 double ProgrammedCrossbar::read_vmv(
     const std::vector<std::uint32_t>& rows_active,
     const std::vector<std::uint32_t>& groups_active) const {
   const auto& g = mapping_.geometry();
+  if (rows_active.size() != g.n || groups_active.size() != g.m)
+    throw std::invalid_argument("read_vmv: activation size mismatch");
   double total = 0.0;
-  for (std::size_t i = 0; i < g.n; ++i)
-    total += block_row_current(i, rows_active, groups_active);
+  for (std::size_t i = 0; i < g.n; ++i) {
+    const std::uint32_t r = rows_active[i];
+    if (r > g.intervals) throw std::invalid_argument("rows_active > I");
+    const double* row = block_table(i, 0) + r * table_dim_;
+    for (std::size_t j = 0; j < g.m; ++j) {
+      const std::uint32_t gr = groups_active[j];
+      if (gr > g.intervals) throw std::invalid_argument("groups_active > I");
+      total += row[j * block_stride_ + gr];
+    }
+  }
   return total;
+}
+
+void ProgrammedCrossbar::mv_group_delta(std::size_t j, std::uint32_t g_old,
+                                        std::uint32_t g_new, double* mv) const {
+  const auto& g = mapping_.geometry();
+  if (j >= g.m || g_old > g.intervals || g_new > g.intervals)
+    throw std::out_of_range("mv_group_delta");
+  const double* cold = mv_table_.data() + (j * table_dim_ + g_old) * g.n;
+  const double* cnew = mv_table_.data() + (j * table_dim_ + g_new) * g.n;
+  for (std::size_t i = 0; i < g.n; ++i) mv[i] += cnew[i] - cold[i];
+}
+
+double ProgrammedCrossbar::vmv_row_delta(
+    std::size_t i, std::uint32_t r_old, std::uint32_t r_new,
+    const std::vector<std::uint32_t>& groups_active) const {
+  const auto& g = mapping_.geometry();
+  if (i >= g.n || r_old > g.intervals || r_new > g.intervals ||
+      groups_active.size() != g.m)
+    throw std::out_of_range("vmv_row_delta");
+  const double* base = block_table(i, 0);
+  const std::size_t off_new = r_new * table_dim_;
+  const std::size_t off_old = r_old * table_dim_;
+  double delta = 0.0;
+  for (std::size_t j = 0; j < g.m; ++j) {
+    const double* table = base + j * block_stride_;
+    const std::uint32_t gr = groups_active[j];
+    delta += table[off_new + gr] - table[off_old + gr];
+  }
+  return delta;
+}
+
+double ProgrammedCrossbar::vmv_group_delta(
+    std::size_t j, std::uint32_t g_old, std::uint32_t g_new,
+    const std::vector<std::uint32_t>& rows_active) const {
+  const auto& g = mapping_.geometry();
+  if (j >= g.m || g_old > g.intervals || g_new > g.intervals ||
+      rows_active.size() != g.n)
+    throw std::out_of_range("vmv_group_delta");
+  double delta = 0.0;
+  for (std::size_t i = 0; i < g.n; ++i) {
+    const double* row = block_table(i, j) + rows_active[i] * table_dim_;
+    delta += row[g_new] - row[g_old];
+  }
+  return delta;
 }
 
 double ProgrammedCrossbar::sampled_cell_current(std::size_t row,
@@ -170,8 +249,7 @@ double ProgrammedCrossbar::sampled_cell_current(std::size_t row,
   // which is the finest physical granularity the source line can observe.
   const auto ra = mapping_.row_address(row);
   const auto ca = mapping_.col_address(col);
-  const auto& g = mapping_.geometry();
-  const auto& table = prefix_[ra.i * g.m + ca.j];
+  const double* table = block_table(ra.i, ca.j);
   const std::size_t r = ra.row_in_block;
   const std::size_t gr = ca.group;
   const double bundle = table[(r + 1) * table_dim_ + (gr + 1)] -

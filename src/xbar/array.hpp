@@ -2,12 +2,27 @@
 // A programmed FeFET crossbar array with static per-cell variability.
 //
 // Every physical cell's read current is sampled once at programming time
-// (device-to-device variation is static), then folded into per-block 2-D
-// prefix sums over (rows-in-block, column groups). A matrix-vector or
-// vector-matrix-vector read is then an O(n·m) table lookup while remaining
-// *exactly* equal to the sum of the individual cell currents — cell-level
-// fidelity at simulation speed. A direct per-cell read path is kept for
-// validation and for the Fig. 7(a) robustness experiment.
+// (device-to-device variation is static), then folded into flat
+// structure-of-arrays buffers:
+//
+//   * `prefix_` — one contiguous array holding, per element block (i,j), a
+//     2-D prefix-sum table P of size (I+1)×(I+1) where P[r][g] is the summed
+//     current of the first r rows and first g column groups of the block
+//     ('1' cells at their sampled ON currents, '0' cells at leakage). Blocks
+//     are row-major, tables row-major within a block.
+//   * `mv_table_` — the per-column conductance sums driving Phase-1 MV
+//     reads: entry (j, g, i) = P_ij[I][g], the full-row current of block
+//     (i,j) at g active groups, laid out with i contiguous so a q_j group
+//     change updates all n line currents with one contiguous pass.
+//
+// A matrix-vector or vector-matrix-vector read is then an O(n·m) table walk
+// over contiguous memory while remaining *exactly* equal to the sum of the
+// individual cell currents — cell-level fidelity at simulation speed. On top
+// of the full reads, O(n) / O(m) delta kernels report how the line currents
+// and the total array current move when a single strategy tick changes one
+// activation count — the basis of the incremental two-phase evaluator. A
+// direct per-cell read path is kept for validation and for the Fig. 7(a)
+// robustness experiment.
 
 #include <cstdint>
 #include <vector>
@@ -57,9 +72,37 @@ class ProgrammedCrossbar {
   std::vector<double> read_mv(
       const std::vector<std::uint32_t>& groups_active) const;
 
+  /// Allocation-free MV read: writes the n block-row currents (all word
+  /// lines active) into `out[0..n)`.
+  void read_mv_into(const std::vector<std::uint32_t>& groups_active,
+                    double* out) const;
+
   /// Total array current: the VMV read pᵀMq (Phase 2 of Fig. 6).
   double read_vmv(const std::vector<std::uint32_t>& rows_active,
                   const std::vector<std::uint32_t>& groups_active) const;
+
+  // ---- Incremental delta kernels (single-tick activation changes) ----------
+  //
+  // A strategy tick move changes one activation count by ±1; these kernels
+  // report the resulting current changes from the precomputed tables instead
+  // of re-reading the whole array. All are exact (same table entries a full
+  // read would sum, differenced instead).
+
+  /// Phase-1 update: adds (column j at g_new) − (column j at g_old) to the n
+  /// full-row line currents in `mv[0..n)`. O(n), contiguous.
+  void mv_group_delta(std::size_t j, std::uint32_t g_old, std::uint32_t g_new,
+                      double* mv) const;
+
+  /// Phase-2 update: change of the total array current when block-row i goes
+  /// from r_old to r_new active word lines under `groups_active`. O(m).
+  double vmv_row_delta(std::size_t i, std::uint32_t r_old, std::uint32_t r_new,
+                       const std::vector<std::uint32_t>& groups_active) const;
+
+  /// Phase-2 update: change of the total array current when block column j
+  /// goes from g_old to g_new active groups under `rows_active`. O(n).
+  double vmv_group_delta(std::size_t j, std::uint32_t g_old,
+                         std::uint32_t g_new,
+                         const std::vector<std::uint32_t>& rows_active) const;
 
   /// Slow path: direct sum over the activated cells (validation only).
   double read_vmv_percell(const std::vector<std::uint32_t>& rows_active,
@@ -83,15 +126,22 @@ class ProgrammedCrossbar {
 
  private:
   double sampled_cell_current(std::size_t row, std::size_t col) const;
+  const double* block_table(std::size_t i, std::size_t j) const {
+    return prefix_.data() + (i * mapping_.geometry().m + j) * block_stride_;
+  }
 
   CrossbarMapping mapping_;
   ArrayConfig config_;
   double i_on_nominal_;
-  // Per block (i,j): prefix table P of size (I+1)×(I+1);
-  // P[r][g] = Σ currents of cells in the first r rows and first g groups
-  // (all t cells of a group counted: '1' cells at i_on-sample, '0' at leak).
-  std::vector<std::vector<double>> prefix_;  // n*m tables, row-major
-  std::size_t table_dim_;                    // I+1
+  // Flat SoA prefix tables: block (i,j) occupies block_stride_ = (I+1)²
+  // doubles starting at (i*m + j) * block_stride_; entry (r,g) sits at
+  // r*table_dim_ + g within the block.
+  std::vector<double> prefix_;
+  // Per-column full-row sums for MV reads: entry (j, g, i) at
+  // (j*table_dim_ + g)*n + i equals prefix entry (i, j, I, g).
+  std::vector<double> mv_table_;
+  std::size_t table_dim_;     // I+1
+  std::size_t block_stride_;  // (I+1)²
 };
 
 }  // namespace cnash::xbar
