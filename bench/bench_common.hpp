@@ -4,9 +4,10 @@
 // model) and both D-Wave proxies, classifying every run against the exact
 // ground truth.
 //
-// C-Nash runs dispatch through core::SolverEngine, so they spread across
-// worker threads (--threads N, default: all hardware threads) with
-// bit-identical results for any thread count.
+// All three solver families dispatch through the shared core::SolverService
+// as concurrent jobs — the pool schedules run-granular units across them
+// (--threads N caps each job's in-flight units; default: all hardware
+// threads) with bit-identical results for any thread count.
 //
 // Scale note: the paper uses 5000 SA runs per instance; the default here is
 // smaller so every bench binary finishes in seconds. Pass a run count as the
@@ -20,14 +21,22 @@
 #include <cstring>
 #include <string>
 #include <sys/stat.h>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "core/engine.hpp"
 #include "core/metrics.hpp"
+#include "core/service.hpp"
 #include "game/games.hpp"
 #include "game/support_enum.hpp"
 #include "qubo/dwave_proxy.hpp"
+
+// Git revision baked in by CMake so every BENCH_*.json is attributable to a
+// commit when archived by CI.
+#ifndef CNASH_GIT_SHA
+#define CNASH_GIT_SHA "unknown"
+#endif
 
 namespace cnash::bench {
 
@@ -231,9 +240,14 @@ class JsonReport {
         path_(cli.json_path),
         start_(std::chrono::steady_clock::now()) {
     root_.set("bench", name_);
+    root_.set("git_sha", CNASH_GIT_SHA);
     Json& cfg = root_.obj("config");
     cfg.set("runs", cli.runs);
     cfg.set("threads", cli.threads);
+    const unsigned hw = std::thread::hardware_concurrency();
+    cfg.set("threads_resolved",
+            cli.threads > 0 ? cli.threads
+                            : static_cast<std::size_t>(hw > 0 ? hw : 1));
   }
 
   Json& root() { return root_; }
@@ -287,29 +301,46 @@ inline InstanceEvaluation evaluate_instance(
     std::size_t threads = 0, std::uint64_t seed = 0xDA11A5) {
   InstanceEvaluation ev{inst, game::all_equilibria(inst.game), {}, {}, {}, runs};
 
-  // --- C-Nash on the full hardware model, across the engine's pool. --------
-  core::EngineOptions opts;
-  opts.intervals = inst.intervals;
-  opts.sa.iterations = inst.sa_iterations;
-  opts.seed = seed;
-  opts.threads = threads;
-  auto factory = std::make_shared<core::HardwareEvaluatorFactory>(
-      inst.game, inst.intervals, core::TwoPhaseConfig{}, util::Rng(seed));
-  core::SolverEngine engine(std::move(factory), opts);
-  std::vector<core::CandidateSolution> cnash_cands;
-  for (const auto& o : engine.run(runs)) cnash_cands.push_back({o.p, o.q});
-  ev.cnash = core::classify(inst.game, ev.ground_truth, cnash_cands, 1e-9);
+  // All three solver jobs go through the shared SolverService concurrently;
+  // the pool schedules run-granular units across them. Results are
+  // bit-identical for any pool size / --threads cap (keyed per-unit streams).
+  // Platform-stable seed derivation per backend (std::hash is
+  // implementation-defined and would make archived bench numbers differ
+  // across standard libraries).
+  auto mix_seed = [](std::uint64_t seed_in, const std::string& tag) {
+    std::uint64_t state = seed_in;
+    for (const unsigned char c : tag) {
+      state ^= c;
+      state = util::splitmix64(state);
+    }
+    return state;
+  };
+  auto request_for = [&](const std::string& backend) {
+    core::SolveRequest req(inst.game);
+    req.backend = backend;
+    req.runs = runs;
+    // The proxies get stream families of their own, like the pre-service
+    // drivers that seeded each proxy per solver name.
+    req.seed = backend == "hardware-sa" ? seed : mix_seed(seed, backend);
+    req.intervals = inst.intervals;
+    req.sa.iterations = inst.sa_iterations;
+    req.max_parallelism = threads;
+    return req;
+  };
+  core::SolverService& service = core::SolverService::shared();
+  auto cnash = service.submit(request_for("hardware-sa"));
+  auto dwave_2000q = service.submit(request_for("dwave-2000q6"));
+  auto dwave_advantage = service.submit(request_for("dwave-advantage41"));
 
-  // --- D-Wave proxies. ------------------------------------------------------
-  auto run_proxy = [&](const qubo::DWaveConfig& cfg_proxy) {
-    util::Rng rng(seed ^ std::hash<std::string>{}(cfg_proxy.name));
-    const qubo::DWaveProxy proxy(inst.game, cfg_proxy);
+  auto classify_report = [&](const core::SolveReport& report) {
     std::vector<core::CandidateSolution> cands;
-    for (const auto& s : proxy.run(runs, rng)) cands.push_back({s.p, s.q});
+    cands.reserve(report.samples.size());
+    for (const auto& s : report.samples) cands.push_back({s.p, s.q});
     return core::classify(inst.game, ev.ground_truth, cands, 1e-9);
   };
-  ev.dwave_2000q = run_proxy(qubo::dwave_2000q6_config());
-  ev.dwave_advantage = run_proxy(qubo::dwave_advantage41_config());
+  ev.cnash = classify_report(cnash.get());
+  ev.dwave_2000q = classify_report(dwave_2000q.get());
+  ev.dwave_advantage = classify_report(dwave_advantage.get());
   return ev;
 }
 
@@ -324,14 +355,16 @@ inline void report_instance(Json& node, const InstanceEvaluation& ev) {
   node.set("game", ev.instance.game.name());
   node.set("runs", ev.runs);
   node.set("ground_truth_ne", ev.ground_truth.size());
-  auto solver = [&](const std::string& key, const core::SolverReport& r) {
+  auto solver = [&](const std::string& key, const char* backend,
+                    const core::SolverReport& r) {
     Json& s = node.obj(key);
+    s.set("backend", backend);
     s.set("success_rate", r.success_rate());
     s.set("distinct_found", r.distinct_found());
   };
-  solver("cnash", ev.cnash);
-  solver("dwave_2000q", ev.dwave_2000q);
-  solver("dwave_advantage", ev.dwave_advantage);
+  solver("cnash", "hardware-sa", ev.cnash);
+  solver("dwave_2000q", "dwave-2000q6", ev.dwave_2000q);
+  solver("dwave_advantage", "dwave-advantage41", ev.dwave_advantage);
 }
 
 }  // namespace cnash::bench

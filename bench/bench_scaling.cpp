@@ -3,9 +3,10 @@
 //  1. Problem size: C-Nash success rate, distinct-solution coverage and
 //     modelled time-to-solution on random coordination games of growing size
 //     — the regime where the paper argues S-QUBO solvers collapse.
-//  2. Host parallelism: wall-clock speedup of the SolverEngine dispatching a
-//     fixed batch of hardware-evaluator runs across 1..N worker threads
-//     (identical outcomes at every thread count — only the clock moves).
+//  2. Host parallelism: wall-clock speedup of a fixed batch of
+//     hardware-evaluator runs on the shared SolverService pool, with the
+//     per-job in-flight cap swept 1..N (identical outcomes at every cap —
+//     only the clock moves).
 //  3. Evaluation path: SA wall clock on the full hardware model with the
 //     incremental propose/commit fast path (O(m+n) crossbar delta reads per
 //     move) versus the full O(n·m) re-read per iteration, on games up to
@@ -104,6 +105,7 @@ int main(int argc, char** argv) {
                    core::percent(dr.success_rate())});
     bench::Json& node = report.root().arr("size_sweep").push();
     node.set("actions", n);
+    node.set("backend", "hardware-sa");
     node.set("cnash_success_rate", r.success_rate());
     node.set("dwave_advantage_success_rate", dr.success_rate());
     node.set("cnash_tts_s", tts);
@@ -153,6 +155,7 @@ int main(int argc, char** argv) {
                      util::Table::num(t1 / dt, 2) + "X",
                      util::Table::num(batch / dt, 1)});
     bench::Json& node = report.root().arr("thread_sweep").push();
+    node.set("backend", "hardware-sa");
     node.set("threads", threads);
     node.set("wall_clock_s", dt);
     node.set("runs_per_sec", batch / dt);

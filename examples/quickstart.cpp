@@ -55,10 +55,10 @@ int main(int argc, char** argv) {
               report.runs, core::percent(report.success_rate()).c_str(),
               report.distinct_found(), report.target());
 
-  std::map<std::string, std::pair<core::RunOutcome, int>> distinct;
+  std::map<std::string, std::pair<core::SolveSample, int>> distinct;
   for (const auto& o : outcomes) {
     if (!game::is_nash_equilibrium(g, o.p, o.q, 1e-9)) continue;
-    auto [it, fresh] = distinct.try_emplace(o.profile.key(), o, 0);
+    auto [it, fresh] = distinct.try_emplace(o.key(), o, 0);
     ++it->second.second;
   }
   for (const auto& [key, entry] : distinct) {

@@ -1,8 +1,11 @@
-// CLI driver: solve an arbitrary bimatrix game from a text file (or stdin)
-// with the C-Nash hardware model, cross-checked against exact ground truth.
+// CLI driver: solve arbitrary bimatrix games from text files (or stdin)
+// through the SolverService — any registered backend, N games per invocation
+// (jobs run concurrently on the shared worker pool), cross-checked against
+// exact ground truth.
 //
-//   solve_file <game-file|-> [--runs N] [--iterations N] [--intervals I]
-//              [--exact] [--scale S] [--threads T]
+//   solve_file [--backend NAME] [--runs N] [--iterations N] [--intervals I]
+//              [--exact] [--scale S] [--threads T] [--seed S]
+//              [--list-backends] <game-file|-> [<game-file> ...]
 //
 // Game file format (see src/game/parse.hpp):
 //   name: my game
@@ -13,39 +16,60 @@
 //   1 0
 //   0 2
 //
-// --scale multiplies payoffs before integer coding (use when payoffs are
-// fractional, e.g. --scale 10 for one decimal place); --exact bypasses the
-// hardware model; --threads spreads the runs across T engine workers
-// (0 = all hardware threads; results are identical for any T).
+// --backend picks a registry key (hardware-sa, exact-sa, dwave-2000q6,
+// dwave-advantage41, lemke-howson, support-enum); --exact is an alias for
+// --backend exact-sa. --scale multiplies payoffs before integer coding (use
+// when payoffs are fractional, e.g. --scale 10 for one decimal place);
+// --threads caps each job's in-flight runs on the service pool (0 = all
+// workers; results are identical for any T). Malformed game files produce a
+// parse-error message naming the file and line, and a non-zero exit code.
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <future>
 #include <iostream>
 #include <map>
+#include <vector>
 
 #include "core/metrics.hpp"
-#include "core/solver.hpp"
+#include "core/service.hpp"
 #include "game/parse.hpp"
 #include "game/support_enum.hpp"
 #include "util/table.hpp"
 
+namespace {
+
+void print_usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--backend NAME] [--runs N] [--iterations N] "
+               "[--intervals I]\n"
+               "       [--exact] [--scale S] [--threads T] [--seed S] "
+               "[--list-backends]\n"
+               "       <game-file|-> [<game-file> ...]\n",
+               argv0);
+}
+
+std::string strategy_string(const char* label, const cnash::la::Vector& v) {
+  std::string s = std::string(label) + " = (";
+  for (std::size_t i = 0; i < v.size(); ++i)
+    s += cnash::util::Table::num(v[i], 3) + (i + 1 < v.size() ? ", " : ")");
+  return s;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace cnash;
 
-  if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: %s <game-file|-> [--runs N] [--iterations N] "
-                 "[--intervals I] [--exact] [--scale S] [--threads T]\n",
-                 argv[0]);
-    return 2;
-  }
-
+  std::string backend = "hardware-sa";
   std::size_t runs = 100, iterations = 10000, threads = 0;
   std::uint32_t intervals = 12;
-  bool exact = false;
+  std::uint64_t seed = 0xC0FFEE;
   double scale = 1.0;
-  for (int a = 2; a < argc; ++a) {
+  std::vector<std::string> files;
+
+  for (int a = 1; a < argc; ++a) {
     auto next = [&](const char* flag) {
       if (a + 1 >= argc) {
         std::fprintf(stderr, "%s needs a value\n", flag);
@@ -53,7 +77,9 @@ int main(int argc, char** argv) {
       }
       return argv[++a];
     };
-    if (!std::strcmp(argv[a], "--runs"))
+    if (!std::strcmp(argv[a], "--backend"))
+      backend = next("--backend");
+    else if (!std::strcmp(argv[a], "--runs"))
       runs = std::strtoul(next("--runs"), nullptr, 10);
     else if (!std::strcmp(argv[a], "--iterations"))
       iterations = std::strtoul(next("--iterations"), nullptr, 10);
@@ -64,72 +90,116 @@ int main(int argc, char** argv) {
       scale = std::strtod(next("--scale"), nullptr);
     else if (!std::strcmp(argv[a], "--threads"))
       threads = std::strtoul(next("--threads"), nullptr, 10);
+    else if (!std::strcmp(argv[a], "--seed"))
+      seed = std::strtoull(next("--seed"), nullptr, 0);
     else if (!std::strcmp(argv[a], "--exact"))
-      exact = true;
-    else {
+      backend = "exact-sa";
+    else if (!std::strcmp(argv[a], "--list-backends")) {
+      for (const std::string& name : core::SolverRegistry::global().names())
+        std::printf("%-18s %s\n", name.c_str(),
+                    core::SolverRegistry::global().at(name).describe().c_str());
+      return 0;
+    } else if (argv[a][0] == '-' && std::strcmp(argv[a], "-") != 0) {
       std::fprintf(stderr, "unknown flag %s\n", argv[a]);
+      print_usage(argv[0]);
       return 2;
+    } else {
+      files.push_back(argv[a]);
     }
   }
 
-  game::BimatrixGame g = [&] {
+  if (files.empty()) {
+    print_usage(argv[0]);
+    return 2;
+  }
+
+  // ---- Parse every game file up front; report ALL malformed inputs. --------
+  std::vector<game::BimatrixGame> games;
+  bool parse_failed = false;
+  for (const std::string& file : files) {
     try {
-      if (!std::strcmp(argv[1], "-")) return game::parse_game(std::cin);
-      std::ifstream file(argv[1]);
-      if (!file) {
-        std::fprintf(stderr, "cannot open %s\n", argv[1]);
-        std::exit(2);
+      if (file == "-") {
+        games.push_back(game::parse_game(std::cin));
+      } else {
+        std::ifstream in(file);
+        if (!in) {
+          std::fprintf(stderr, "error: cannot open %s\n", file.c_str());
+          parse_failed = true;
+          continue;
+        }
+        games.push_back(game::parse_game(in));
       }
-      return game::parse_game(file);
     } catch (const game::ParseError& e) {
-      std::fprintf(stderr, "parse error in %s: %s\n", argv[1], e.what());
-      std::exit(2);
+      std::fprintf(stderr, "error: %s: parse error at %s\n", file.c_str(),
+                   e.what());
+      parse_failed = true;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s: invalid game: %s\n", file.c_str(),
+                   e.what());
+      parse_failed = true;
     }
-  }();
-
-  std::printf("%s\n", g.to_string().c_str());
-
-  const auto gt_result = game::support_enumeration(g);
-  const auto& gt = gt_result.equilibria;
-  std::printf("ground truth: %zu equilibria%s\n\n", gt.size(),
-              gt_result.degenerate_flag ? " (degenerate game — the list may "
-                                          "be incomplete)"
-                                        : "");
-
-  core::CNashConfig cfg;
-  cfg.intervals = intervals;
-  cfg.sa.iterations = iterations;
-  cfg.use_hardware = !exact;
-  cfg.hardware.value_scale = scale;
-  cfg.threads = threads;
-  core::CNashSolver solver(g, cfg);
-  const auto outcomes = solver.run(runs);
-
-  std::vector<core::CandidateSolution> cands;
-  for (const auto& o : outcomes) cands.push_back({o.p, o.q});
-  const auto report = core::classify(g, gt, cands, 1e-7, 1e-4);
-
-  std::printf("C-Nash (%s backend): %zu runs, success %s%%, distinct %zu/%zu\n\n",
-              exact ? "exact" : "hardware", report.runs,
-              core::percent(report.success_rate()).c_str(),
-              report.distinct_found(), report.target());
-
-  std::map<std::string, std::pair<core::RunOutcome, int>> distinct;
-  for (const auto& o : outcomes) {
-    if (!game::is_nash_equilibrium(g, o.p, o.q, 1e-7)) continue;
-    auto [it, fresh] = distinct.try_emplace(o.profile.key(), o, 0);
-    ++it->second.second;
   }
-  for (const auto& [key, entry] : distinct) {
-    const auto& o = entry.first;
-    std::string ps = "p = (", qs = "q = (";
-    for (std::size_t i = 0; i < o.p.size(); ++i)
-      ps += util::Table::num(o.p[i], 3) + (i + 1 < o.p.size() ? ", " : ")");
-    for (std::size_t j = 0; j < o.q.size(); ++j)
-      qs += util::Table::num(o.q[j], 3) + (j + 1 < o.q.size() ? ", " : ")");
-    std::printf("%s %s  %s   [%d hits]\n",
-                game::is_pure_profile(o.p, o.q) ? "pure " : "mixed", ps.c_str(),
-                qs.c_str(), entry.second);
+  if (parse_failed) return 2;
+
+  // ---- Submit one job per game; all run concurrently on the shared pool. ---
+  core::SolverService& service = core::SolverService::shared();
+  std::vector<std::future<core::SolveReport>> futures;
+  futures.reserve(games.size());
+  for (const game::BimatrixGame& g : games) {
+    core::SolveRequest req(g);
+    req.backend = backend;
+    req.runs = runs;
+    req.seed = seed;
+    req.intervals = intervals;
+    req.sa.iterations = iterations;
+    req.hardware.value_scale = scale;
+    req.max_parallelism = threads;
+    futures.push_back(service.submit(std::move(req)));
+  }
+
+  for (std::size_t i = 0; i < games.size(); ++i) {
+    const game::BimatrixGame& g = games[i];
+    core::SolveReport report;
+    try {
+      report = futures[i].get();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s: %s\n", files[i].c_str(), e.what());
+      return 1;
+    }
+
+    std::printf("%s\n", g.to_string().c_str());
+
+    const auto gt_result = game::support_enumeration(g);
+    const auto& gt = gt_result.equilibria;
+    std::printf("ground truth: %zu equilibria%s\n\n", gt.size(),
+                gt_result.degenerate_flag ? " (degenerate game — the list may "
+                                            "be incomplete)"
+                                          : "");
+
+    std::vector<core::CandidateSolution> cands;
+    for (const auto& s : report.samples) cands.push_back({s.p, s.q});
+    const auto cls = core::classify(g, gt, cands, 1e-7, 1e-4);
+
+    std::printf(
+        "%s: %zu samples, success %s%%, distinct %zu/%zu, modeled %.4g s\n\n",
+        report.backend.c_str(), report.runs(),
+        core::percent(cls.success_rate()).c_str(), cls.distinct_found(),
+        cls.target(), report.modeled_time_s);
+
+    std::map<std::string, std::pair<core::SolveSample, int>> distinct;
+    for (const auto& s : report.samples) {
+      if (!s.is_nash) continue;
+      auto [it, fresh] = distinct.try_emplace(s.key(), s, 0);
+      ++it->second.second;
+    }
+    for (const auto& [key, entry] : distinct) {
+      const auto& s = entry.first;
+      std::printf("%s %s  %s   [%d hits]\n",
+                  game::is_pure_profile(s.p, s.q) ? "pure " : "mixed",
+                  strategy_string("p", s.p).c_str(),
+                  strategy_string("q", s.q).c_str(), entry.second);
+    }
+    if (i + 1 < games.size()) std::printf("\n%s\n\n", std::string(72, '-').c_str());
   }
   return 0;
 }

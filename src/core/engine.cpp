@@ -1,11 +1,9 @@
 #include "core/engine.hpp"
 
-#include <algorithm>
-#include <atomic>
-#include <mutex>
-#include <optional>
 #include <stdexcept>
-#include <thread>
+
+#include "core/backend.hpp"
+#include "core/service.hpp"
 
 namespace cnash::core {
 
@@ -43,77 +41,28 @@ std::unique_ptr<TwoPhaseEvaluator> HardwareEvaluatorFactory::create_hardware(
 
 SolverEngine::SolverEngine(std::shared_ptr<const EvaluatorFactory> factory,
                            EngineOptions options)
-    : factory_(std::move(factory)),
-      options_(options),
-      root_(options.seed) {
+    : factory_(std::move(factory)), options_(options) {
   if (!factory_) throw std::invalid_argument("SolverEngine: null factory");
 }
 
-std::size_t SolverEngine::resolved_threads() const {
-  if (options_.threads > 0) return options_.threads;
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw > 0 ? hw : 1;
-}
+SolveSample SolverEngine::solve_once() { return std::move(run(1).front()); }
 
-RunOutcome SolverEngine::run_one(std::uint64_t run_index) const {
-  // Even keys address evaluator instances, odd keys SA streams, so the two
-  // families can never alias across runs.
-  const std::unique_ptr<ObjectiveEvaluator> evaluator =
-      factory_->create(2 * run_index);
-  util::Rng sa_rng = root_.split(2 * run_index + 1);
-  const SaRunResult res = simulated_annealing(*evaluator, options_.intervals,
-                                              options_.sa, sa_rng);
-  const game::QuantizedProfile& chosen =
-      options_.report_best ? res.best_profile : res.final_profile;
-  const double objective =
-      options_.report_best ? res.best_objective : res.final_objective;
-  return RunOutcome{chosen.p.to_distribution(), chosen.q.to_distribution(),
-                    objective, chosen};
-}
-
-RunOutcome SolverEngine::solve_once() { return run(1).front(); }
-
-std::vector<RunOutcome> SolverEngine::run(std::size_t num_runs) {
-  std::vector<RunOutcome> out;
-  out.reserve(num_runs);
+std::vector<SolveSample> SolverEngine::run(std::size_t num_runs) {
   const std::uint64_t base = next_run_;
   next_run_ += num_runs;
-  if (num_runs == 0) return out;
+  if (num_runs == 0) return {};
 
-  const std::size_t workers = std::min(resolved_threads(), num_runs);
-  if (workers <= 1) {
-    for (std::size_t i = 0; i < num_runs; ++i) out.push_back(run_one(base + i));
-    return out;
-  }
-
-  std::vector<std::optional<RunOutcome>> slots(num_runs);
-  std::atomic<std::size_t> next{0};
-  std::atomic<bool> failed{false};
-  std::mutex error_mutex;
-  std::exception_ptr error;
-  auto work = [&] {
-    while (!failed.load(std::memory_order_relaxed)) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= num_runs) return;
-      try {
-        slots[i] = run_one(base + i);
-      } catch (...) {
-        failed.store(true, std::memory_order_relaxed);
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!error) error = std::current_exception();
-        return;
-      }
-    }
-  };
-
-  std::vector<std::thread> pool;
-  pool.reserve(workers - 1);
-  for (std::size_t w = 1; w < workers; ++w) pool.emplace_back(work);
-  work();  // the calling thread is worker 0
-  for (std::thread& t : pool) t.join();
-  if (error) std::rethrow_exception(error);
-  for (std::optional<RunOutcome>& slot : slots) out.push_back(std::move(*slot));
-  return out;
+  // One job on the shared service pool, capped at this engine's `threads`;
+  // base_run continues the run-index sequence so consecutive batches replay
+  // the exact per-run streams of one big batch.
+  auto job = std::make_unique<SaPreparedJob>(
+      factory_, options_.intervals, options_.sa, options_.report_best,
+      options_.seed, num_runs, base);
+  job->backend_name = "engine";
+  job->max_parallelism = options_.threads;
+  SolveReport report =
+      SolverService::shared().submit_prepared(std::move(job)).get();
+  return std::move(report.samples);
 }
 
 }  // namespace cnash::core

@@ -1,15 +1,17 @@
 #pragma once
-// core::SolverEngine — batched, multi-threaded dispatch of independent
-// two-phase SA runs across per-run evaluator instances.
+// core::SolverEngine — batched dispatch of independent two-phase SA runs
+// across per-run evaluator instances.
 //
 // The paper's headline numbers (Table 1 success rate, Fig. 10
 // time-to-solution) aggregate thousands of INDEPENDENT annealing runs, so the
-// engine treats "one run" as the unit of work: a pool of std::threads pulls
-// run indices off a shared counter, and every run r derives
+// engine treats "one run" as the unit of work. Since the SolverService
+// refactor the engine owns no threads of its own: each run() batch becomes
+// one job on the process-wide SolverService pool (see service.hpp), scheduled
+// run-granularly alongside any other in-flight jobs. Every run r derives
 //   * its SA stream            from  Rng(seed).split(2r + 1)
 //   * its evaluator instance   from  EvaluatorFactory::create(2r)
 // Because both are keyed (counter-derived) rather than sequential, the
-// RunOutcome vector is bit-identical for ANY thread count — a serial sweep,
+// outcome vector is bit-identical for ANY worker count — a serial sweep,
 // 2 workers and 8 workers all reproduce the same per-run streams no matter
 // which worker picks up which run. Evaluator instances are created per run
 // and never shared, so the mutable hardware model (device variability, ADC
@@ -20,6 +22,7 @@
 #include <vector>
 
 #include "core/anneal.hpp"
+#include "core/sample.hpp"
 #include "core/two_phase.hpp"
 #include "util/rng.hpp"
 
@@ -30,15 +33,7 @@ namespace cnash::core {
 /// index (2^64 - 2) / 2 — unreachable in practice.
 inline constexpr std::uint64_t kProbeInstanceKey = ~0ULL;
 
-/// One SA run's solution candidate.
-struct RunOutcome {
-  la::Vector p;
-  la::Vector q;
-  double objective;   // MAX-QUBO value as measured by the evaluator
-  game::QuantizedProfile profile;
-};
-
-/// Creates fresh, thread-confined evaluator instances for the engine's
+/// Creates fresh, thread-confined evaluator instances for the service's
 /// workers. `instance_key` addresses the instance's RNG stream
 /// deterministically — the same key always yields an identically-behaving
 /// instance (same sampled device variability, same noise stream).
@@ -89,7 +84,9 @@ struct EngineOptions {
   /// one (Alg. 1 reports the final recorded pair).
   bool report_best = false;
   std::uint64_t seed = 0xC0FFEE;
-  /// Worker threads for run(); 0 = one per hardware thread.
+  /// Cap on this engine's runs simultaneously in flight on the shared
+  /// SolverService pool; 0 = no cap (one run per pool worker). Any value
+  /// produces the same outcomes — only wall-clock changes.
   std::size_t threads = 0;
 };
 
@@ -100,27 +97,22 @@ class SolverEngine {
 
   const EvaluatorFactory& factory() const { return *factory_; }
   const EngineOptions& options() const { return options_; }
-  /// The worker count threads == 0 resolves to.
-  std::size_t resolved_threads() const;
 
   /// `num_runs` independent SA runs, ordered by run index. The result is
   /// bit-identical for any `threads` setting given the same seed.
   /// Consecutive calls continue the run-index sequence, so run(5) twice
   /// equals run(10).
-  std::vector<RunOutcome> run(std::size_t num_runs);
+  std::vector<SolveSample> run(std::size_t num_runs);
 
   /// The next single run of the sequence.
-  RunOutcome solve_once();
+  SolveSample solve_once();
 
   /// Rewind the run-index counter: the next batch replays from run 0.
   void rewind() { next_run_ = 0; }
 
  private:
-  RunOutcome run_one(std::uint64_t run_index) const;
-
   std::shared_ptr<const EvaluatorFactory> factory_;
   EngineOptions options_;
-  util::Rng root_;  // keyed splits only — never advanced
   std::uint64_t next_run_ = 0;
 };
 

@@ -1,0 +1,23 @@
+#include "core/sample.hpp"
+
+#include <cstdio>
+
+namespace cnash::core {
+
+std::string SolveSample::key() const {
+  if (profile) return profile->key();
+  std::string out;
+  char buf[32];
+  auto append = [&](const la::Vector& v) {
+    for (double x : v) {
+      std::snprintf(buf, sizeof buf, "%.6f,", x);
+      out += buf;
+    }
+  };
+  append(p);
+  out += '|';
+  append(q);
+  return out;
+}
+
+}  // namespace cnash::core

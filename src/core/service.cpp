@@ -1,0 +1,229 @@
+#include "core/service.hpp"
+
+#include <chrono>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+namespace cnash::core {
+
+namespace {
+
+std::size_t resolve_pool_size(std::size_t threads) {
+  if (threads > 0) return threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+}  // namespace
+
+/// One submitted job. All mutable state is guarded by the service mutex;
+/// `prepared` is written once under the lock before any unit is dispatched,
+/// so workers running units read it race-free.
+struct SolverService::Job {
+  // Request path (submit): resolved backend + request until prepared.
+  const SolverBackend* backend = nullptr;
+  std::optional<SolveRequest> request;
+  bool prepare_claimed = false;
+
+  std::unique_ptr<PreparedJob> prepared;
+  std::size_t total = 0;      // num_units once prepared
+  std::size_t next_unit = 0;  // next unit index to dispatch
+  std::size_t in_flight = 0;  // units (or the prepare step) currently running
+  std::size_t done = 0;       // units completed
+  std::size_t cap = 0;        // per-job in-flight cap (0 = none)
+  std::vector<std::vector<SolveSample>> slots;  // per-unit samples
+
+  std::exception_ptr error;  // first failure; remaining units are skipped
+  std::promise<SolveReport> promise;
+  std::chrono::steady_clock::time_point submitted;
+};
+
+SolverService::SolverService(ServiceOptions options)
+    : registry_(options.registry ? options.registry
+                                 : &SolverRegistry::global()) {
+  const std::size_t pool = resolve_pool_size(options.threads);
+  workers_.reserve(pool);
+  for (std::size_t w = 0; w < pool; ++w)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+SolverService::~SolverService() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+  // Jobs still queued are abandoned: their promises are destroyed unfulfilled
+  // and pending futures observe std::future_error (broken_promise).
+}
+
+std::shared_ptr<SolverService::Job> SolverService::make_job() {
+  auto job = std::make_shared<Job>();
+  job->submitted = std::chrono::steady_clock::now();
+  return job;
+}
+
+std::future<SolveReport> SolverService::enqueue(std::shared_ptr<Job> job) {
+  std::future<SolveReport> future = job->promise.get_future();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    jobs_.push_back(std::move(job));
+  }
+  cv_.notify_all();
+  return future;
+}
+
+std::future<SolveReport> SolverService::submit(SolveRequest request) {
+  auto job = make_job();
+  const SolverBackend* backend = registry_->find(request.backend);
+  if (!backend) {
+    std::future<SolveReport> future = job->promise.get_future();
+    try {
+      registry_->at(request.backend);  // throws with the known-key list
+    } catch (...) {
+      job->promise.set_exception(std::current_exception());
+    }
+    return future;
+  }
+  job->backend = backend;
+  job->request = std::move(request);
+  return enqueue(std::move(job));
+}
+
+std::future<SolveReport> SolverService::submit_prepared(
+    std::unique_ptr<PreparedJob> prepared) {
+  auto job = make_job();
+  if (!prepared) {
+    std::future<SolveReport> future = job->promise.get_future();
+    job->promise.set_exception(std::make_exception_ptr(
+        std::invalid_argument("SolverService: null prepared job")));
+    return future;
+  }
+  job->prepared = std::move(prepared);
+  job->total = job->prepared->num_units();
+  job->cap = job->prepared->max_parallelism;
+  job->slots.resize(job->total);
+  if (job->total == 0) {
+    // Nothing to schedule; resolve inline.
+    std::future<SolveReport> future = job->promise.get_future();
+    SolveReport report = assemble_report(*job->prepared, {});
+    job->promise.set_value(std::move(report));
+    return future;
+  }
+  return enqueue(std::move(job));
+}
+
+SolveReport SolverService::solve(SolveRequest request) {
+  return submit(std::move(request)).get();
+}
+
+std::size_t SolverService::pending_jobs() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return jobs_.size();
+}
+
+void SolverService::finish(std::shared_ptr<Job> job) {
+  if (job->error) {
+    job->promise.set_exception(job->error);
+    return;
+  }
+  SolveReport report = assemble_report(*job->prepared, std::move(job->slots));
+  report.wall_clock_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - job->submitted)
+                            .count();
+  job->promise.set_value(std::move(report));
+}
+
+void SolverService::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    // Scan the job list for the next dispatchable step: an unclaimed
+    // prepare, or a unit of a prepared job below its cap. A job that hands
+    // out a unit rotates to the tail, so concurrent jobs round-robin the
+    // pool — a large job never starves a small one (results are unaffected:
+    // units carry keyed streams).
+    std::shared_ptr<Job> job;
+    bool is_prepare = false;
+    std::size_t unit = 0;
+    for (auto it = jobs_.begin(); it != jobs_.end(); ++it) {
+      const std::shared_ptr<Job>& j = *it;
+      if (j->error) continue;  // draining: no new units for failed jobs
+      if (!j->prepared) {
+        if (j->prepare_claimed) continue;
+        j->prepare_claimed = true;
+        j->in_flight++;
+        job = j;
+        is_prepare = true;
+        break;
+      }
+      if (j->next_unit < j->total && (j->cap == 0 || j->in_flight < j->cap)) {
+        unit = j->next_unit++;
+        j->in_flight++;
+        job = j;
+        jobs_.splice(jobs_.end(), jobs_, it);
+        break;
+      }
+    }
+    if (!job) {
+      if (stop_) return;
+      cv_.wait(lock);
+      continue;
+    }
+
+    lock.unlock();
+    std::exception_ptr error;
+    std::unique_ptr<PreparedJob> prepared;
+    std::vector<SolveSample> samples;
+    try {
+      if (is_prepare)
+        prepared = job->backend->prepare(*job->request);
+      else
+        samples = job->prepared->run_unit(unit);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    lock.lock();
+
+    job->in_flight--;
+    if (error) {
+      if (!job->error) job->error = error;
+    } else if (is_prepare) {
+      job->prepared = std::move(prepared);
+      job->total = job->prepared->num_units();
+      job->cap = job->prepared->max_parallelism;
+      job->slots.resize(job->total);
+      job->request.reset();  // the prepared job owns everything it needs
+    } else {
+      job->slots[unit] = std::move(samples);
+      job->done++;
+    }
+
+    const bool finished =
+        job->in_flight == 0 &&
+        (job->error || (job->prepared && job->done == job->total));
+    if (finished) {
+      for (auto it = jobs_.begin(); it != jobs_.end(); ++it)
+        if (it->get() == job.get()) {
+          jobs_.erase(it);
+          break;
+        }
+      lock.unlock();
+      finish(std::move(job));
+      lock.lock();
+    }
+    // New units may have become dispatchable (post-prepare, freed cap slot,
+    // or queue head change after completion).
+    cv_.notify_all();
+  }
+}
+
+SolverService& SolverService::shared() {
+  // Heap-allocated so the pool (and its idle workers) outlives every static
+  // destructor that might still submit work; the OS reclaims it at exit.
+  static SolverService* service = new SolverService(ServiceOptions{});
+  return *service;
+}
+
+}  // namespace cnash::core

@@ -1,0 +1,84 @@
+#pragma once
+// core::SolverService — the asynchronous multi-game job queue fronting the
+// SolverBackend registry: submit(request) → std::future<SolveReport>.
+//
+// One service owns one worker pool; every submitted job is decomposed into
+// run-granular units (SA runs, annealer reads, pivot labels) that the pool
+// schedules ACROSS concurrent jobs — a large job never blocks a small one,
+// and mixed batches keep every worker busy. This replaces the per-engine
+// std::thread pool the SolverEngine used to spawn per run() call.
+//
+// Determinism: a job's report depends only on its request — every unit
+// derives its RNG streams from keyed splits of the job's root seed — so
+// reports are bit-identical for any pool size, any per-job parallelism cap
+// and any submission interleaving. The single exception is
+// SolveReport::wall_clock_s, which measures real elapsed time.
+//
+// Errors: a failed prepare() or unit surfaces as the job future's exception;
+// remaining units of that job are skipped, other jobs are unaffected.
+
+#include <condition_variable>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/backend.hpp"
+
+namespace cnash::core {
+
+struct ServiceOptions {
+  /// Worker pool size; 0 = one worker per hardware thread.
+  std::size_t threads = 0;
+  /// Backend registry to resolve request.backend against;
+  /// nullptr = SolverRegistry::global().
+  const SolverRegistry* registry = nullptr;
+};
+
+class SolverService {
+ public:
+  explicit SolverService(ServiceOptions options = {});
+  ~SolverService();
+  SolverService(const SolverService&) = delete;
+  SolverService& operator=(const SolverService&) = delete;
+
+  /// Queue a job; the future resolves once every unit has run. An unknown
+  /// backend name resolves the future to std::invalid_argument immediately.
+  std::future<SolveReport> submit(SolveRequest request);
+
+  /// Queue an already-prepared job (the SolverEngine's entry point: its
+  /// evaluator factory is not addressable by a registry key).
+  std::future<SolveReport> submit_prepared(std::unique_ptr<PreparedJob> job);
+
+  /// Synchronous convenience: submit + wait.
+  SolveReport solve(SolveRequest request);
+
+  /// Worker pool size.
+  std::size_t threads() const { return workers_.size(); }
+
+  /// Jobs queued or in flight (diagnostic).
+  std::size_t pending_jobs() const;
+
+  /// The process-wide service (one worker per hardware thread) used by
+  /// SolverEngine / CNashSolver and the CLI drivers.
+  static SolverService& shared();
+
+ private:
+  struct Job;
+
+  std::shared_ptr<Job> make_job();
+  std::future<SolveReport> enqueue(std::shared_ptr<Job> job);
+  void worker_loop();
+  void finish(std::shared_ptr<Job> job);  // fulfil promise, job already delisted
+
+  const SolverRegistry* registry_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::list<std::shared_ptr<Job>> jobs_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+};
+
+}  // namespace cnash::core

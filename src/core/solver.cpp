@@ -1,5 +1,7 @@
 #include "core/solver.hpp"
 
+#include "core/service.hpp"
+
 namespace cnash::core {
 
 namespace {
@@ -38,10 +40,31 @@ CNashSolver::CNashSolver(game::BimatrixGame game, CNashConfig config)
   }
 }
 
-RunOutcome CNashSolver::solve_once() { return engine_.solve_once(); }
+SolveSample CNashSolver::solve_once() { return engine_.solve_once(); }
 
-std::vector<RunOutcome> CNashSolver::run(std::size_t num_runs) {
+std::vector<SolveSample> CNashSolver::run(std::size_t num_runs) {
   return engine_.run(num_runs);
+}
+
+SolveRequest CNashSolver::request(std::size_t num_runs) const {
+  SolveRequest req(game_);
+  req.backend = config_.use_hardware ? "hardware-sa" : "exact-sa";
+  req.runs = num_runs;
+  req.seed = config_.seed;
+  req.intervals = config_.intervals;
+  req.sa = config_.sa;
+  req.hardware = config_.hardware;
+  req.report_best = config_.report_best;
+  req.max_parallelism = config_.threads;
+  return req;
+}
+
+std::future<SolveReport> CNashSolver::submit(std::size_t num_runs) const {
+  return SolverService::shared().submit(request(num_runs));
+}
+
+SolveReport CNashSolver::solve(std::size_t num_runs) const {
+  return submit(num_runs).get();
 }
 
 }  // namespace cnash::core

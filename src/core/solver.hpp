@@ -4,16 +4,22 @@
 // solutions. The evaluator can be the hardware model (default, full device /
 // WTA / ADC non-idealities) or the exact software objective (ablation).
 //
-// Since the SolverEngine refactor this is a thin wrapper: runs are dispatched
-// through a core::SolverEngine, so they execute across `threads` workers with
-// per-run keyed RNG streams. For a fixed `seed`, run() returns bit-identical
-// outcomes for EVERY thread count (1, 2, 8, ...) — see engine.hpp.
+// Since the SolverService refactor this is a facade over the service: runs
+// dispatch as run-granular units on the process-wide SolverService pool
+// (capped at `threads` in-flight units), with per-run keyed RNG streams. For
+// a fixed `seed`, run() returns bit-identical outcomes for EVERY cap (1, 2,
+// 8, ...) — see service.hpp / engine.hpp. request()/submit() expose the same
+// configuration as a unified SolveRequest on the "hardware-sa" / "exact-sa"
+// registry backends, for callers that want asynchronous futures or full
+// SolveReports.
 
 #include <cstdint>
+#include <future>
 #include <memory>
 #include <vector>
 
 #include "core/anneal.hpp"
+#include "core/backend.hpp"
 #include "core/engine.hpp"
 #include "core/two_phase.hpp"
 
@@ -30,7 +36,7 @@ struct CNashConfig {
   /// Root seed: every run r derives its SA stream and evaluator instance
   /// from keyed splits of this value, independent of thread scheduling.
   std::uint64_t seed = 0xC0FFEE;
-  /// Worker threads for run(); 0 = one per hardware thread. Any value
+  /// Cap on in-flight runs on the shared service pool; 0 = no cap. Any value
   /// produces the same outcomes for the same seed.
   std::size_t threads = 0;
 };
@@ -42,7 +48,7 @@ class CNashSolver {
   const game::BimatrixGame& game() const { return game_; }
   const CNashConfig& config() const { return config_; }
 
-  /// The engine dispatching this solver's runs.
+  /// The engine dispatching this solver's runs onto the shared service.
   SolverEngine& engine() { return engine_; }
 
   /// Probe evaluator for inspection (crossbar geometry, WTA corners, ADC
@@ -54,10 +60,21 @@ class CNashSolver {
   const TwoPhaseEvaluator* hardware() const { return probe_hardware_; }
 
   /// One annealing run (continues the engine's run-index sequence).
-  RunOutcome solve_once();
+  SolveSample solve_once();
 
-  /// `num_runs` independent annealing runs across the configured threads.
-  std::vector<RunOutcome> run(std::size_t num_runs);
+  /// `num_runs` independent annealing runs across the service workers.
+  std::vector<SolveSample> run(std::size_t num_runs);
+
+  /// This solver's configuration as a unified SolveRequest on the
+  /// "hardware-sa" / "exact-sa" registry backend.
+  SolveRequest request(std::size_t num_runs) const;
+
+  /// Asynchronous batch through the shared SolverService. Always replays
+  /// from run index 0 (equivalent to run(num_runs) on a fresh solver).
+  std::future<SolveReport> submit(std::size_t num_runs) const;
+
+  /// Synchronous service path: submit + wait.
+  SolveReport solve(std::size_t num_runs) const;
 
  private:
   game::BimatrixGame game_;

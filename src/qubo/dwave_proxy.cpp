@@ -30,33 +30,39 @@ DWaveProxy::DWaveProxy(const game::BimatrixGame& game, DWaveConfig config)
     : game_(game),
       config_(std::move(config)),
       squbo_(game_, config_.squbo),
-      solve_model_(squbo_.model().quantized(config_.coupler_bits)) {}
+      solve_model_(squbo_.model().quantized(config_.coupler_bits)),
+      noise_sigma_(config_.q_noise_rel * solve_model_.max_abs_coefficient()) {}
 
-std::vector<NashSample> DWaveProxy::run(std::size_t num_reads,
-                                        util::Rng& rng) const {
-  std::vector<NashSample> out;
-  out.reserve(num_reads);
-  const double noise_sigma =
-      config_.q_noise_rel * solve_model_.max_abs_coefficient();
-  for (std::size_t r = 0; r < num_reads; ++r) {
-    AnnealResult res;
-    if (noise_sigma > 0.0) {
-      // Integrated control errors: every anneal runs a perturbed Hamiltonian.
-      QuboModel noisy = solve_model_;
-      const std::size_t n = noisy.num_vars();
-      for (std::size_t i = 0; i < n; ++i) {
-        noisy.add_linear(i, rng.normal(0.0, noise_sigma));
-        for (std::size_t j = i + 1; j < n; ++j)
-          noisy.add_quadratic(i, j, rng.normal(0.0, noise_sigma));
-      }
-      res = anneal(noisy, config_.schedule, rng);
-      res.best_energy = solve_model_.energy(res.best_state);  // true energy
-    } else {
-      res = anneal(solve_model_, config_.schedule, rng);
+core::SolveSample DWaveProxy::sample_one(util::Rng& rng) const {
+  AnnealResult res;
+  if (noise_sigma_ > 0.0) {
+    // Integrated control errors: every anneal runs a perturbed Hamiltonian.
+    QuboModel noisy = solve_model_;
+    const std::size_t n = noisy.num_vars();
+    for (std::size_t i = 0; i < n; ++i) {
+      noisy.add_linear(i, rng.normal(0.0, noise_sigma_));
+      for (std::size_t j = i + 1; j < n; ++j)
+        noisy.add_quadratic(i, j, rng.normal(0.0, noise_sigma_));
     }
-    const SQubo::Decoded d = squbo_.decode(res.best_state);
-    out.push_back({d.p, d.q, d.valid_strategies, res.best_energy});
+    res = anneal(noisy, config_.schedule, rng);
+    res.best_energy = solve_model_.energy(res.best_state);  // true energy
+  } else {
+    res = anneal(solve_model_, config_.schedule, rng);
   }
+  const SQubo::Decoded d = squbo_.decode(res.best_state);
+  core::SolveSample s;
+  s.p = d.p;
+  s.q = d.q;
+  s.objective = res.best_energy;
+  s.valid = d.valid_strategies;
+  return s;
+}
+
+std::vector<core::SolveSample> DWaveProxy::run(std::size_t num_reads,
+                                               util::Rng& rng) const {
+  std::vector<core::SolveSample> out;
+  out.reserve(num_reads);
+  for (std::size_t r = 0; r < num_reads; ++r) out.push_back(sample_one(rng));
   return out;
 }
 

@@ -8,10 +8,17 @@
 //   D-Wave 2000 Q6      — slower per sample, better-converged samples.
 //   D-Wave Advantage 4.1 — faster per sample, noisier samples (matches the
 //                          lower success rates reported in Table 1).
+//
+// Reads are reported as core::SolveSample (the unified cross-solver sample
+// type): objective = the S-QUBO energy of the read, valid = the one-hot
+// strategy constraints hold, no quantized profile. The "dwave-2000q6" /
+// "dwave-advantage41" registry backends front this proxy behind the
+// SolveRequest → SolveReport contract.
 
 #include <string>
 #include <vector>
 
+#include "core/sample.hpp"
 #include "game/game.hpp"
 #include "qubo/annealer.hpp"
 #include "qubo/squbo_builder.hpp"
@@ -34,32 +41,36 @@ struct DWaveConfig {
 DWaveConfig dwave_2000q6_config();
 DWaveConfig dwave_advantage41_config();
 
-/// Result of one annealer read, decoded to strategy space.
-struct NashSample {
-  la::Vector p;
-  la::Vector q;
-  bool valid;      // strategy simplex constraints hold (one-hot)
-  double energy;   // S-QUBO energy of the read
-};
-
-/// Run `num_reads` S-QUBO reads on a game through the proxy.
+/// Run S-QUBO reads on a game through the proxy.
 class DWaveProxy {
  public:
   DWaveProxy(const game::BimatrixGame& game, DWaveConfig config);
 
-  std::vector<NashSample> run(std::size_t num_reads, util::Rng& rng) const;
+  /// One annealer read, decoded to strategy space. Draws exactly one read's
+  /// worth of randomness from `rng` (noiseless configs draw none beyond the
+  /// anneal itself), so keyed per-read streams reproduce any read in
+  /// isolation.
+  core::SolveSample sample_one(util::Rng& rng) const;
+
+  /// `num_reads` sequential reads off one stream.
+  std::vector<core::SolveSample> run(std::size_t num_reads,
+                                     util::Rng& rng) const;
 
   /// Modelled wall-clock for `num_reads` reads.
   double elapsed_seconds(std::size_t num_reads) const;
 
+  const game::BimatrixGame& game() const { return game_; }
   const DWaveConfig& config() const { return config_; }
   const SQubo& squbo() const { return squbo_; }
+  /// The precision-quantized model actually sampled (coupler_bits applied).
+  const QuboModel& solve_model() const { return solve_model_; }
 
  private:
   game::BimatrixGame game_;
   DWaveConfig config_;
   SQubo squbo_;
   QuboModel solve_model_;  // precision-quantized model actually sampled
+  double noise_sigma_;     // absolute ICE perturbation sigma per coupling
 };
 
 }  // namespace cnash::qubo

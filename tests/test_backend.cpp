@@ -1,0 +1,189 @@
+// SolverBackend registry: the string-keyed normalisation of all solver
+// families onto one SolveRequest → SolveReport contract — registry lookup
+// semantics, per-sample ε-Nash verification, and equivalence between the
+// synchronous solve() path, the service path and the legacy SolverEngine.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "core/backend.hpp"
+#include "core/service.hpp"
+#include "core/timing.hpp"
+#include "game/games.hpp"
+
+namespace cnash::core {
+namespace {
+
+void append_bits(std::string& fp, double v) {
+  const char* bytes = reinterpret_cast<const char*>(&v);
+  fp.append(bytes, sizeof(v));
+}
+
+std::string samples_fingerprint(const std::vector<SolveSample>& samples) {
+  std::string fp;
+  for (const SolveSample& s : samples) {
+    fp += s.key();
+    fp += s.valid ? 'v' : '-';
+    fp += s.is_nash ? 'n' : '-';
+    append_bits(fp, s.objective);
+    append_bits(fp, s.regret);
+    for (double x : s.p) append_bits(fp, x);
+    for (double x : s.q) append_bits(fp, x);
+    fp += '\n';
+  }
+  return fp;
+}
+
+TEST(SolverRegistry, GlobalRegistersTheSixPaperBackends) {
+  const std::vector<std::string> expected{
+      "hardware-sa",       "exact-sa",     "dwave-2000q6",
+      "dwave-advantage41", "lemke-howson", "support-enum"};
+  EXPECT_EQ(SolverRegistry::global().names(), expected);
+  for (const std::string& name : expected) {
+    const SolverBackend* backend = SolverRegistry::global().find(name);
+    ASSERT_NE(backend, nullptr) << name;
+    EXPECT_EQ(backend->name(), name);
+    EXPECT_FALSE(backend->describe().empty()) << name;
+  }
+}
+
+TEST(SolverRegistry, UnknownKeyLookups) {
+  EXPECT_EQ(SolverRegistry::global().find("nope"), nullptr);
+  try {
+    SolverRegistry::global().at("nope");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("support-enum"), std::string::npos);
+  }
+}
+
+TEST(SolverRegistry, RejectsDuplicateKeys) {
+  class Dummy final : public SolverBackend {
+   public:
+    const std::string& name() const override { return name_; }
+    std::string describe() const override { return "dummy"; }
+    std::unique_ptr<PreparedJob> prepare(const SolveRequest&) const override {
+      return nullptr;
+    }
+
+   private:
+    std::string name_ = "dummy";
+  };
+  SolverRegistry registry;
+  registry.add(std::make_unique<Dummy>());
+  EXPECT_THROW(registry.add(std::make_unique<Dummy>()),
+               std::invalid_argument);
+}
+
+TEST(SolverBackend, SynchronousSolveMatchesServiceSubmission) {
+  SolveRequest req(game::bird_game());
+  req.backend = "exact-sa";
+  req.runs = 6;
+  req.seed = 4242;
+  req.sa.iterations = 300;
+  const SolveReport direct = SolverRegistry::global().at("exact-sa").solve(req);
+  SolverService service(ServiceOptions{3});
+  const SolveReport via_service = service.solve(req);
+  EXPECT_EQ(samples_fingerprint(direct.samples),
+            samples_fingerprint(via_service.samples));
+  EXPECT_EQ(direct.nash_count, via_service.nash_count);
+  EXPECT_EQ(direct.best_objective, via_service.best_objective);
+}
+
+TEST(SolverBackend, HardwareSaReproducesTheSolverEngine) {
+  // Migration guarantee: the registry backend and the legacy engine drive the
+  // exact same keyed streams, so their outcomes are byte-identical.
+  const game::BimatrixGame g = game::bird_game();
+  const std::uint64_t seed = 0xFEED;
+
+  EngineOptions opts;
+  opts.intervals = 12;
+  opts.sa.iterations = 500;
+  opts.seed = seed;
+  SolverEngine engine(std::make_shared<HardwareEvaluatorFactory>(
+                          g, opts.intervals, TwoPhaseConfig{}, util::Rng(seed)),
+                      opts);
+  const auto engine_samples = engine.run(10);
+
+  SolveRequest req(g);
+  req.backend = "hardware-sa";
+  req.runs = 10;
+  req.seed = seed;
+  req.sa.iterations = 500;
+  const SolveReport report =
+      SolverRegistry::global().at("hardware-sa").solve(req);
+
+  EXPECT_EQ(samples_fingerprint(engine_samples),
+            samples_fingerprint(report.samples));
+}
+
+TEST(SolverBackend, SamplesCarryEpsilonNashVerification) {
+  SolveRequest req(game::battle_of_sexes());
+  req.backend = "exact-sa";
+  req.runs = 20;
+  req.seed = 77;
+  req.sa.iterations = 3000;
+  req.nash_eps = 1e-7;
+  const SolveReport report = SolverRegistry::global().at("exact-sa").solve(req);
+  std::size_t nash = 0;
+  for (const SolveSample& s : report.samples) {
+    ASSERT_TRUE(s.valid);
+    ASSERT_TRUE(s.profile.has_value());
+    EXPECT_EQ(s.is_nash, s.regret <= req.nash_eps);
+    if (s.is_nash) ++nash;
+  }
+  EXPECT_EQ(report.nash_count, nash);
+  EXPECT_GE(nash, 15u);  // most 3000-iteration runs land on an equilibrium
+}
+
+TEST(SolverBackend, DWaveModeledTimeMatchesTimingModel) {
+  SolveRequest req(game::battle_of_sexes());
+  req.backend = "dwave-advantage41";
+  req.runs = 25;
+  const SolveReport report =
+      SolverRegistry::global().at("dwave-advantage41").solve(req);
+  const DWaveTimingParams t = dwave_advantage41_timing();
+  EXPECT_DOUBLE_EQ(report.modeled_time_s,
+                   t.programming_s + t.per_sample_s * 25.0);
+}
+
+TEST(SolverBackend, InvalidDWaveReadsAreCountedNotDropped) {
+  // The noisy Advantage proxy regularly emits one-hot-violating reads; they
+  // must appear in the report as valid=false with NaN regret, never as NE.
+  SolveRequest req(game::bird_game());
+  req.backend = "dwave-advantage41";
+  req.runs = 60;
+  req.seed = 31337;
+  const SolveReport report =
+      SolverRegistry::global().at("dwave-advantage41").solve(req);
+  EXPECT_EQ(report.samples.size(), 60u);
+  EXPECT_LE(report.valid_count, report.samples.size());
+  for (const SolveSample& s : report.samples) {
+    if (s.valid) continue;
+    EXPECT_FALSE(s.is_nash);
+    EXPECT_TRUE(std::isnan(s.regret));
+  }
+}
+
+TEST(SolveSampleKey, ProfileAndDistributionKeysAreStable) {
+  SolveSample with_profile;
+  with_profile.p = {1.0, 0.0};
+  with_profile.q = {0.0, 1.0};
+  with_profile.profile = game::QuantizedProfile{
+      game::QuantizedStrategy::pure(2, 0, 12),
+      game::QuantizedStrategy::pure(2, 1, 12)};
+  EXPECT_EQ(with_profile.key(), with_profile.profile->key());
+
+  SolveSample bare = with_profile;
+  bare.profile.reset();
+  SolveSample other = bare;
+  other.q = {1.0, 0.0};
+  EXPECT_EQ(bare.key(), SolveSample(bare).key());
+  EXPECT_NE(bare.key(), other.key());
+}
+
+}  // namespace
+}  // namespace cnash::core

@@ -1,6 +1,6 @@
-// SolverEngine: thread-pool dispatch with thread-count-invariant determinism.
+// SolverEngine: service-pool dispatch with thread-count-invariant determinism.
 // The contract under test (see engine.hpp): for a fixed seed, run(N) returns
-// bit-identical RunOutcome vectors for ANY thread count, because every run
+// bit-identical SolveSample vectors for ANY thread cap, because every run
 // derives its SA stream and evaluator instance from keyed RNG splits rather
 // than from shared sequential state.
 
@@ -19,10 +19,10 @@ namespace cnash::core {
 namespace {
 
 /// Byte-level fingerprint of an outcome vector: exact doubles and profiles.
-std::string fingerprint(const std::vector<RunOutcome>& outcomes) {
+std::string fingerprint(const std::vector<SolveSample>& outcomes) {
   std::string fp;
   for (const auto& o : outcomes) {
-    fp += o.profile.key();
+    fp += o.profile->key();
     fp += '|';
     const auto append_bits = [&fp](double v) {
       const char* bytes = reinterpret_cast<const char*>(&v);

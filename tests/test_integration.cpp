@@ -15,7 +15,7 @@ namespace cnash::core {
 namespace {
 
 std::vector<CandidateSolution> to_candidates(
-    const std::vector<RunOutcome>& outcomes) {
+    const std::vector<SolveSample>& outcomes) {
   std::vector<CandidateSolution> c;
   c.reserve(outcomes.size());
   for (const auto& o : outcomes) c.push_back({o.p, o.q});

@@ -62,6 +62,47 @@ TEST(Parse, RejectsStructuralErrors) {
   EXPECT_THROW(parse_game_text("M:\nN:\n1\n"), ParseError);  // empty M
 }
 
+TEST(Parse, ErrorMessagesNameLineAndCause) {
+  // The solve_file driver prints e.what() verbatim to the user, so the
+  // message must locate the problem: a 1-based line number plus the cause.
+  try {
+    parse_game_text("M:\n1 2\nN:\n1 b\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 4"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("non-numeric"), std::string::npos) << msg;
+  }
+}
+
+TEST(Parse, EveryMalformedInputThrowsParseError) {
+  // The solve_file CLI path maps ParseError to "parse error in <file>: ..."
+  // with exit code 2 — so malformed input must never surface as any other
+  // exception type (or worse, a silently garbage game).
+  const char* malformed[] = {
+      "",                          // empty stream
+      "name: x\n",                 // no matrices at all
+      "1 2\n",                     // payoff row before any header
+      "M:\n1 2\n",                 // missing N
+      "N:\n1 2\n",                 // missing M
+      "M:\nN:\n1\n",               // empty M
+      "M:\n1 2\n3\nN:\n1 2\n3 4\n",  // ragged M
+      "M:\n1 2\nN:\n1 2 3\n",      // M and N shapes differ
+      "M:\n1 x\nN:\n1 2\n",        // non-numeric payoff
+      "M:\n1 2\n\n \nN:\n1 2e\n",  // trailing junk on a number
+  };
+  for (const char* text : malformed) {
+    try {
+      parse_game_text(text);
+      FAIL() << "accepted malformed input: " << text;
+    } catch (const ParseError&) {
+      // expected — the one type the CLI reports cleanly
+    } catch (const std::exception& e) {
+      FAIL() << "wrong exception type for: " << text << " — " << e.what();
+    }
+  }
+}
+
 TEST(Parse, SerializeRoundTripsLibraryGames) {
   for (const auto& g :
        {battle_of_sexes(), bird_game(), modified_prisoners_dilemma(),

@@ -65,7 +65,7 @@ TEST(Solver, DeterministicGivenSeed) {
   const auto oa = a.run(5);
   const auto ob = b.run(5);
   for (std::size_t i = 0; i < 5; ++i)
-    EXPECT_EQ(oa[i].profile.key(), ob[i].profile.key());
+    EXPECT_EQ(oa[i].profile->key(), ob[i].profile->key());
 }
 
 TEST(Solver, ReportBestOptionNeverWorseThanFinal) {
