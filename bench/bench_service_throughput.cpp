@@ -23,6 +23,8 @@
 #include "bench_common.hpp"
 #include "core/service.hpp"
 #include "game/games.hpp"
+#include "game/random_games.hpp"
+#include "util/rng.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -35,18 +37,37 @@ struct JobSpec {
 
 std::vector<JobSpec> make_batch(std::size_t jobs) {
   using namespace cnash;
-  // Mixed sizes AND mixed solver families: coordination games growing to 12
-  // actions interleaved with the fixed paper instances.
+  // Mixed sizes AND mixed scenario families: the fixed paper instances,
+  // coordination games to 12 actions, iterated-dominance-solvable games
+  // (unique pure equilibrium; integer payoffs, so they exercise the tiled
+  // hardware backend) and covariant games sweeping the zero-sum ->
+  // common-interest correlation axis.
+  util::Rng gen_rng(0xD0151);
   const std::vector<game::BimatrixGame> games = {
-      game::battle_of_sexes(), game::coordination(4), game::bird_game(),
-      game::coordination(8),   game::chicken(),       game::coordination(12)};
+      game::battle_of_sexes(),
+      game::random_dominance_solvable_game(5, 4, gen_rng),
+      game::coordination(4),
+      game::random_covariant_game(6, 6, -1.0, gen_rng),
+      game::bird_game(),
+      game::random_dominance_solvable_game(8, 8, gen_rng),
+      game::coordination(8),
+      game::random_covariant_game(5, 7, 0.0, gen_rng),
+      game::chicken(),
+      game::random_covariant_game(8, 8, 0.9, gen_rng),
+      game::coordination(12)};
   const std::vector<std::pair<std::string, std::size_t>> backends = {
-      {"hardware-sa", 6}, {"exact-sa", 8}, {"dwave-advantage41", 40}};
+      {"hardware-sa", 6}, {"exact-sa", 8}, {"dwave-advantage41", 40},
+      {"hardware-sa-tiled", 6}};
   std::vector<JobSpec> batch;
   batch.reserve(jobs);
   for (std::size_t i = 0; i < jobs; ++i) {
-    const auto& [backend, runs] = backends[i % backends.size()];
-    batch.push_back({games[i % games.size()], backend, runs});
+    auto [backend, runs] = backends[i % backends.size()];
+    game::BimatrixGame g = games[i % games.size()];
+    // The hardware backends need integer payoffs; continuous covariant games
+    // route to the software/annealer families instead.
+    const bool integer_ok = g.name().rfind("random-covariant", 0) != 0;
+    if (!integer_ok && backend.rfind("hardware", 0) == 0) backend = "exact-sa";
+    batch.push_back({std::move(g), backend, runs});
   }
   return batch;
 }
@@ -69,7 +90,7 @@ int main(int argc, char** argv) {
   const std::vector<JobSpec> batch = make_batch(jobs);
   std::printf(
       "=== SolverService throughput: %zu mixed jobs "
-      "(2..12 actions, 3 backends) ===\n\n",
+      "(2..12 actions, 4 backends, dominance/covariant scenarios) ===\n\n",
       jobs);
 
   util::Table table({"pool threads", "wall clock (s)", "jobs/s", "speedup"});
@@ -126,7 +147,8 @@ int main(int argc, char** argv) {
   bench::Json& mix = report.root().obj("mix");
   mix.set("jobs", jobs);
   bench::Json& backends = mix.arr("backends");
-  for (const char* b : {"hardware-sa", "exact-sa", "dwave-advantage41"}) {
+  for (const char* b : {"hardware-sa", "exact-sa", "dwave-advantage41",
+                        "hardware-sa-tiled"}) {
     bench::Json& node = backends.push();
     node.set("backend", b);
   }

@@ -1,0 +1,178 @@
+// Tiles vs monolith: what sharding a game across fixed-capacity crossbar
+// tiles buys as the action count grows from 8 to 256.
+//
+// Per game size the bench reports, for the monolithic bi-crossbar and for
+// the tiled chip (64-row tiles, default ChipConfig aggregation):
+//   * measured wall clock of one incremental SA run on the simulator;
+//   * modeled iteration latency (core/timing): the monolithic line settle
+//     grows with the full array dimensions, the tiled path with the fixed
+//     tile dimensions plus the log-depth H-tree;
+//   * modeled macro area (xbar/area): fixed-size tile overhead + H-tree
+//     adders vs one giant array;
+//   * modeled read energy per iteration (xbar/energy), including the
+//     aggregation adders.
+// The monolithic evaluator is also *simulated* above the bench_scaling
+// cap (96 actions) for reference, but the modeled columns are the point:
+// past a few hundred lines the monolithic array is parasitics-bound while
+// the tiles stay at their fixed operating point. The tiled path is the one
+// that lifts the solvable range to >= 256 actions.
+//
+// Usage: bench_tiled_scaling [runs] [--threads N] [--json <path>]
+//   runs       SA runs per size (default 1; runs > 1 average the wall clock)
+//   --json     write machine-readable results to BENCH_tiled_scaling.json
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "chip/tiled_two_phase.hpp"
+#include "core/anneal.hpp"
+#include "core/timing.hpp"
+#include "core/two_phase.hpp"
+#include "game/random_games.hpp"
+#include "util/table.hpp"
+#include "xbar/area.hpp"
+#include "xbar/energy.hpp"
+
+namespace {
+
+cnash::game::BimatrixGame sized_game(std::size_t n, cnash::util::Rng& rng) {
+  // Integer coordination-style payoffs (diagonal 2..6) keep the crossbar
+  // mapping exact at every size.
+  cnash::la::Matrix a(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    a(i, i) = static_cast<double>(2 + rng.uniform_index(5));
+  return cnash::game::BimatrixGame(a, a.transposed(),
+                                   "coord-" + std::to_string(n));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cnash;
+
+  const bench::CliOptions cli = bench::parse_cli(argc, argv);
+  bench::JsonReport report("tiled_scaling", cli);
+  const std::size_t runs = cli.runs > 0 ? cli.runs : 1;
+
+  const std::uint32_t intervals = 8;
+  chip::ChipConfig chip_cfg;
+  chip_cfg.tile_rows = 64;
+  chip_cfg.tile_cols = 1024;
+  core::TwoPhaseConfig cfg;  // realistic non-idealities on both paths
+  core::SaOptions sa;
+  sa.iterations = 4000;
+
+  const core::CNashTimingModel timing;
+  const xbar::AreaModel area;
+  const xbar::EnergyModel energy;
+
+  std::printf(
+      "=== Tiled chip vs monolithic array: %u-interval SA, %zu run(s), "
+      "%zu iters ===\n\n",
+      intervals, runs, sa.iterations);
+  util::Table table({"actions", "tiles", "mono SA (s)", "tiled SA (s)",
+                     "mono analog (ns)", "tiled analog (ns)", "mono area (mm2)",
+                     "tiled area (mm2)", "tiled E/iter (nJ)", "Δf"});
+
+  util::Rng game_rng(0x715CA1E);
+  std::size_t total_iters = 0;
+  for (const std::size_t n : {8u, 16u, 32u, 64u, 128u, 256u}) {
+    const game::BimatrixGame g = sized_game(n, game_rng);
+
+    auto timed_sa = [&](core::ObjectiveEvaluator& ev, double* objective) {
+      double total = 0.0;
+      for (std::size_t r = 0; r < runs; ++r) {
+        util::Rng sa_rng(4000 + 13 * r);
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto res = core::simulated_annealing(ev, intervals, sa, sa_rng);
+        total += std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count();
+        *objective = res.final_objective;
+        total_iters += sa.iterations;
+      }
+      return total / static_cast<double>(runs);
+    };
+
+    core::TwoPhaseEvaluator mono(g, intervals, cfg, util::Rng(1000 + n));
+    chip::TiledTwoPhaseEvaluator tiled(g, intervals, cfg, chip_cfg,
+                                       util::Rng(1000 + n));
+    double f_mono = 0.0, f_tiled = 0.0;
+    const double dt_mono = timed_sa(mono, &f_mono);
+    const double dt_tiled = timed_sa(tiled, &f_tiled);
+
+    const chip::TilePartition& part = tiled.chip_m().partition();
+    const xbar::MappingGeometry geom = mono.crossbar_m().mapping().geometry();
+    core::TileGridTiming grid{chip_cfg.tile_rows, chip_cfg.tile_cols,
+                              part.grid_rows(), part.grid_cols(), n};
+    const double it_mono = timing.iteration_s(geom);
+    const double it_tiled = timing.tiled_iteration_s(grid);
+    // The iteration is controller-bound at these sizes; the analog path is
+    // where the parasitic divergence (monolithic line growth vs fixed tiles
+    // + log-depth H-tree) actually shows.
+    const double ap_mono = timing.analog_path_s(geom);
+    const double ap_tiled = timing.tiled_analog_path_s(grid);
+
+    const xbar::AreaBreakdown a_mono = area.macro(
+        geom, mono.crossbar_nt().mapping().geometry());
+    const xbar::AreaBreakdown a_tiled = area.tiled_macro(
+        chip_cfg.tile_rows, chip_cfg.tile_cols, part.num_tiles(),
+        tiled.chip_nt().partition().num_tiles(), n, n);
+
+    // Modeled energy of one two-phase iteration on the tiled chip: both
+    // arrays read twice (MV + VMV), every activated PHYSICAL line charged —
+    // each logical word line is replicated across the tile columns and each
+    // bit line across the tile rows, the tiling's real energy overhead —
+    // then the H-tree merges the tile outputs, WTA + 2 conversions per array.
+    const double i_read = tiled.chip_m().unit_current() *
+                          static_cast<double>(intervals) *
+                          static_cast<double>(intervals) * 2.0;
+    const std::size_t phys_rows = geom.total_rows() * part.grid_cols();
+    const std::size_t phys_cols = geom.total_cols() * part.grid_rows();
+    const xbar::ReadEnergyBreakdown read =
+        energy.array_read(i_read, phys_rows, phys_cols, 2);
+    const double e_iter =
+        2.0 * (read.total() + energy.wta_tree(n) +
+               energy.htree(part.grid_cols()) + energy.htree(part.num_tiles())) +
+        energy.sa_iteration();
+
+    table.add_row(
+        {std::to_string(n),
+         std::to_string(part.grid_rows()) + "x" + std::to_string(part.grid_cols()),
+         util::Table::num(dt_mono, 3), util::Table::num(dt_tiled, 3),
+         util::Table::num(ap_mono * 1e9, 2), util::Table::num(ap_tiled * 1e9, 2),
+         util::Table::num(a_mono.total_um2() * 1e-6, 3),
+         util::Table::num(a_tiled.total_um2() * 1e-6, 3),
+         util::Table::num(e_iter * 1e9, 3),
+         util::Table::num(std::abs(f_mono - f_tiled), 4)});
+
+    bench::Json& node = report.root().arr("size_sweep").push();
+    node.set("actions", n);
+    node.set("backend", "hardware-sa-tiled");
+    node.set("grid_rows", part.grid_rows());
+    node.set("grid_cols", part.grid_cols());
+    node.set("num_tiles", part.num_tiles());
+    node.set("mono_sa_wall_clock_s", dt_mono);
+    node.set("tiled_sa_wall_clock_s", dt_tiled);
+    node.set("mono_modeled_iteration_s", it_mono);
+    node.set("tiled_modeled_iteration_s", it_tiled);
+    node.set("mono_modeled_analog_path_s", ap_mono);
+    node.set("tiled_modeled_analog_path_s", ap_tiled);
+    node.set("mono_area_um2", a_mono.total_um2());
+    node.set("tiled_area_um2", a_tiled.total_um2());
+    node.set("tiled_htree_area_um2", a_tiled.htree_um2);
+    node.set("tiled_energy_per_iteration_j", e_iter);
+    node.set("final_objective_delta", std::abs(f_mono - f_tiled));
+  }
+  std::printf("%s\n", table.pretty().c_str());
+  std::printf(
+      "Shape: simulator wall clock tracks the O(m+n) incremental kernels on\n"
+      "both paths; the modeled columns diverge — monolithic settle grows\n"
+      "with the full array's line lengths while the tiled path stays at the\n"
+      "fixed tile operating point plus a log-depth H-tree, so the tiled\n"
+      "chip is the one that keeps scaling past 128 actions.\n");
+  report.finish(static_cast<double>(total_iters));
+  return 0;
+}

@@ -5,6 +5,7 @@
 //
 //   solve_file [--backend NAME] [--runs N] [--iterations N] [--intervals I]
 //              [--exact] [--scale S] [--threads T] [--seed S]
+//              [--tile-rows R] [--tile-cols C]
 //              [--list-backends] <game-file|-> [<game-file> ...]
 //
 // Game file format (see src/game/parse.hpp):
@@ -16,13 +17,17 @@
 //   1 0
 //   0 2
 //
-// --backend picks a registry key (hardware-sa, exact-sa, dwave-2000q6,
-// dwave-advantage41, lemke-howson, support-enum); --exact is an alias for
-// --backend exact-sa. --scale multiplies payoffs before integer coding (use
-// when payoffs are fractional, e.g. --scale 10 for one decimal place);
-// --threads caps each job's in-flight runs on the service pool (0 = all
-// workers; results are identical for any T). Malformed game files produce a
-// parse-error message naming the file and line, and a non-zero exit code.
+// --backend picks a registry key (hardware-sa, hardware-sa-tiled, exact-sa,
+// dwave-2000q6, dwave-advantage41, lemke-howson, support-enum); --exact is an
+// alias for --backend exact-sa. --scale multiplies payoffs before integer
+// coding (use when payoffs are fractional, e.g. --scale 10 for one decimal
+// place); --threads caps each job's in-flight runs on the service pool
+// (0 = all workers; results are identical for any T); --tile-rows/--tile-cols
+// set the physical tile dimensions of the hardware-sa-tiled chip model.
+//
+// Exit codes: 0 success, 2 usage / malformed game file (reported per file
+// with line numbers), 3 invalid solve request (rejected at submit time, e.g.
+// --runs 0 or an unknown --backend), 1 runtime failure.
 
 #include <cstdio>
 #include <cstring>
@@ -45,8 +50,8 @@ void print_usage(const char* argv0) {
                "usage: %s [--backend NAME] [--runs N] [--iterations N] "
                "[--intervals I]\n"
                "       [--exact] [--scale S] [--threads T] [--seed S] "
-               "[--list-backends]\n"
-               "       <game-file|-> [<game-file> ...]\n",
+               "[--tile-rows R] [--tile-cols C]\n"
+               "       [--list-backends] <game-file|-> [<game-file> ...]\n",
                argv0);
 }
 
@@ -67,6 +72,7 @@ int main(int argc, char** argv) {
   std::uint32_t intervals = 12;
   std::uint64_t seed = 0xC0FFEE;
   double scale = 1.0;
+  chip::ChipConfig chip;
   std::vector<std::string> files;
 
   for (int a = 1; a < argc; ++a) {
@@ -92,6 +98,10 @@ int main(int argc, char** argv) {
       threads = std::strtoul(next("--threads"), nullptr, 10);
     else if (!std::strcmp(argv[a], "--seed"))
       seed = std::strtoull(next("--seed"), nullptr, 0);
+    else if (!std::strcmp(argv[a], "--tile-rows"))
+      chip.tile_rows = std::strtoul(next("--tile-rows"), nullptr, 10);
+    else if (!std::strcmp(argv[a], "--tile-cols"))
+      chip.tile_cols = std::strtoul(next("--tile-cols"), nullptr, 10);
     else if (!std::strcmp(argv[a], "--exact"))
       backend = "exact-sa";
     else if (!std::strcmp(argv[a], "--list-backends")) {
@@ -153,6 +163,7 @@ int main(int argc, char** argv) {
     req.intervals = intervals;
     req.sa.iterations = iterations;
     req.hardware.value_scale = scale;
+    req.chip = chip;
     req.max_parallelism = threads;
     futures.push_back(service.submit(std::move(req)));
   }
@@ -162,6 +173,11 @@ int main(int argc, char** argv) {
     core::SolveReport report;
     try {
       report = futures[i].get();
+    } catch (const std::invalid_argument& e) {
+      // Rejected at submit time (validate_request / registry lookup).
+      std::fprintf(stderr, "error: %s: invalid request: %s\n",
+                   files[i].c_str(), e.what());
+      return 3;
     } catch (const std::exception& e) {
       std::fprintf(stderr, "error: %s: %s\n", files[i].c_str(), e.what());
       return 1;

@@ -22,6 +22,7 @@ run "$build_dir/bench_fig8_solution_distribution" $runs --threads $threads --jso
 run "$build_dir/bench_fig9_distinct_solutions" $runs --threads $threads --json "$out_dir/"
 run "$build_dir/bench_fig10_time_to_solution" $runs --threads $threads --json "$out_dir/"
 run "$build_dir/bench_scaling" $runs --threads $threads --json "$out_dir/"
+run "$build_dir/bench_tiled_scaling" 1 --threads $threads --json "$out_dir/"
 run "$build_dir/bench_service_throughput" 6 --threads $threads --json "$out_dir/"
 run "$build_dir/bench_fig2_fefet_idvg"
 run "$build_dir/bench_fig5_wta_cell"

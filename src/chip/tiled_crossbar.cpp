@@ -1,0 +1,170 @@
+#include "chip/tiled_crossbar.hpp"
+
+#include <stdexcept>
+
+namespace cnash::chip {
+
+TiledCrossbar::TiledCrossbar(const la::Matrix& payoff, std::uint32_t intervals,
+                             std::uint32_t cells_per_element,
+                             std::uint32_t levels_per_cell,
+                             const xbar::ArrayConfig& config,
+                             std::size_t tile_rows, std::size_t tile_cols,
+                             util::Rng& rng)
+    : global_(payoff, intervals, cells_per_element, levels_per_cell),
+      part_(global_.geometry(), tile_rows, tile_cols) {
+  const auto& g = global_.geometry();
+  for (std::size_t i = 0; i < g.n; ++i)
+    for (std::size_t j = 0; j < g.m; ++j)
+      max_element_ = std::max(max_element_, global_.element(i, j));
+
+  // Program the grid row-major; every tile maps its element sub-range with
+  // the GLOBAL cells-per-element so block geometry is uniform across tiles
+  // (and a 1×1 grid is byte-for-byte the monolithic array).
+  tiles_.reserve(part_.num_tiles());
+  for (std::size_t tr = 0; tr < part_.grid_rows(); ++tr) {
+    for (std::size_t tc = 0; tc < part_.grid_cols(); ++tc) {
+      const TileRange r = part_.range(tr, tc);
+      la::Matrix sub(r.rows(), r.cols());
+      for (std::size_t i = r.i0; i < r.i1; ++i)
+        for (std::size_t j = r.j0; j < r.j1; ++j)
+          sub(i - r.i0, j - r.j0) = payoff(i, j);
+      xbar::CrossbarMapping map(sub, intervals, g.cells_per_element,
+                                levels_per_cell);
+      tiles_.emplace_back(std::move(map), config, rng);
+    }
+  }
+}
+
+void TiledCrossbar::read_mv_partials(const std::uint32_t* groups_active,
+                                     double* partials) const {
+  const std::size_t rows = n();
+  for (std::size_t tc = 0; tc < part_.grid_cols(); ++tc) {
+    double* col = partials + tc * rows;
+    for (std::size_t tr = 0; tr < part_.grid_rows(); ++tr) {
+      const TileRange r = part_.range(tr, tc);
+      tile(tr, tc).read_mv_into(groups_active + r.j0, col + r.i0);
+    }
+  }
+}
+
+void TiledCrossbar::mv_group_delta(std::size_t j, std::uint32_t g_old,
+                                   std::uint32_t g_new,
+                                   double* partials) const {
+  // The affected tile column's slice is just the aggregate kernel rebased.
+  mv_group_delta_total(j, g_old, g_new, partials + part_.tile_of_col(j) * n());
+}
+
+void TiledCrossbar::mv_group_delta_total(std::size_t j, std::uint32_t g_old,
+                                         std::uint32_t g_new,
+                                         double* total) const {
+  const std::size_t tc = part_.tile_of_col(j);
+  for (std::size_t tr = 0; tr < part_.grid_rows(); ++tr) {
+    const TileRange r = part_.range(tr, tc);
+    tile(tr, tc).mv_group_delta(j - r.j0, g_old, g_new, total + r.i0);
+  }
+}
+
+void TiledCrossbar::read_vmv_partials(const std::uint32_t* rows_active,
+                                      const std::uint32_t* groups_active,
+                                      double* vmv) const {
+  for (std::size_t tr = 0; tr < part_.grid_rows(); ++tr)
+    for (std::size_t tc = 0; tc < part_.grid_cols(); ++tc) {
+      const TileRange r = part_.range(tr, tc);
+      vmv[tr * part_.grid_cols() + tc] =
+          tile(tr, tc).read_vmv(rows_active + r.i0, groups_active + r.j0);
+    }
+}
+
+double TiledCrossbar::vmv_row_delta(std::size_t i, std::uint32_t r_old,
+                                    std::uint32_t r_new,
+                                    const std::uint32_t* groups_active,
+                                    double* vmv_cells) const {
+  const std::size_t tr = part_.tile_of_row(i);
+  double total = 0.0;
+  for (std::size_t tc = 0; tc < part_.grid_cols(); ++tc) {
+    const TileRange r = part_.range(tr, tc);
+    const double d = tile(tr, tc).vmv_row_delta(i - r.i0, r_old, r_new,
+                                                groups_active + r.j0);
+    if (vmv_cells) vmv_cells[tr * part_.grid_cols() + tc] += d;
+    total += d;
+  }
+  return total;
+}
+
+double TiledCrossbar::vmv_group_delta(std::size_t j, std::uint32_t g_old,
+                                      std::uint32_t g_new,
+                                      const std::uint32_t* rows_active,
+                                      double* vmv_cells) const {
+  const std::size_t tc = part_.tile_of_col(j);
+  double total = 0.0;
+  for (std::size_t tr = 0; tr < part_.grid_rows(); ++tr) {
+    const TileRange r = part_.range(tr, tc);
+    const double d = tile(tr, tc).vmv_group_delta(j - r.j0, g_old, g_new,
+                                                  rows_active + r.i0);
+    if (vmv_cells) vmv_cells[tr * part_.grid_cols() + tc] += d;
+    total += d;
+  }
+  return total;
+}
+
+// ---- Digital readout --------------------------------------------------------
+
+void TiledCrossbar::digital_mv_units(const std::uint32_t* groups_active,
+                                     std::int64_t* units) const {
+  const auto& g = global_.geometry();
+  const std::int64_t intervals = g.intervals;
+  for (std::size_t i = 0; i < g.n; ++i) {
+    std::int64_t row = 0;
+    for (std::size_t j = 0; j < g.m; ++j)
+      row += static_cast<std::int64_t>(groups_active[j]) * global_.element(i, j);
+    units[i] = intervals * row;
+  }
+}
+
+void TiledCrossbar::digital_mv_group_delta(std::size_t j, std::uint32_t g_old,
+                                           std::uint32_t g_new,
+                                           std::int64_t* units) const {
+  const auto& g = global_.geometry();
+  const std::int64_t step = static_cast<std::int64_t>(g.intervals) *
+                            (static_cast<std::int64_t>(g_new) -
+                             static_cast<std::int64_t>(g_old));
+  for (std::size_t i = 0; i < g.n; ++i)
+    units[i] += step * global_.element(i, j);
+}
+
+std::int64_t TiledCrossbar::digital_vmv_units(
+    const std::uint32_t* rows_active, const std::uint32_t* groups_active) const {
+  const auto& g = global_.geometry();
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i < g.n; ++i) {
+    std::int64_t row = 0;
+    for (std::size_t j = 0; j < g.m; ++j)
+      row += static_cast<std::int64_t>(groups_active[j]) * global_.element(i, j);
+    total += static_cast<std::int64_t>(rows_active[i]) * row;
+  }
+  return total;
+}
+
+std::int64_t TiledCrossbar::digital_vmv_row_delta(
+    std::size_t i, std::uint32_t r_old, std::uint32_t r_new,
+    const std::uint32_t* groups_active) const {
+  const auto& g = global_.geometry();
+  std::int64_t row = 0;
+  for (std::size_t j = 0; j < g.m; ++j)
+    row += static_cast<std::int64_t>(groups_active[j]) * global_.element(i, j);
+  return (static_cast<std::int64_t>(r_new) - static_cast<std::int64_t>(r_old)) *
+         row;
+}
+
+std::int64_t TiledCrossbar::digital_vmv_group_delta(
+    std::size_t j, std::uint32_t g_old, std::uint32_t g_new,
+    const std::uint32_t* rows_active) const {
+  const auto& g = global_.geometry();
+  std::int64_t col = 0;
+  for (std::size_t i = 0; i < g.n; ++i)
+    col += static_cast<std::int64_t>(rows_active[i]) * global_.element(i, j);
+  return (static_cast<std::int64_t>(g_new) - static_cast<std::int64_t>(g_old)) *
+         col;
+}
+
+}  // namespace cnash::chip

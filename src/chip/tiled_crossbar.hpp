@@ -1,0 +1,137 @@
+#pragma once
+// chip::TiledCrossbar — one logical crossbar sharded over a grid of
+// fixed-capacity physical tiles.
+//
+// Each tile is an independent xbar::ProgrammedCrossbar programmed from a
+// contiguous element-block range of the logical mapping, with its own
+// one-time-sampled device variability and faults (tiles are programmed in
+// grid row-major order from one RNG, so a 1×1 grid consumes exactly the
+// draw sequence of the monolithic array). Reads are tile-local and returned
+// as partials:
+//
+//   * Phase-1 MV reads produce, per tile COLUMN, the partial source-line
+//     currents of all n logical rows (each tile contributes its own row
+//     range); the H-tree adder stage upstream sums the grid_cols partials
+//     per row.
+//   * Phase-2 VMV reads produce one partial total per tile; the H-tree sums
+//     the whole grid.
+//
+// Delta kernels route a single activation tick to the affected tile row /
+// column only: a column-group tick touches one tile column (O(n) work over
+// its row slices), a word-line tick touches one tile row (O(m) work over its
+// column slices) — the same asymptotics as the monolithic kernels, with the
+// work confined to 1/grid of the cell tables.
+//
+// A separate set of *digital* kernels computes the exact conducting-unit
+// counts (64-bit integers) the same reads would observe on an ideal
+// zero-leakage array — the chip's validation readout. All activation inputs
+// are GLOBAL count vectors; tiles slice them in place via the raw-pointer
+// crossbar kernels (no per-call copies).
+
+#include <cstdint>
+#include <vector>
+
+#include "chip/tile_partition.hpp"
+#include "la/matrix.hpp"
+#include "util/rng.hpp"
+#include "xbar/array.hpp"
+#include "xbar/mapping.hpp"
+
+namespace cnash::chip {
+
+class TiledCrossbar {
+ public:
+  /// `payoff` must be a non-negative integer matrix (same contract as
+  /// CrossbarMapping). `cells_per_element` 0 derives t from the max element;
+  /// every tile is forced to the global t so block geometry is uniform.
+  TiledCrossbar(const la::Matrix& payoff, std::uint32_t intervals,
+                std::uint32_t cells_per_element, std::uint32_t levels_per_cell,
+                const xbar::ArrayConfig& config, std::size_t tile_rows,
+                std::size_t tile_cols, util::Rng& rng);
+
+  /// The logical (whole-matrix) mapping.
+  const xbar::CrossbarMapping& mapping() const { return global_; }
+  const TilePartition& partition() const { return part_; }
+  const xbar::ProgrammedCrossbar& tile(std::size_t tr, std::size_t tc) const {
+    return tiles_.at(tr * part_.grid_cols() + tc);
+  }
+
+  std::size_t n() const { return global_.geometry().n; }
+  std::size_t m() const { return global_.geometry().m; }
+
+  // ---- Analog tile reads ----------------------------------------------------
+
+  /// Per-tile-column partial MV read (all word lines active):
+  /// partials[tc * n + i] = row i's current contributed by tile column tc.
+  /// `groups_active[0..m)` are the global column-group counts.
+  void read_mv_partials(const std::uint32_t* groups_active,
+                        double* partials) const;
+
+  /// Routes a column-group tick (j: g_old -> g_new) to tile column
+  /// tile_of_col(j): adds the per-row current deltas into that column's
+  /// slice of `partials`. O(n).
+  void mv_group_delta(std::size_t j, std::uint32_t g_old, std::uint32_t g_new,
+                      double* partials) const;
+
+  /// Same deltas applied to the AGGREGATED line-current vector `total[0..n)`
+  /// (the H-tree output) instead of a tile-column slice. O(n).
+  void mv_group_delta_total(std::size_t j, std::uint32_t g_old,
+                            std::uint32_t g_new, double* total) const;
+
+  /// Per-tile partial VMV read: vmv[tr * grid_cols + tc].
+  void read_vmv_partials(const std::uint32_t* rows_active,
+                         const std::uint32_t* groups_active,
+                         double* vmv) const;
+
+  /// VMV change of a word-line tick (row i: r_old -> r_new) under the global
+  /// `groups_active`. Touches tile row tile_of_row(i) only; when `vmv_cells`
+  /// is non-null the per-tile deltas are also added into the partial grid.
+  /// Returns the summed delta. O(m).
+  double vmv_row_delta(std::size_t i, std::uint32_t r_old, std::uint32_t r_new,
+                       const std::uint32_t* groups_active,
+                       double* vmv_cells) const;
+
+  /// VMV change of a column-group tick under the global `rows_active`;
+  /// touches tile column tile_of_col(j) only. O(n).
+  double vmv_group_delta(std::size_t j, std::uint32_t g_old,
+                         std::uint32_t g_new, const std::uint32_t* rows_active,
+                         double* vmv_cells) const;
+
+  // ---- Exact digital readout (conducting units, zero leakage) ---------------
+  //
+  // One unit = one fully-ON cell equivalent; block (i,j) at r active rows and
+  // g active groups holds exactly r*g*element(i,j) units, so a value is
+  // units / I² — exact integer arithmetic, the bit-exact reference for the
+  // noise-off chip.
+
+  /// units[i] = I * sum_j groups_active[j] * element(i, j)   (all rows on).
+  void digital_mv_units(const std::uint32_t* groups_active,
+                        std::int64_t* units) const;
+  void digital_mv_group_delta(std::size_t j, std::uint32_t g_old,
+                              std::uint32_t g_new, std::int64_t* units) const;
+  std::int64_t digital_vmv_units(const std::uint32_t* rows_active,
+                                 const std::uint32_t* groups_active) const;
+  std::int64_t digital_vmv_row_delta(std::size_t i, std::uint32_t r_old,
+                                     std::uint32_t r_new,
+                                     const std::uint32_t* groups_active) const;
+  std::int64_t digital_vmv_group_delta(std::size_t j, std::uint32_t g_old,
+                                       std::uint32_t g_new,
+                                       const std::uint32_t* rows_active) const;
+
+  // ---- Shared conversions ---------------------------------------------------
+
+  double nominal_on_current() const { return tiles_.front().nominal_on_current(); }
+  double unit_current() const { return tiles_.front().unit_current(); }
+  double current_to_value(double current) const {
+    return tiles_.front().current_to_value(current);
+  }
+  std::uint32_t max_element() const { return max_element_; }
+
+ private:
+  xbar::CrossbarMapping global_;
+  TilePartition part_;
+  std::vector<xbar::ProgrammedCrossbar> tiles_;  // grid row-major
+  std::uint32_t max_element_ = 0;
+};
+
+}  // namespace cnash::chip

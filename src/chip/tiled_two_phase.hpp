@@ -1,0 +1,162 @@
+#pragma once
+// chip::TiledTwoPhaseEvaluator — the two-phase MAX-QUBO evaluation (Fig. 6)
+// on the multi-tile chip: both logical crossbars (M and Nᵀ) are sharded over
+// grids of fixed-capacity tiles (chip/tiled_crossbar), the per-tile outputs
+// are merged by an H-tree adder stage, and the merged Phase-1 line currents
+// feed the existing WTA trees / ADCs unchanged.
+//
+// The committed analog state is held PER TILE: the Phase-1 partial line
+// currents per tile column and the Phase-2 partial totals per tile, plus the
+// aggregated totals the digitisation consumes. The incremental propose/
+// commit protocol routes every SA tick move to the affected tile row /
+// column only (O(m+n) per move, confined to 1/grid of the cell tables); a
+// committed proposal replays the same deltas into the per-tile state, and a
+// full re-read every `refresh_interval` commits bounds floating-point drift
+// exactly as in the monolithic evaluator.
+//
+// Readout modes (ChipConfig::readout):
+//   * kAnalogHTree  — analog current summation + shared ADC. On a 1×1 grid
+//                     this consumes the monolithic evaluator's exact RNG draw
+//                     sequence, so results are byte-identical when the whole
+//                     game fits one tile.
+//   * kPerTileAdc   — every tile output digitised by its own ADC, digital
+//                     aggregation and digital max. Per-tile quantisation
+//                     breaks delta linearity, so incremental() is disabled.
+//   * kIdealDigital — exact integer conducting-unit counts, WTA/ADC
+//                     bypassed; with integer payoffs and power-of-two I the
+//                     objective is bit-identical to core::ExactMaxQubo.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "chip/chip_config.hpp"
+#include "chip/tiled_crossbar.hpp"
+#include "core/maxqubo.hpp"
+#include "core/two_phase.hpp"
+#include "game/game.hpp"
+#include "util/rng.hpp"
+#include "wta/wta_tree.hpp"
+#include "xbar/adc.hpp"
+
+namespace cnash::chip {
+
+class TiledTwoPhaseEvaluator final : public core::ObjectiveEvaluator,
+                                     public core::IncrementalEvaluator {
+ public:
+  /// Programs both tile grids from the game. `config` carries the array /
+  /// WTA / ADC / value-coding knobs shared with the monolithic evaluator;
+  /// `chip` the tile dimensions and aggregation model.
+  TiledTwoPhaseEvaluator(game::BimatrixGame game, std::uint32_t intervals,
+                         const core::TwoPhaseConfig& config,
+                         const ChipConfig& chip, util::Rng rng);
+
+  double evaluate(const game::QuantizedProfile& profile) override;
+  const game::BimatrixGame& game() const override { return game_; }
+  core::IncrementalEvaluator* incremental() override {
+    return (config_.incremental && chip_.readout != ChipReadout::kPerTileAdc)
+               ? this
+               : nullptr;
+  }
+
+  // IncrementalEvaluator protocol: O(m+n) per tick move, same noise/ADC
+  // semantics and RNG draw sequence per scoring as evaluate().
+  void reset(const game::QuantizedProfile& profile) override;
+  double propose(const core::TickMove* moves, std::size_t count) override;
+  void commit() override;
+
+  /// Full re-reads performed by the incremental path since reset().
+  std::size_t refresh_count() const { return refresh_count_; }
+
+  /// Phase observables of the last evaluate()/propose(), in payoff units.
+  struct PhaseReadout {
+    double max_mq;
+    double max_ntp;
+    double vmv_m;
+    double vmv_n;
+  };
+  const PhaseReadout& last_readout() const { return last_; }
+
+  std::uint32_t intervals() const { return intervals_; }
+  const ChipConfig& chip_config() const { return chip_; }
+  const TiledCrossbar& chip_m() const { return *chip_m_; }
+  const TiledCrossbar& chip_nt() const { return *chip_nt_; }
+  const wta::WtaTree& wta_rows() const { return *wta_rows_; }
+  const wta::WtaTree& wta_cols() const { return *wta_cols_; }
+  const xbar::Adc& adc() const { return *adc_m_; }
+
+  /// Committed per-tile Phase-1 partials / Phase-2 partial grid of the M
+  /// (resp. Nᵀ) array — introspection for tests and per-tile energy
+  /// accounting. Valid after reset().
+  const std::vector<double>& committed_mv_partials_m() const {
+    return committed_.m.mv_partial;
+  }
+  const std::vector<double>& committed_vmv_partials_m() const {
+    return committed_.m.vmv_partial;
+  }
+
+ private:
+  /// Per-array analog + digital observables. Partials are maintained in the
+  /// committed state only; proposals work on the aggregated totals (the
+  /// digitisation input) and replay into the partials on commit.
+  struct ArrayState {
+    std::vector<double> mv_partial;   // grid_cols × n (analog readouts)
+    std::vector<double> mv_total;     // n aggregated line currents
+    std::vector<double> vmv_partial;  // grid_rows × grid_cols
+    double vmv_total = 0.0;
+    std::vector<std::int64_t> mv_units;  // n (kIdealDigital)
+    std::int64_t vmv_units = 0;
+  };
+  struct State {
+    ArrayState m;   // the M array: rows = player-1 actions
+    ArrayState nt;  // the Nᵀ array: rows = player-2 actions
+  };
+
+  void size_state(State& st) const;
+  /// Full tile-grid read of one profile into `st` (partials + totals).
+  void full_read(State& st, const std::vector<std::uint32_t>& p_counts,
+                 const std::vector<std::uint32_t>& q_counts) const;
+  /// One tick move applied to `st` and the given counts. `with_partials`
+  /// additionally updates the per-tile partial buffers (commit path).
+  void apply_move(State& st, std::vector<std::uint32_t>& p_counts,
+                  std::vector<std::uint32_t>& q_counts,
+                  const core::TickMove& mv, bool with_partials);
+  /// Aggregation + WTA + noise + ADC on `st`; updates last_ and returns f.
+  double digitize(const State& st);
+  double digitize_analog(const State& st);
+  double digitize_per_tile_adc(const State& st);
+  double digitize_digital(const State& st);
+
+  game::BimatrixGame game_;
+  std::uint32_t intervals_;
+  core::TwoPhaseConfig config_;
+  ChipConfig chip_;
+  util::Rng rng_;
+  double value_scale_;
+  std::unique_ptr<TiledCrossbar> chip_m_;
+  std::unique_ptr<TiledCrossbar> chip_nt_;
+  std::unique_ptr<wta::WtaTree> wta_rows_;
+  std::unique_ptr<wta::WtaTree> wta_cols_;
+  std::unique_ptr<xbar::Adc> adc_m_;
+  std::unique_ptr<xbar::Adc> adc_nt_;
+  PhaseReadout last_{};
+
+  // H-tree aggregation noise (per aggregated output per read): sigma already
+  // scaled by sqrt(stage depth); 0 when the grid needs no aggregation.
+  double agg_sigma_mv_m_ = 0.0, agg_sigma_mv_nt_ = 0.0;
+  double agg_sigma_vmv_m_ = 0.0, agg_sigma_vmv_nt_ = 0.0;
+
+  // Incremental state (see class comment).
+  std::vector<std::uint32_t> p_counts_, q_counts_;    // committed
+  std::vector<std::uint32_t> p_scratch_, q_scratch_;  // proposal
+  State committed_, scratch_;
+  State eval_state_;  // evaluate()'s workspace, independent of proposals
+  std::vector<core::TickMove> pending_;  // outstanding proposal's moves
+  std::vector<double> wta_scratch_, agg_scratch_;
+  bool primed_ = false;
+  bool proposal_outstanding_ = false;
+  std::size_t commits_since_refresh_ = 0;
+  std::size_t refresh_count_ = 0;
+};
+
+}  // namespace cnash::chip

@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "chip/tiled_backend.hpp"
 #include "core/timing.hpp"
 #include "game/lemke_howson.hpp"
 #include "game/support_enum.hpp"
@@ -18,6 +19,21 @@ namespace cnash::core {
 double SolveReport::nash_rate() const {
   if (samples.empty()) return 0.0;
   return static_cast<double>(nash_count) / static_cast<double>(samples.size());
+}
+
+void validate_request(const SolveRequest& request) {
+  if (request.runs == 0)
+    throw std::invalid_argument(
+        "invalid solve request: runs == 0 (need at least one sample unit)");
+  if (request.game.num_actions1() == 0 || request.game.num_actions2() == 0)
+    throw std::invalid_argument("invalid solve request: empty game");
+  for (const la::Matrix* m : {&request.game.payoff1(), &request.game.payoff2()})
+    for (std::size_t r = 0; r < m->rows(); ++r)
+      for (std::size_t c = 0; c < m->cols(); ++c)
+        if (!std::isfinite((*m)(r, c)))
+          throw std::invalid_argument(
+              "invalid solve request: non-finite payoff in game \"" +
+              request.game.name() + "\"");
 }
 
 void verify_samples(const game::BimatrixGame& game, double nash_eps,
@@ -66,6 +82,7 @@ SolveReport assemble_report(const PreparedJob& job,
 
 SolveReport SolverBackend::solve(const SolveRequest& request) const {
   const auto t0 = std::chrono::steady_clock::now();
+  validate_request(request);
   const std::unique_ptr<PreparedJob> job = prepare(request);
   std::vector<std::vector<SolveSample>> slots(job->num_units());
   for (std::size_t u = 0; u < slots.size(); ++u) slots[u] = job->run_unit(u);
@@ -392,6 +409,7 @@ SolverRegistry& SolverRegistry::global() {
   static SolverRegistry* registry = [] {
     auto* r = new SolverRegistry;
     r->add(std::make_unique<SaBackend>(true));
+    r->add(chip::make_tiled_backend());
     r->add(std::make_unique<SaBackend>(false));
     r->add(std::make_unique<DWaveBackend>(
         "dwave-2000q6", qubo::dwave_2000q6_config, dwave_2000q6_timing));

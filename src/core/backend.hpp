@@ -4,6 +4,7 @@
 // registry:
 //
 //   "hardware-sa"       two-phase SA on the full FeFET crossbar/WTA/ADC model
+//   "hardware-sa-tiled" two-phase SA on the multi-tile chip model (chip/)
 //   "exact-sa"          two-phase SA on the exact MAX-QUBO objective (ablation)
 //   "dwave-2000q6"      S-QUBO annealer proxy, 2000 Q6 flavour
 //   "dwave-advantage41" S-QUBO annealer proxy, Advantage 4.1 flavour
@@ -24,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "chip/chip_config.hpp"
 #include "core/anneal.hpp"
 #include "core/engine.hpp"
 #include "core/sample.hpp"
@@ -49,7 +51,8 @@ struct SolveRequest {
   std::uint64_t seed = 0xC0FFEE;
   std::uint32_t intervals = 12;  // strategy quantization I (SA backends)
   SaOptions sa;                  // SA schedule (SA backends)
-  TwoPhaseConfig hardware;       // hardware model knobs (hardware-sa)
+  TwoPhaseConfig hardware;       // hardware model knobs (hardware-sa[-tiled])
+  chip::ChipConfig chip;         // tile grid knobs (hardware-sa-tiled)
   /// Report the best profile seen during a run instead of the final accepted
   /// one (SA backends).
   bool report_best = false;
@@ -120,6 +123,12 @@ class SolverBackend {
   /// wall_clock_s).
   SolveReport solve(const SolveRequest& request) const;
 };
+
+/// Submit-time request validation: throws std::invalid_argument with a clear
+/// message for requests that could only fail later on a worker thread
+/// (zero sample units, degenerate game payoffs). Backend-key resolution is
+/// validated separately by the registry lookup.
+void validate_request(const SolveRequest& request);
 
 /// ε-Nash verification of freshly produced samples: sets is_nash and regret
 /// from game::check_equilibrium (invalid samples get regret = NaN).

@@ -77,14 +77,20 @@ std::future<SolveReport> SolverService::enqueue(std::shared_ptr<Job> job) {
 
 std::future<SolveReport> SolverService::submit(SolveRequest request) {
   auto job = make_job();
+  // Submit-time validation: an unknown backend key or a request that could
+  // only fail later on a worker thread resolves the future immediately with
+  // a clear std::invalid_argument instead.
   const SolverBackend* backend = registry_->find(request.backend);
-  if (!backend) {
+  std::exception_ptr invalid;
+  try {
+    if (!backend) registry_->at(request.backend);  // throws the known-key list
+    validate_request(request);
+  } catch (...) {
+    invalid = std::current_exception();
+  }
+  if (invalid) {
     std::future<SolveReport> future = job->promise.get_future();
-    try {
-      registry_->at(request.backend);  // throws with the known-key list
-    } catch (...) {
-      job->promise.set_exception(std::current_exception());
-    }
+    job->promise.set_exception(invalid);
     return future;
   }
   job->backend = backend;

@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "util/bits.hpp"
+
 namespace cnash::core {
 
 CNashTimingModel::CNashTimingModel(CNashTimingParams params)
@@ -18,8 +20,7 @@ double CNashTimingModel::analog_path_s(
   const double settle = std::max(wires.settle_time(geom.total_cols()),
                                  wires.settle_time(geom.total_rows()));
   // WTA tree depth over the per-action outputs (phase 1 only).
-  std::size_t depth = 0;
-  for (std::size_t span = 1; span < geom.n; span <<= 1) ++depth;
+  const std::size_t depth = util::ceil_log2(geom.n);
   const double phase1 =
       settle + static_cast<double>(depth) * params_.wta_cell_latency_s +
       params_.adc_time_s;
@@ -29,6 +30,35 @@ double CNashTimingModel::analog_path_s(
 
 double CNashTimingModel::iteration_s(const xbar::MappingGeometry& geom) const {
   return std::max(analog_path_s(geom), params_.controller_period_s);
+}
+
+double CNashTimingModel::tiled_analog_path_s(const TileGridTiming& grid) const {
+  const xbar::WireModel wires(params_.wire);
+  // All tiles settle concurrently; line lengths are the fixed tile
+  // dimensions, not the logical array's.
+  const double settle = std::max(wires.settle_time(grid.tile_cols),
+                                 wires.settle_time(grid.tile_rows));
+  const double wta =
+      static_cast<double>(util::ceil_log2(grid.wta_inputs)) *
+      params_.wta_cell_latency_s;
+  const double phase1 = settle +
+                        static_cast<double>(util::ceil_log2(grid.grid_cols)) *
+                            params_.htree_adder_latency_s +
+                        wta + params_.adc_time_s;
+  const double phase2 = settle +
+                        static_cast<double>(util::ceil_log2(grid.num_tiles())) *
+                            params_.htree_adder_latency_s +
+                        params_.adc_time_s;
+  return phase1 + phase2;
+}
+
+double CNashTimingModel::tiled_iteration_s(const TileGridTiming& grid) const {
+  return std::max(tiled_analog_path_s(grid), params_.controller_period_s);
+}
+
+double CNashTimingModel::tiled_run_time_s(const TileGridTiming& grid,
+                                          std::size_t iterations) const {
+  return tiled_iteration_s(grid) * static_cast<double>(iterations);
 }
 
 double CNashTimingModel::run_time_s(const xbar::MappingGeometry& geom,

@@ -23,7 +23,22 @@ struct CNashTimingParams {
   double controller_period_s = 1e-6;  // digital SA logic cycle (1 MHz)
   double adc_time_s = 10e-9;          // per conversion
   double wta_cell_latency_s = 0.08e-9;
+  /// Per-stage latency of the H-tree adder merging tile outputs (multi-tile
+  /// chip model).
+  double htree_adder_latency_s = 0.15e-9;
   xbar::WireParams wire;
+};
+
+/// Shape of a tile grid for the tiled latency path: fixed physical tile
+/// dimensions (line lengths bound the per-tile settle) and the grid size
+/// (bounds the H-tree aggregation depth).
+struct TileGridTiming {
+  std::size_t tile_rows;   // physical word lines per tile
+  std::size_t tile_cols;   // physical bit/data lines per tile
+  std::size_t grid_rows;
+  std::size_t grid_cols;
+  std::size_t wta_inputs;  // aggregated row outputs feeding the WTA tree
+  std::size_t num_tiles() const { return grid_rows * grid_cols; }
 };
 
 class CNashTimingModel {
@@ -42,6 +57,16 @@ class CNashTimingModel {
   /// Wall clock of one SA run.
   double run_time_s(const xbar::MappingGeometry& geom,
                     std::size_t iterations) const;
+
+  /// Tiled-chip analog path: tiles settle concurrently (short fixed-length
+  /// lines), then the H-tree adder stage merges grid_cols partials per row
+  /// (Phase 1) / the whole grid (Phase 2) before WTA + ADC. For large games
+  /// this beats the monolithic path, whose line settle grows with the full
+  /// array dimensions.
+  double tiled_analog_path_s(const TileGridTiming& grid) const;
+  double tiled_iteration_s(const TileGridTiming& grid) const;
+  double tiled_run_time_s(const TileGridTiming& grid,
+                          std::size_t iterations) const;
 
   /// Expected time until the first successful run.
   double time_to_solution_s(const xbar::MappingGeometry& geom,

@@ -1,5 +1,13 @@
 #include "game/random_games.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
 namespace cnash::game {
 
 namespace {
@@ -41,6 +49,100 @@ BimatrixGame random_coordination_game(std::size_t n, util::Rng& rng,
     b(i, i) += d;
   }
   return BimatrixGame(std::move(a), std::move(b), "random-coordination");
+}
+
+BimatrixGame random_dominance_solvable_game(std::size_t n, std::size_t m,
+                                            util::Rng& rng) {
+  if (n == 0 || m == 0)
+    throw std::invalid_argument("random_dominance_solvable_game: empty game");
+
+  // Elimination schedule: always remove the last surviving action of the
+  // player with more actions left, so the iteration interleaves both sides.
+  // cols_when_row[r] = surviving column count when row r is removed (and
+  // vice versa) — dominance is enforced over exactly that set, so earlier
+  // eliminations are genuinely required.
+  std::vector<std::size_t> cols_when_row(n, 0), rows_when_col(m, 0);
+  std::size_t rows_left = n, cols_left = m;
+  while (rows_left > 1 || cols_left > 1) {
+    if (rows_left > 1 && (rows_left >= cols_left || cols_left == 1)) {
+      cols_when_row[rows_left - 1] = cols_left;
+      --rows_left;
+    } else {
+      rows_when_col[cols_left - 1] = rows_left;
+      --cols_left;
+    }
+  }
+
+  // Headroom so the dominance chains (decrements of 1..2 per step) stay
+  // non-negative: survivors anchor near the top of the range.
+  const int slack = 4;
+  const int top_a = 2 * static_cast<int>(n - 1) + slack;
+  const int top_b = 2 * static_cast<int>(m - 1) + slack;
+  la::Matrix a(n, m), b(n, m);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < m; ++j) {
+      a(i, j) = static_cast<double>(rng.uniform_int(0, top_a));
+      b(i, j) = static_cast<double>(rng.uniform_int(0, top_b));
+    }
+  for (std::size_t j = 0; j < m; ++j)
+    a(0, j) = static_cast<double>(rng.uniform_int(top_a - slack, top_a));
+  for (std::size_t i = 0; i < n; ++i)
+    b(i, 0) = static_cast<double>(rng.uniform_int(top_b - slack, top_b));
+
+  // Pin the chains: row r is strictly dominated by row r-1 over the columns
+  // surviving at its elimination step (payoffs outside that set stay
+  // random), symmetrically for columns.
+  for (std::size_t r = 1; r < n; ++r)
+    for (std::size_t j = 0; j < cols_when_row[r]; ++j)
+      a(r, j) = a(r - 1, j) - static_cast<double>(rng.uniform_int(1, 2));
+  for (std::size_t c = 1; c < m; ++c)
+    for (std::size_t i = 0; i < rows_when_col[c]; ++i)
+      b(i, c) = b(i, c - 1) - static_cast<double>(rng.uniform_int(1, 2));
+
+  // Chains seeded from unpinned random cells can run negative; a constant
+  // shift of a player's own payoff matrix preserves every dominance relation
+  // (and the equilibrium set), so lift both back to non-negative integers.
+  for (la::Matrix* mat : {&a, &b}) {
+    double lo = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < m; ++j) lo = std::min(lo, (*mat)(i, j));
+    if (lo < 0.0)
+      for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < m; ++j) (*mat)(i, j) -= lo;
+  }
+
+  // Shuffle the action labels so the unique equilibrium is not always (0,0).
+  std::vector<std::size_t> rp(n), cp(m);
+  std::iota(rp.begin(), rp.end(), 0);
+  std::iota(cp.begin(), cp.end(), 0);
+  for (std::size_t i = n; i > 1; --i)
+    std::swap(rp[i - 1], rp[rng.uniform_index(i)]);
+  for (std::size_t j = m; j > 1; --j)
+    std::swap(cp[j - 1], cp[rng.uniform_index(j)]);
+  la::Matrix a2(n, m), b2(n, m);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < m; ++j) {
+      a2(rp[i], cp[j]) = a(i, j);
+      b2(rp[i], cp[j]) = b(i, j);
+    }
+  return BimatrixGame(std::move(a2), std::move(b2), "random-dominance");
+}
+
+BimatrixGame random_covariant_game(std::size_t n, std::size_t m, double rho,
+                                   util::Rng& rng) {
+  if (rho < -1.0 || rho > 1.0)
+    throw std::invalid_argument("random_covariant_game: rho outside [-1, 1]");
+  const double ortho = std::sqrt(std::max(0.0, 1.0 - rho * rho));
+  la::Matrix a(n, m), b(n, m);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < m; ++j) {
+      const double z1 = rng.normal();
+      const double z2 = rng.normal();
+      a(i, j) = z1;
+      b(i, j) = rho * z1 + ortho * z2;
+    }
+  return BimatrixGame(std::move(a), std::move(b),
+                      "random-covariant(" + std::to_string(rho) + ")");
 }
 
 BimatrixGame random_integer_game(std::size_t n, std::size_t m, util::Rng& rng,

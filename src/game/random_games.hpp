@@ -30,4 +30,19 @@ BimatrixGame random_coordination_game(std::size_t n, util::Rng& rng,
 BimatrixGame random_integer_game(std::size_t n, std::size_t m, util::Rng& rng,
                                  int lo = 0, int hi = 7);
 
+/// Random game solvable by ITERATED strict dominance: the elimination
+/// schedule interleaves both players (each removed action is strictly
+/// dominated only over the opponent actions still surviving at its step, so
+/// the full iteration is genuinely required), collapsing to a unique pure
+/// equilibrium at a uniformly shuffled action pair. Payoffs are small
+/// non-negative integers (range O(n + m)) — hardware-mappable.
+BimatrixGame random_dominance_solvable_game(std::size_t n, std::size_t m,
+                                            util::Rng& rng);
+
+/// Random covariant game (GAMUT-style): each cell's payoff pair is bivariate
+/// standard normal with correlation rho, sweeping zero-sum (rho = -1)
+/// through uncorrelated (0) to common-interest (rho = +1).
+BimatrixGame random_covariant_game(std::size_t n, std::size_t m, double rho,
+                                   util::Rng& rng);
+
 }  // namespace cnash::game

@@ -1,0 +1,16 @@
+#pragma once
+// Small shared bit arithmetic.
+
+#include <cstddef>
+
+namespace cnash::util {
+
+/// ceil(log2(x)) for x >= 1 (0 for x <= 1): the stage depth of a binary
+/// reduction tree (WTA tree, H-tree adder) over x inputs.
+inline std::size_t ceil_log2(std::size_t x) {
+  std::size_t depth = 0;
+  for (std::size_t span = 1; span < x; span <<= 1) ++depth;
+  return depth;
+}
+
+}  // namespace cnash::util

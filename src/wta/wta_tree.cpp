@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/bits.hpp"
+
 namespace cnash::wta {
 
 WtaTree::WtaTree(std::size_t num_inputs, WtaCellParams cell_params,
@@ -14,15 +16,7 @@ WtaTree::WtaTree(std::size_t num_inputs, WtaCellParams cell_params,
     cells_.emplace_back(params_, rng);
 }
 
-std::size_t WtaTree::depth() const {
-  std::size_t k = 0;
-  std::size_t span = 1;
-  while (span < num_inputs_) {
-    span <<= 1;
-    ++k;
-  }
-  return k;
-}
+std::size_t WtaTree::depth() const { return util::ceil_log2(num_inputs_); }
 
 std::size_t WtaTree::num_cells() const {
   // 2^K - 1 per Sec. 3.3 (the tree is built out to the full power of two).

@@ -1,12 +1,12 @@
 #include "xbar/area.hpp"
 
+#include "util/bits.hpp"
+
 namespace cnash::xbar {
 
 namespace {
 std::size_t wta_cells_for(std::size_t inputs) {
-  std::size_t depth = 0;
-  for (std::size_t span = 1; span < inputs; span <<= 1) ++depth;
-  return (static_cast<std::size_t>(1) << depth) - 1;
+  return (static_cast<std::size_t>(1) << util::ceil_log2(inputs)) - 1;
 }
 }  // namespace
 
@@ -23,6 +23,48 @@ AreaBreakdown AreaModel::crossbar(const MappingGeometry& geom, std::size_t adcs,
   a.adc_um2 = params_.adc_um2 * static_cast<double>(adcs);
   a.wta_um2 = params_.wta_cell_um2 * static_cast<double>(wta_cells);
   return a;
+}
+
+AreaBreakdown AreaModel::tiled_crossbar(std::size_t tile_rows,
+                                        std::size_t tile_cols,
+                                        std::size_t num_tiles,
+                                        std::size_t logical_rows,
+                                        std::size_t adcs,
+                                        std::size_t wta_cells) const {
+  AreaBreakdown a;
+  const double tiles = static_cast<double>(num_tiles);
+  a.array_um2 = params_.cell_um2 * tiles * static_cast<double>(tile_rows) *
+                static_cast<double>(tile_cols);
+  a.drivers_um2 =
+      tiles * (params_.wl_driver_um2 * static_cast<double>(tile_rows) +
+               params_.dl_driver_um2 * static_cast<double>(tile_cols));
+  a.sense_um2 = params_.sense_um2 * static_cast<double>(logical_rows);
+  a.adc_um2 = params_.adc_um2 * static_cast<double>(adcs);
+  a.wta_um2 = params_.wta_cell_um2 * static_cast<double>(wta_cells);
+  a.htree_um2 = num_tiles > 1
+                    ? params_.htree_adder_um2 * static_cast<double>(num_tiles - 1)
+                    : 0.0;
+  return a;
+}
+
+AreaBreakdown AreaModel::tiled_macro(std::size_t tile_rows,
+                                     std::size_t tile_cols,
+                                     std::size_t num_tiles_m,
+                                     std::size_t num_tiles_nt, std::size_t n,
+                                     std::size_t m) const {
+  const AreaBreakdown bm =
+      tiled_crossbar(tile_rows, tile_cols, num_tiles_m, n, 1, wta_cells_for(n));
+  const AreaBreakdown bnt = tiled_crossbar(tile_rows, tile_cols, num_tiles_nt,
+                                           m, 1, wta_cells_for(m));
+  AreaBreakdown total;
+  total.array_um2 = bm.array_um2 + bnt.array_um2;
+  total.drivers_um2 = bm.drivers_um2 + bnt.drivers_um2;
+  total.sense_um2 = bm.sense_um2 + bnt.sense_um2;
+  total.adc_um2 = bm.adc_um2 + bnt.adc_um2;
+  total.wta_um2 = bm.wta_um2 + bnt.wta_um2;
+  total.htree_um2 = bm.htree_um2 + bnt.htree_um2;
+  total.logic_um2 = params_.sa_logic_um2;
+  return total;
 }
 
 AreaBreakdown AreaModel::macro(const MappingGeometry& geom_m,

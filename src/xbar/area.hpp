@@ -20,6 +20,7 @@ struct AreaParams {
   double adc_um2 = 380.0;           // per ADC macro
   double wta_cell_um2 = 6.5;        // per 2-input WTA cell
   double sa_logic_um2 = 5200.0;     // digital SA controller (shared)
+  double htree_adder_um2 = 14.0;    // per 2-input H-tree aggregation adder
 };
 
 struct AreaBreakdown {
@@ -29,8 +30,10 @@ struct AreaBreakdown {
   double adc_um2 = 0.0;
   double wta_um2 = 0.0;
   double logic_um2 = 0.0;
+  double htree_um2 = 0.0;  // tile-output aggregation tree (tiled macro only)
   double total_um2() const {
-    return array_um2 + drivers_um2 + sense_um2 + adc_um2 + wta_um2 + logic_um2;
+    return array_um2 + drivers_um2 + sense_um2 + adc_um2 + wta_um2 + logic_um2 +
+           htree_um2;
   }
 };
 
@@ -49,6 +52,22 @@ class AreaModel {
   /// WTA trees, two ADCs per array and the shared SA controller.
   AreaBreakdown macro(const MappingGeometry& geom_m,
                       const MappingGeometry& geom_nt) const;
+
+  /// One tiled crossbar: `num_tiles` fixed-size arrays of
+  /// tile_rows × tile_cols cells (unused lines of partial tiles are still
+  /// paid for — the tiling overhead), per-tile drivers and per-logical-row
+  /// sensing, plus the H-tree adder stage (num_tiles - 1 two-input adders
+  /// per aggregated output is conservatively folded into one tree of
+  /// num_tiles - 1 adders).
+  AreaBreakdown tiled_crossbar(std::size_t tile_rows, std::size_t tile_cols,
+                               std::size_t num_tiles, std::size_t logical_rows,
+                               std::size_t adcs, std::size_t wta_cells) const;
+
+  /// The tiled bi-crossbar macro: both tile grids, shared WTA / ADC / SA
+  /// controller, H-tree adders per grid.
+  AreaBreakdown tiled_macro(std::size_t tile_rows, std::size_t tile_cols,
+                            std::size_t num_tiles_m, std::size_t num_tiles_nt,
+                            std::size_t n, std::size_t m) const;
 
  private:
   AreaParams params_;

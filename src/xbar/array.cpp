@@ -166,13 +166,21 @@ void ProgrammedCrossbar::read_mv_into(
   const auto& g = mapping_.geometry();
   if (groups_active.size() != g.m)
     throw std::invalid_argument("read_mv: activation size mismatch");
+  for (std::size_t j = 0; j < g.m; ++j)
+    if (groups_active[j] > g.intervals)
+      throw std::invalid_argument("groups_active > I");
+  read_mv_into(groups_active.data(), out);
+}
+
+void ProgrammedCrossbar::read_mv_into(const std::uint32_t* groups_active,
+                                      double* out) const {
+  const auto& g = mapping_.geometry();
   std::fill(out, out + g.n, 0.0);
   // Accumulate one contiguous n-vector per block column — the SoA layout
   // turns the MV read into m contiguous vector additions.
   for (std::size_t j = 0; j < g.m; ++j) {
-    const std::uint32_t gr = groups_active[j];
-    if (gr > g.intervals) throw std::invalid_argument("groups_active > I");
-    const double* col = mv_table_.data() + (j * table_dim_ + gr) * g.n;
+    const double* col =
+        mv_table_.data() + (j * table_dim_ + groups_active[j]) * g.n;
     for (std::size_t i = 0; i < g.n; ++i) out[i] += col[i];
   }
 }
@@ -183,16 +191,23 @@ double ProgrammedCrossbar::read_vmv(
   const auto& g = mapping_.geometry();
   if (rows_active.size() != g.n || groups_active.size() != g.m)
     throw std::invalid_argument("read_vmv: activation size mismatch");
+  for (std::size_t i = 0; i < g.n; ++i)
+    if (rows_active[i] > g.intervals)
+      throw std::invalid_argument("rows_active > I");
+  for (std::size_t j = 0; j < g.m; ++j)
+    if (groups_active[j] > g.intervals)
+      throw std::invalid_argument("groups_active > I");
+  return read_vmv(rows_active.data(), groups_active.data());
+}
+
+double ProgrammedCrossbar::read_vmv(const std::uint32_t* rows_active,
+                                    const std::uint32_t* groups_active) const {
+  const auto& g = mapping_.geometry();
   double total = 0.0;
   for (std::size_t i = 0; i < g.n; ++i) {
-    const std::uint32_t r = rows_active[i];
-    if (r > g.intervals) throw std::invalid_argument("rows_active > I");
-    const double* row = block_table(i, 0) + r * table_dim_;
-    for (std::size_t j = 0; j < g.m; ++j) {
-      const std::uint32_t gr = groups_active[j];
-      if (gr > g.intervals) throw std::invalid_argument("groups_active > I");
-      total += row[j * block_stride_ + gr];
-    }
+    const double* row = block_table(i, 0) + rows_active[i] * table_dim_;
+    for (std::size_t j = 0; j < g.m; ++j)
+      total += row[j * block_stride_ + groups_active[j]];
   }
   return total;
 }
@@ -214,6 +229,14 @@ double ProgrammedCrossbar::vmv_row_delta(
   if (i >= g.n || r_old > g.intervals || r_new > g.intervals ||
       groups_active.size() != g.m)
     throw std::out_of_range("vmv_row_delta");
+  return vmv_row_delta(i, r_old, r_new, groups_active.data());
+}
+
+double ProgrammedCrossbar::vmv_row_delta(std::size_t i, std::uint32_t r_old,
+                                         std::uint32_t r_new,
+                                         const std::uint32_t* groups_active)
+    const {
+  const auto& g = mapping_.geometry();
   const double* base = block_table(i, 0);
   const std::size_t off_new = r_new * table_dim_;
   const std::size_t off_old = r_old * table_dim_;
@@ -233,6 +256,14 @@ double ProgrammedCrossbar::vmv_group_delta(
   if (j >= g.m || g_old > g.intervals || g_new > g.intervals ||
       rows_active.size() != g.n)
     throw std::out_of_range("vmv_group_delta");
+  return vmv_group_delta(j, g_old, g_new, rows_active.data());
+}
+
+double ProgrammedCrossbar::vmv_group_delta(std::size_t j, std::uint32_t g_old,
+                                           std::uint32_t g_new,
+                                           const std::uint32_t* rows_active)
+    const {
+  const auto& g = mapping_.geometry();
   double delta = 0.0;
   for (std::size_t i = 0; i < g.n; ++i) {
     const double* row = block_table(i, j) + rows_active[i] * table_dim_;

@@ -77,9 +77,18 @@ class ProgrammedCrossbar {
   void read_mv_into(const std::vector<std::uint32_t>& groups_active,
                     double* out) const;
 
+  /// Raw-pointer variant for callers holding activations in a larger buffer
+  /// (a chip tile slicing the global count vectors): `groups_active[0..m)`,
+  /// no size validation.
+  void read_mv_into(const std::uint32_t* groups_active, double* out) const;
+
   /// Total array current: the VMV read pᵀMq (Phase 2 of Fig. 6).
   double read_vmv(const std::vector<std::uint32_t>& rows_active,
                   const std::vector<std::uint32_t>& groups_active) const;
+
+  /// Raw-pointer VMV read: `rows_active[0..n)`, `groups_active[0..m)`.
+  double read_vmv(const std::uint32_t* rows_active,
+                  const std::uint32_t* groups_active) const;
 
   // ---- Incremental delta kernels (single-tick activation changes) ----------
   //
@@ -98,11 +107,20 @@ class ProgrammedCrossbar {
   double vmv_row_delta(std::size_t i, std::uint32_t r_old, std::uint32_t r_new,
                        const std::vector<std::uint32_t>& groups_active) const;
 
+  /// Raw-pointer variant: `groups_active[0..m)`, no size validation.
+  double vmv_row_delta(std::size_t i, std::uint32_t r_old, std::uint32_t r_new,
+                       const std::uint32_t* groups_active) const;
+
   /// Phase-2 update: change of the total array current when block column j
   /// goes from g_old to g_new active groups under `rows_active`. O(n).
   double vmv_group_delta(std::size_t j, std::uint32_t g_old,
                          std::uint32_t g_new,
                          const std::vector<std::uint32_t>& rows_active) const;
+
+  /// Raw-pointer variant: `rows_active[0..n)`, no size validation.
+  double vmv_group_delta(std::size_t j, std::uint32_t g_old,
+                         std::uint32_t g_new,
+                         const std::uint32_t* rows_active) const;
 
   /// Slow path: direct sum over the activated cells (validation only).
   double read_vmv_percell(const std::vector<std::uint32_t>& rows_active,

@@ -21,4 +21,9 @@ double EnergyModel::wta_tree(std::size_t inputs) const {
   return params_.wta_cell_energy_j * static_cast<double>(inputs - 1);
 }
 
+double EnergyModel::htree(std::size_t fanin) const {
+  if (fanin < 2) return 0.0;
+  return params_.htree_adder_energy_j * static_cast<double>(fanin - 1);
+}
+
 }  // namespace cnash::xbar

@@ -15,6 +15,7 @@ struct EnergyParams {
   double adc_energy_j = 2e-12;        // per conversion
   double wta_cell_energy_j = 50e-15;  // per 2-input WTA cell settle
   double sa_logic_energy_j = 1e-12;   // digital controller per iteration
+  double htree_adder_energy_j = 25e-15;  // per 2-input aggregation adder op
 };
 
 struct ReadEnergyBreakdown {
@@ -42,6 +43,10 @@ class EnergyModel {
 
   /// Energy of a D-input WTA reduction (D-1 two-input cells).
   double wta_tree(std::size_t inputs) const;
+
+  /// Energy of one H-tree aggregation merging `fanin` tile outputs
+  /// (fanin - 1 two-input adder operations).
+  double htree(std::size_t fanin) const;
 
   /// Digital SA controller energy per iteration.
   double sa_iteration() const { return params_.sa_logic_energy_j; }

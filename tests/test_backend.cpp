@@ -13,6 +13,7 @@
 #include "core/service.hpp"
 #include "core/timing.hpp"
 #include "game/games.hpp"
+#include "game/random_games.hpp"
 
 namespace cnash::core {
 namespace {
@@ -37,9 +38,9 @@ std::string samples_fingerprint(const std::vector<SolveSample>& samples) {
   return fp;
 }
 
-TEST(SolverRegistry, GlobalRegistersTheSixPaperBackends) {
+TEST(SolverRegistry, GlobalRegistersTheSevenBackends) {
   const std::vector<std::string> expected{
-      "hardware-sa",       "exact-sa",     "dwave-2000q6",
+      "hardware-sa",  "hardware-sa-tiled", "exact-sa",    "dwave-2000q6",
       "dwave-advantage41", "lemke-howson", "support-enum"};
   EXPECT_EQ(SolverRegistry::global().names(), expected);
   for (const std::string& name : expected) {
@@ -118,6 +119,52 @@ TEST(SolverBackend, HardwareSaReproducesTheSolverEngine) {
 
   EXPECT_EQ(samples_fingerprint(engine_samples),
             samples_fingerprint(report.samples));
+}
+
+TEST(SolverBackend, TiledBackendByteReproducesMonolithicOnSingleTileGames) {
+  // Acceptance contract: when the whole game fits one tile, the
+  // "hardware-sa-tiled" report is byte-identical to "hardware-sa" (same
+  // seeds, full non-idealities on) — samples, counts and objectives; only
+  // the backend label and the latency model differ.
+  SolveRequest req(game::bird_game());
+  req.backend = "hardware-sa";
+  req.runs = 8;
+  req.seed = 0x717ED;
+  req.sa.iterations = 600;
+  const SolveReport mono = SolverRegistry::global().at("hardware-sa").solve(req);
+
+  req.backend = "hardware-sa-tiled";
+  req.chip.tile_rows = 1024;  // whole array in one tile
+  req.chip.tile_cols = 4096;
+  const SolveReport tiled =
+      SolverRegistry::global().at("hardware-sa-tiled").solve(req);
+
+  EXPECT_EQ(samples_fingerprint(mono.samples),
+            samples_fingerprint(tiled.samples));
+  EXPECT_EQ(mono.nash_count, tiled.nash_count);
+  EXPECT_EQ(mono.valid_count, tiled.valid_count);
+  EXPECT_EQ(mono.best_objective, tiled.best_objective);
+  EXPECT_EQ(tiled.backend, "hardware-sa-tiled");
+  EXPECT_GT(tiled.modeled_time_s, 0.0);
+}
+
+TEST(SolverBackend, TiledBackendSolvesGamesBeyondTheMonolithicBenchRange) {
+  // The tiled backend lifts the solvable range: a 12-action (per player)
+  // sharded game solves end-to-end through the registry with a real tile
+  // grid (several tiles per array) and still finds equilibria.
+  util::Rng rng(0x60D);
+  SolveRequest req(game::random_dominance_solvable_game(12, 12, rng));
+  req.backend = "hardware-sa-tiled";
+  req.runs = 6;
+  req.seed = 99;
+  req.intervals = 8;
+  req.sa.iterations = 4000;
+  req.chip.tile_rows = 16;
+  req.chip.tile_cols = 512;
+  const SolveReport report =
+      SolverRegistry::global().at("hardware-sa-tiled").solve(req);
+  EXPECT_EQ(report.samples.size(), 6u);
+  EXPECT_GE(report.nash_count, 1u);
 }
 
 TEST(SolverBackend, SamplesCarryEpsilonNashVerification) {

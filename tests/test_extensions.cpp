@@ -11,6 +11,7 @@
 #include "util/rng.hpp"
 #include "xbar/area.hpp"
 #include "xbar/array.hpp"
+#include "xbar/energy.hpp"
 
 namespace cnash {
 namespace {
@@ -107,6 +108,34 @@ TEST(Area, MacroIncludesBothCrossbarsAndLogic) {
   EXPECT_NEAR(macro.array_um2, 2.0 * one.array_um2, 1e-9);
   EXPECT_DOUBLE_EQ(macro.logic_um2, model.params().sa_logic_um2);
   EXPECT_GT(macro.total_um2(), 2.0 * one.total_um2() * 0.9);
+}
+
+TEST(Area, TiledMacroPaysTileOverheadAndHtree) {
+  const xbar::AreaModel model;
+  // 32 actions, I=8, t=7: monolithic 256×1792 cells vs 4×2 tiles of 64×1024.
+  const xbar::MappingGeometry geom{32, 32, 8, 7};
+  const auto mono = model.macro(geom, geom);
+  const auto tiled = model.tiled_macro(64, 1024, 8, 8, 32, 32);
+  // Fixed-size tiles waste unused lines: the tiled macro is strictly larger.
+  EXPECT_GT(tiled.array_um2, mono.array_um2);
+  EXPECT_GT(tiled.htree_um2, 0.0);
+  EXPECT_DOUBLE_EQ(tiled.htree_um2,
+                   2.0 * model.params().htree_adder_um2 * 7.0);  // 8 tiles
+  EXPECT_DOUBLE_EQ(tiled.logic_um2, model.params().sa_logic_um2);
+  EXPECT_DOUBLE_EQ(tiled.total_um2(),
+                   tiled.array_um2 + tiled.drivers_um2 + tiled.sense_um2 +
+                       tiled.adc_um2 + tiled.wta_um2 + tiled.logic_um2 +
+                       tiled.htree_um2);
+  // A single-tile grid pays no adders.
+  EXPECT_DOUBLE_EQ(model.tiled_macro(64, 1024, 1, 1, 4, 4).htree_um2, 0.0);
+}
+
+TEST(Energy, HtreeAdderEnergyScalesWithFanin) {
+  const xbar::EnergyModel model;
+  EXPECT_DOUBLE_EQ(model.htree(1), 0.0);
+  EXPECT_DOUBLE_EQ(model.htree(8),
+                   7.0 * model.params().htree_adder_energy_j);
+  EXPECT_GT(model.htree(16), model.htree(8));
 }
 
 // ---------------------------------------------------------------------------

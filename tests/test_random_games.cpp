@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "game/random_games.hpp"
+#include "game/support_enum.hpp"
 #include "game/verify.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -78,6 +79,85 @@ TEST(RandomGames, PayoffsRoughlyUniform) {
   }
   EXPECT_NEAR(stats.mean(), 0.5, 0.02);
   EXPECT_NEAR(stats.stddev(), std::sqrt(1.0 / 12.0), 0.02);
+}
+
+TEST(RandomGames, DominanceSolvableHasUniquePureEquilibrium) {
+  util::Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 2 + rng.uniform_index(4);
+    const std::size_t m = 2 + rng.uniform_index(4);
+    const BimatrixGame g = random_dominance_solvable_game(n, m, rng);
+    EXPECT_EQ(g.num_actions1(), n);
+    EXPECT_EQ(g.num_actions2(), m);
+    // Integer, non-negative payoffs (hardware-mappable).
+    for (const la::Matrix* mat : {&g.payoff1(), &g.payoff2()})
+      for (double v : mat->data()) {
+        EXPECT_GE(v, 0.0);
+        EXPECT_DOUBLE_EQ(v, std::round(v));
+      }
+    // Iterated strict dominance preserves the equilibrium set, so the
+    // surviving single cell is the game's unique (pure) equilibrium.
+    const auto eqs = all_equilibria(g);
+    ASSERT_EQ(eqs.size(), 1u) << "trial " << trial;
+    std::size_t support1 = 0, support2 = 0;
+    for (double v : eqs.front().p)
+      if (v > 1e-9) ++support1;
+    for (double v : eqs.front().q)
+      if (v > 1e-9) ++support2;
+    EXPECT_EQ(support1, 1u);
+    EXPECT_EQ(support2, 1u);
+  }
+}
+
+TEST(RandomGames, DominanceSolvableShufflesTheEquilibriumCell) {
+  // The action relabeling must not leave the equilibrium pinned at (0,0).
+  util::Rng rng(13);
+  bool off_origin = false;
+  for (int trial = 0; trial < 10 && !off_origin; ++trial) {
+    const auto eqs = all_equilibria(random_dominance_solvable_game(4, 4, rng));
+    ASSERT_EQ(eqs.size(), 1u);
+    off_origin = eqs.front().p[0] < 0.5 || eqs.front().q[0] < 0.5;
+  }
+  EXPECT_TRUE(off_origin);
+}
+
+TEST(RandomGames, CovariantCorrelationExtremes) {
+  util::Rng rng(17);
+  // rho = -1: exactly zero-sum; rho = +1: exactly common interest.
+  const BimatrixGame zs = random_covariant_game(5, 6, -1.0, rng);
+  for (std::size_t i = 0; i < 5; ++i)
+    for (std::size_t j = 0; j < 6; ++j)
+      EXPECT_DOUBLE_EQ(zs.payoff2()(i, j), -zs.payoff1()(i, j));
+  const BimatrixGame ci = random_covariant_game(5, 6, 1.0, rng);
+  for (std::size_t i = 0; i < 5; ++i)
+    for (std::size_t j = 0; j < 6; ++j)
+      EXPECT_DOUBLE_EQ(ci.payoff2()(i, j), ci.payoff1()(i, j));
+  EXPECT_THROW(random_covariant_game(3, 3, 1.5, rng), std::invalid_argument);
+}
+
+TEST(RandomGames, CovariantCorrelationTracksRho) {
+  util::Rng rng(19);
+  for (const double rho : {-0.8, 0.0, 0.8}) {
+    // Empirical payoff-pair correlation over many cells.
+    double sa = 0.0, sb = 0.0, saa = 0.0, sbb = 0.0, sab = 0.0;
+    const std::size_t n = 40, m = 40;
+    const BimatrixGame g = random_covariant_game(n, m, rho, rng);
+    const double cells = static_cast<double>(n * m);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < m; ++j) {
+        const double a = g.payoff1()(i, j), b = g.payoff2()(i, j);
+        sa += a;
+        sb += b;
+        saa += a * a;
+        sbb += b * b;
+        sab += a * b;
+      }
+    const double cov = sab / cells - (sa / cells) * (sb / cells);
+    const double var_a = saa / cells - (sa / cells) * (sa / cells);
+    const double var_b = sbb / cells - (sb / cells) * (sb / cells);
+    const double corr = cov / std::sqrt(var_a * var_b);
+    EXPECT_NEAR(corr, rho, 0.08) << "rho " << rho;
+  }
 }
 
 }  // namespace

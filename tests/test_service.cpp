@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <future>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -57,9 +58,9 @@ SolveRequest sa_request(const game::BimatrixGame& g, const std::string& backend,
   return req;
 }
 
-TEST(SolverService, AllSixBackendsSolveTheSameGameThroughSubmit) {
+TEST(SolverService, AllRegisteredBackendsSolveTheSameGameThroughSubmit) {
   const auto names = SolverRegistry::global().names();
-  ASSERT_EQ(names.size(), 6u);
+  ASSERT_EQ(names.size(), 7u);
   SolverService service(ServiceOptions{4});
   const game::BimatrixGame g = game::battle_of_sexes();
 
@@ -175,13 +176,41 @@ TEST(SolverService, UnknownBackendRejectsViaFuture) {
       2u);
 }
 
-TEST(SolverService, ZeroRunJobsResolveToEmptyReports) {
+TEST(SolverService, ZeroRunRequestsRejectAtSubmitTime) {
+  // Satellite contract: runs == 0 resolves the future immediately with a
+  // clear std::invalid_argument instead of surfacing from a worker thread.
   SolverService service(ServiceOptions{2});
-  const SolveReport report =
-      service.solve(sa_request(game::battle_of_sexes(), "hardware-sa", 0, 1));
-  EXPECT_TRUE(report.samples.empty());
-  EXPECT_EQ(report.nash_count, 0u);
-  EXPECT_EQ(report.backend, "hardware-sa");
+  auto future =
+      service.submit(sa_request(game::battle_of_sexes(), "hardware-sa", 0, 1));
+  try {
+    future.get();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("runs == 0"), std::string::npos);
+  }
+  // The pool is unaffected: a valid job still solves.
+  const SolveReport ok =
+      service.solve(sa_request(game::battle_of_sexes(), "exact-sa", 4, 7));
+  EXPECT_EQ(ok.samples.size(), 4u);
+}
+
+TEST(SolverService, NonFinitePayoffsRejectAtSubmitTime) {
+  la::Matrix m{{1.0, 0.0}, {0.0, std::numeric_limits<double>::quiet_NaN()}};
+  const game::BimatrixGame bad(m, m, "nan-game");
+  SolverService service(ServiceOptions{1});
+  auto future = service.submit(sa_request(bad, "exact-sa", 2, 1));
+  try {
+    future.get();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("non-finite"), std::string::npos);
+  }
+}
+
+TEST(SolverBackendValidation, SynchronousSolveRejectsZeroRuns) {
+  SolveRequest req = sa_request(game::battle_of_sexes(), "exact-sa", 0, 1);
+  EXPECT_THROW(SolverRegistry::global().at("exact-sa").solve(req),
+               std::invalid_argument);
 }
 
 TEST(SolverService, ExactBackendsVerifyAndDeduplicate) {

@@ -45,6 +45,35 @@ TEST(CNashTiming, TimeToSolutionDividesBySuccessRate) {
   EXPECT_TRUE(std::isinf(model.time_to_solution_s(bos_geometry(), 10000, 0.0)));
 }
 
+TEST(CNashTiming, TiledAnalogPathBeatsMonolithicForLargeArrays) {
+  const CNashTimingModel model;
+  // 256-action, I=8, t=7 game: the monolithic array has 2048×14336 lines,
+  // the tiled chip fixed 64×1024 tiles plus a log-depth H-tree.
+  const xbar::MappingGeometry mono{256, 256, 8, 7};
+  const TileGridTiming grid{64, 1024, 32, 13, 256};
+  EXPECT_LT(model.tiled_analog_path_s(grid), model.analog_path_s(mono));
+  // Both still controller-bound at this size.
+  EXPECT_DOUBLE_EQ(model.tiled_iteration_s(grid),
+                   model.params().controller_period_s);
+  EXPECT_DOUBLE_EQ(model.tiled_run_time_s(grid, 1000),
+                   1000.0 * model.tiled_iteration_s(grid));
+}
+
+TEST(CNashTiming, TiledAnalogPathGrowsWithGridDepth) {
+  const CNashTimingModel model;
+  const TileGridTiming small{64, 1024, 2, 1, 16};
+  const TileGridTiming big{64, 1024, 32, 13, 16};
+  // Same tile (same settle), deeper H-tree -> longer path.
+  EXPECT_GT(model.tiled_analog_path_s(big), model.tiled_analog_path_s(small));
+  // A 1×1 grid has no aggregation stage: the tiled path equals the
+  // monolithic path over the tile's own geometry... modulo the identical
+  // WTA/ADC terms, the settle is the tile's.
+  const TileGridTiming single{24, 48, 1, 1, 2};
+  const xbar::MappingGeometry same_size{2, 2, 12, 2};  // 24×48 lines
+  EXPECT_DOUBLE_EQ(model.tiled_analog_path_s(single),
+                   model.analog_path_s(same_size));
+}
+
 TEST(DWaveTiming, JobTimeComposition) {
   const DWaveTimingModel m(dwave_2000q6_timing());
   const auto& p = m.params();
