@@ -1,0 +1,239 @@
+// Serving-gateway load generator: boots an in-process NashServer on an
+// ephemeral loopback port, drives it from pipelined client connections with a
+// mixed batch of game sizes and backends, and measures
+//
+//   * cold phase  — every request unique → full solve path: requests/s and
+//                   mean/max response latency per backend/size class;
+//   * warm phase  — the identical batch again → every request a cache hit:
+//                   cache-hit latency vs. the cold-solve latency and the
+//                   hit-rate counters from the server's `stats` method.
+//
+// Usage: bench_serve_throughput [requests-per-class] [--threads N]
+//                               [--json <path>]   (BENCH_serve_throughput.json)
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "game/parse.hpp"
+#include "game/random_games.hpp"
+#include "serve/line_client.hpp"
+#include "serve/server.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using cnash::bench::Json;
+using cnash::serve::LineClient;
+
+struct RequestClass {
+  std::string label;
+  std::string backend;
+  std::size_t actions;
+  std::size_t runs;
+  std::size_t iterations;
+};
+
+std::string solve_line(const RequestClass& cls, const cnash::game::BimatrixGame& g,
+                       std::uint64_t seed, int id) {
+  std::string line = "{\"method\":\"solve\",\"id\":" + std::to_string(id);
+  line += ",\"game_text\":" +
+          cnash::util::Json::string(cnash::game::serialize_game(g)).dump();
+  line += ",\"backend\":\"" + cls.backend + "\"";
+  line += ",\"runs\":" + std::to_string(cls.runs);
+  line += ",\"iterations\":" + std::to_string(cls.iterations);
+  line += ",\"seed\":" + std::to_string(seed);
+  line += "}";
+  return line;
+}
+
+struct PhaseResult {
+  double wall_s = 0.0;
+  double mean_latency_s = 0.0;
+  double max_latency_s = 0.0;
+  std::size_t responses = 0;
+  std::size_t errors = 0;
+  std::size_t cached = 0;
+};
+
+/// Sends every line and waits for all responses (pipelined per connection,
+/// round-robin across the pool). Latency is per-request submit→response.
+PhaseResult drive(std::vector<LineClient>& pool,
+                  const std::vector<std::string>& lines) {
+  using clock = std::chrono::steady_clock;
+  PhaseResult result;
+  const auto start = clock::now();
+  std::vector<clock::time_point> sent(lines.size());
+  double total_latency = 0.0;
+  // Per-connection FIFO: responses on one connection come back in completion
+  // order; ids map them back to their submit times.
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    LineClient& client = pool[i % pool.size()];
+    sent[i] = clock::now();
+    if (!client.send_line(lines[i])) {
+      std::fprintf(stderr, "bench_serve_throughput: submit failed\n");
+      std::exit(1);
+    }
+  }
+  for (std::size_t c = 0; c < pool.size(); ++c) {
+    const std::size_t owed = lines.size() / pool.size() +
+                             (c < lines.size() % pool.size() ? 1 : 0);
+    for (std::size_t k = 0; k < owed; ++k) {
+      std::string line;
+      if (!pool[c].recv_line(line)) {
+        std::fprintf(stderr, "bench_serve_throughput: connection lost\n");
+        std::exit(1);
+      }
+      const auto now = clock::now();
+      const cnash::util::Json response = cnash::util::Json::parse(line);
+      result.responses++;
+      if (!response.at("ok").as_bool()) {
+        result.errors++;
+        continue;
+      }
+      if (response.at("cached").as_bool()) result.cached++;
+      const std::size_t id =
+          static_cast<std::size_t>(response.at("id").as_number());
+      const double latency =
+          std::chrono::duration<double>(now - sent[id]).count();
+      total_latency += latency;
+      if (latency > result.max_latency_s) result.max_latency_s = latency;
+    }
+  }
+  result.wall_s = std::chrono::duration<double>(clock::now() - start).count();
+  if (result.responses > result.errors)
+    result.mean_latency_s =
+        total_latency / static_cast<double>(result.responses - result.errors);
+  return result;
+}
+
+void report_phase(Json& node, const PhaseResult& r) {
+  node.set("responses", r.responses);
+  node.set("errors", r.errors);
+  node.set("cached", r.cached);
+  node.set("wall_s", r.wall_s);
+  node.set("requests_per_sec",
+           r.wall_s > 0.0 ? static_cast<double>(r.responses) / r.wall_s : 0.0);
+  node.set("mean_latency_s", r.mean_latency_s);
+  node.set("max_latency_s", r.max_latency_s);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cnash;
+  const bench::CliOptions cli = bench::parse_cli(argc, argv);
+  const std::size_t per_class = cli.runs > 0 ? cli.runs : 8;
+  constexpr std::size_t kClasses = 5;  // must match `classes` below
+  bench::JsonReport report("serve_throughput", cli);
+
+  serve::ServeOptions options;
+  options.service_threads = cli.threads;
+  // This bench measures throughput and cache behavior, not shedding: the
+  // load generator pipelines the whole batch up front, so admission is
+  // sized to the offered load (every request must be admitted).
+  const std::size_t total_requests = kClasses * per_class;
+  options.admission.max_queue_depth = total_requests + 16;
+  options.admission.per_connection_inflight = total_requests + 16;
+  serve::NashServer server(options);
+  server.start();
+  std::thread server_thread([&] { server.run(); });
+
+  // Mixed game-size / backend classes: the small-and-exact end answers in
+  // microseconds, the hardware end exercises crossbar programming — together
+  // they approximate a production mix where cheap and expensive solves share
+  // the queue.
+  const std::vector<RequestClass> classes = {
+      {"exact_sa_2", "exact-sa", 2, 8, 400},
+      {"exact_sa_16", "exact-sa", 16, 4, 400},
+      {"lemke_howson_12", "lemke-howson", 12, 1, 0},
+      {"hardware_sa_4", "hardware-sa", 4, 4, 300},
+      {"hardware_sa_tiled_8", "hardware-sa-tiled", 8, 2, 300},
+  };
+  if (classes.size() != kClasses) {
+    std::fprintf(stderr, "bench_serve_throughput: kClasses out of sync\n");
+    return 1;
+  }
+
+  util::Rng rng(0x5EEDBEEF);
+  std::vector<std::string> lines;
+  int id = 0;
+  for (const RequestClass& cls : classes)
+    for (std::size_t i = 0; i < per_class; ++i) {
+      // Hardware backends want integer-codeable payoffs; the software
+      // backends get covariant games (the harder, generic mix).
+      game::BimatrixGame g =
+          cls.backend.rfind("hardware", 0) == 0
+              ? game::random_integer_game(cls.actions, cls.actions, rng)
+              : game::random_covariant_game(cls.actions, cls.actions, 0.0, rng);
+      lines.push_back(solve_line(cls, g, /*seed=*/1000 + i, id++));
+    }
+
+  std::vector<LineClient> pool(4);
+  for (LineClient& client : pool)
+    if (!client.connect_to(server.port())) {
+      std::fprintf(stderr, "bench_serve_throughput: connect failed\n");
+      return 1;
+    }
+
+  std::printf("serving %zu requests (%zu classes x %zu) on port %u\n",
+              lines.size(), classes.size(), per_class, server.port());
+
+  const PhaseResult cold = drive(pool, lines);
+  std::printf("cold: %.1f req/s, mean latency %.4f s, max %.4f s, "
+              "%zu errors\n",
+              cold.responses / cold.wall_s, cold.mean_latency_s,
+              cold.max_latency_s, cold.errors);
+
+  const PhaseResult warm = drive(pool, lines);
+  std::printf("warm: %.1f req/s, mean latency %.6f s, max %.6f s, "
+              "%zu cached of %zu\n",
+              warm.responses / warm.wall_s, warm.mean_latency_s,
+              warm.max_latency_s, warm.cached, warm.responses);
+
+  // Server-side counters over the wire, recorded into the JSON artifact.
+  std::string stats_line;
+  pool[0].send_line("{\"method\":\"stats\"}");
+  pool[0].recv_line(stats_line);
+  const util::Json stats = util::Json::parse(stats_line);
+
+  server.request_stop();
+  server_thread.join();
+
+  Json& root = report.root();
+  root.set("port", static_cast<std::size_t>(server.port()));
+  root.set("connections", pool.size());
+  root.set("requests_per_class", per_class);
+  Json& classes_json = root.arr("classes");
+  for (const RequestClass& cls : classes) {
+    Json& c = classes_json.push();
+    c.set("label", cls.label);
+    c.set("backend", cls.backend);
+    c.set("actions", cls.actions);
+    c.set("runs", cls.runs);
+  }
+  report_phase(root.obj("cold"), cold);
+  report_phase(root.obj("warm"), warm);
+  if (cold.mean_latency_s > 0.0 && warm.mean_latency_s > 0.0)
+    root.set("cache_speedup", cold.mean_latency_s / warm.mean_latency_s);
+  const util::Json& cache = stats.at("stats").at("cache");
+  Json& cache_json = root.obj("cache");
+  cache_json.set("hits", cache.at("hits").as_number());
+  cache_json.set("misses", cache.at("misses").as_number());
+  cache_json.set("entries", cache.at("entries").as_number());
+  cache_json.set("bytes", cache.at("bytes").as_number());
+  report.finish(static_cast<double>(cold.responses + warm.responses));
+
+  const bool ok = cold.errors == 0 && warm.errors == 0 &&
+                  warm.cached == warm.responses;
+  if (!ok) {
+    std::fprintf(stderr,
+                 "bench_serve_throughput: FAILED (cold errors %zu, warm "
+                 "errors %zu, warm cached %zu/%zu)\n",
+                 cold.errors, warm.errors, warm.cached, warm.responses);
+    return 1;
+  }
+  return 0;
+}

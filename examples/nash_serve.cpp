@@ -1,0 +1,96 @@
+// nash_serve — the Nash-serving gateway binary: a single-process TCP server
+// speaking the newline-delimited JSON protocol of src/serve/ on top of one
+// SolverService pool, with a content-addressed solution cache and admission
+// control (see README "Serving").
+//
+//   nash_serve [--port P] [--threads N] [--queue-depth N] [--conn-inflight N]
+//              [--cache-mb MB] [--retry-after S] [--quiet]
+//
+// --port 0 (default) binds an ephemeral loopback port; the bound port is
+// announced on stdout as "LISTENING <port>" so scripts can pick it up.
+// SIGTERM / SIGINT trigger a graceful drain: stop accepting, answer new
+// solves with {"code":"draining"}, finish in-flight jobs, flush, exit 0.
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <cstdlib>
+
+#include "serve/server.hpp"
+
+namespace {
+
+cnash::serve::NashServer* g_server = nullptr;
+
+void handle_signal(int) {
+  if (g_server) g_server->request_stop();
+}
+
+void print_usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--port P] [--threads N] [--queue-depth N]\n"
+               "       [--conn-inflight N] [--cache-mb MB] [--retry-after S] "
+               "[--quiet]\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cnash::serve::ServeOptions options;
+  options.announce = true;
+
+  for (int a = 1; a < argc; ++a) {
+    auto next = [&](const char* flag) {
+      if (a + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++a];
+    };
+    if (!std::strcmp(argv[a], "--port"))
+      options.port =
+          static_cast<std::uint16_t>(std::strtoul(next("--port"), nullptr, 10));
+    else if (!std::strcmp(argv[a], "--threads"))
+      options.service_threads = std::strtoul(next("--threads"), nullptr, 10);
+    else if (!std::strcmp(argv[a], "--queue-depth"))
+      options.admission.max_queue_depth =
+          std::strtoul(next("--queue-depth"), nullptr, 10);
+    else if (!std::strcmp(argv[a], "--conn-inflight"))
+      options.admission.per_connection_inflight =
+          std::strtoul(next("--conn-inflight"), nullptr, 10);
+    else if (!std::strcmp(argv[a], "--cache-mb"))
+      options.cache_bytes =
+          std::strtoul(next("--cache-mb"), nullptr, 10) << 20;
+    else if (!std::strcmp(argv[a], "--retry-after"))
+      options.admission.retry_after_s =
+          std::strtod(next("--retry-after"), nullptr);
+    else if (!std::strcmp(argv[a], "--quiet"))
+      options.announce = false;
+    else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[a]);
+      print_usage(argv[0]);
+      return 2;
+    }
+  }
+
+  try {
+    cnash::serve::NashServer server(options);
+    g_server = &server;
+    std::signal(SIGTERM, handle_signal);
+    std::signal(SIGINT, handle_signal);
+    server.start();
+    server.run();  // returns after a signal-triggered graceful drain
+    const auto& served = server.served_stats();
+    const auto& cache = server.cache_stats();
+    std::fprintf(stderr,
+                 "nash_serve: drained — %zu solves served (%zu cache hits, "
+                 "%zu coalesced), %zu errors, %zu jobs submitted\n",
+                 served.solves_ok, cache.hits, served.coalesced, served.errors,
+                 served.jobs_submitted);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "nash_serve: fatal: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

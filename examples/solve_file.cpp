@@ -5,7 +5,7 @@
 //
 //   solve_file [--backend NAME] [--runs N] [--iterations N] [--intervals I]
 //              [--exact] [--scale S] [--threads T] [--seed S]
-//              [--tile-rows R] [--tile-cols C]
+//              [--tile-rows R] [--tile-cols C] [--json]
 //              [--list-backends] <game-file|-> [<game-file> ...]
 //
 // Game file format (see src/game/parse.hpp):
@@ -23,7 +23,11 @@
 // coding (use when payoffs are fractional, e.g. --scale 10 for one decimal
 // place); --threads caps each job's in-flight runs on the service pool
 // (0 = all workers; results are identical for any T); --tile-rows/--tile-cols
-// set the physical tile dimensions of the hardware-sa-tiled chip model.
+// set the physical tile dimensions of the hardware-sa-tiled chip model;
+// --json replaces the human summary with one machine-readable JSON report
+// line per game (the core/report_json.hpp schema shared with nash_serve —
+// no ground-truth cross-check, so it also works for games too large to
+// support-enumerate).
 //
 // Exit codes: 0 success, 2 usage / malformed game file (reported per file
 // with line numbers), 3 invalid solve request (rejected at submit time, e.g.
@@ -38,6 +42,7 @@
 #include <vector>
 
 #include "core/metrics.hpp"
+#include "core/report_json.hpp"
 #include "core/service.hpp"
 #include "game/parse.hpp"
 #include "game/support_enum.hpp"
@@ -51,7 +56,8 @@ void print_usage(const char* argv0) {
                "[--intervals I]\n"
                "       [--exact] [--scale S] [--threads T] [--seed S] "
                "[--tile-rows R] [--tile-cols C]\n"
-               "       [--list-backends] <game-file|-> [<game-file> ...]\n",
+               "       [--json] [--list-backends] <game-file|-> "
+               "[<game-file> ...]\n",
                argv0);
 }
 
@@ -72,6 +78,7 @@ int main(int argc, char** argv) {
   std::uint32_t intervals = 12;
   std::uint64_t seed = 0xC0FFEE;
   double scale = 1.0;
+  bool json = false;
   chip::ChipConfig chip;
   std::vector<std::string> files;
 
@@ -102,6 +109,8 @@ int main(int argc, char** argv) {
       chip.tile_rows = std::strtoul(next("--tile-rows"), nullptr, 10);
     else if (!std::strcmp(argv[a], "--tile-cols"))
       chip.tile_cols = std::strtoul(next("--tile-cols"), nullptr, 10);
+    else if (!std::strcmp(argv[a], "--json"))
+      json = true;
     else if (!std::strcmp(argv[a], "--exact"))
       backend = "exact-sa";
     else if (!std::strcmp(argv[a], "--list-backends")) {
@@ -181,6 +190,11 @@ int main(int argc, char** argv) {
     } catch (const std::exception& e) {
       std::fprintf(stderr, "error: %s: %s\n", files[i].c_str(), e.what());
       return 1;
+    }
+
+    if (json) {
+      std::printf("%s\n", core::report_to_json(report).dump().c_str());
+      continue;
     }
 
     std::printf("%s\n", g.to_string().c_str());

@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the Nash-serving gateway: boots nash_serve on an
+# ephemeral loopback port and drives nash_client through the acceptance
+# scenarios — cold solve, byte-identical cached re-solve, large-game batch,
+# tiled-backend round trip, malformed request → structured error, graceful
+# SIGTERM drain (exit 0). Usage: scripts/serve_smoke.sh <build-dir>
+set -euo pipefail
+
+build_dir=${1:?usage: serve_smoke.sh <build-dir>}
+script_dir=$(cd "$(dirname "$0")" && pwd)
+games_dir="$script_dir/../examples/games"
+out_dir=$(mktemp -d)
+trap 'rm -rf "$out_dir"' EXIT
+
+server="$build_dir/nash_serve"
+client="$build_dir/nash_client"
+
+echo "--- boot nash_serve ---"
+"$server" --threads 2 > "$out_dir/serve.stdout" 2> "$out_dir/serve.stderr" &
+server_pid=$!
+port=""
+for _ in $(seq 1 100); do
+  port=$(awk '/^LISTENING /{print $2}' "$out_dir/serve.stdout" 2>/dev/null || true)
+  [ -n "$port" ] && break
+  sleep 0.1
+done
+if [ -z "$port" ]; then
+  echo "FAIL: server did not announce a port" >&2
+  cat "$out_dir/serve.stderr" >&2
+  exit 1
+fi
+echo "server pid $server_pid on port $port"
+
+fail() {
+  echo "FAIL: $*" >&2
+  kill "$server_pid" 2>/dev/null || true
+  exit 1
+}
+
+echo "--- backends ---"
+"$client" --port "$port" --list-backends | tee "$out_dir/backends.txt"
+grep -q '^hardware-sa-tiled' "$out_dir/backends.txt" \
+  || fail "hardware-sa-tiled not registered"
+
+echo "--- cold solve ---"
+solve_flags=(--backend hardware-sa --runs 4 --iterations 500 --seed 99)
+"$client" --port "$port" "${solve_flags[@]}" --json \
+  "$games_dir/battle_of_sexes.game" > "$out_dir/cold.json"
+grep -q '"cached":false' "$out_dir/cold.json" || fail "cold solve was cached?"
+grep -q '"ok":true' "$out_dir/cold.json" || fail "cold solve failed"
+
+echo "--- cached re-solve (byte-identical) ---"
+"$client" --port "$port" "${solve_flags[@]}" --json \
+  "$games_dir/battle_of_sexes.game" > "$out_dir/warm.json"
+grep -q '"cached":true' "$out_dir/warm.json" || fail "re-solve missed the cache"
+# Identical response except for the cached flag.
+sed 's/"cached":[a-z]*/"cached":_/' "$out_dir/cold.json" > "$out_dir/cold.norm"
+sed 's/"cached":[a-z]*/"cached":_/' "$out_dir/warm.json" > "$out_dir/warm.norm"
+cmp -s "$out_dir/cold.norm" "$out_dir/warm.norm" \
+  || fail "cached report is not byte-identical to the cold solve"
+
+echo "--- large-game batch (64 and 128 actions) ---"
+"$client" --port "$port" --backend exact-sa --intervals 4 --runs 2 \
+  --iterations 300 "$games_dir/random_64.game" "$games_dir/random_128.game" \
+  || fail "large-game batch"
+
+echo "--- tiled-backend round trip ---"
+"$client" --port "$port" --backend hardware-sa-tiled --runs 2 \
+  --iterations 300 --tile-rows 64 --tile-cols 1024 \
+  "$games_dir/stag_hunt.game" || fail "hardware-sa-tiled round trip"
+
+echo "--- malformed request → structured error ---"
+"$client" --port "$port" --raw 'this is not json' > "$out_dir/malformed.json"
+grep -q '"code":"bad_request"' "$out_dir/malformed.json" \
+  || fail "malformed request did not produce a structured error"
+
+echo "--- stats sanity ---"
+"$client" --port "$port" --stats --json > "$out_dir/stats.json"
+grep -q '"hits":1' "$out_dir/stats.json" || fail "expected exactly one cache hit"
+
+echo "--- graceful SIGTERM drain ---"
+kill -TERM "$server_pid"
+server_rc=0
+wait "$server_pid" || server_rc=$?
+[ "$server_rc" -eq 0 ] || fail "server exited $server_rc after SIGTERM"
+grep -q 'drained' "$out_dir/serve.stderr" || fail "server did not report a drain"
+
+echo "serve smoke OK"

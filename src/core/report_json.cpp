@@ -1,0 +1,129 @@
+#include "core/report_json.hpp"
+
+#include <cstdint>
+#include <utility>
+
+namespace cnash::core {
+
+namespace {
+
+util::Json vector_to_json(const la::Vector& v) {
+  util::Json arr = util::Json::array();
+  for (const double x : v) arr.push(util::Json::number(x));
+  return arr;
+}
+
+la::Vector vector_from_json(const util::Json& json) {
+  if (!json.is_array()) throw util::JsonError(0, "expected a number array");
+  la::Vector v;
+  v.reserve(json.size());
+  for (const auto& kv : json.members()) v.push_back(kv.second.as_number());
+  return v;
+}
+
+util::Json counts_to_json(const std::vector<std::uint32_t>& counts) {
+  util::Json arr = util::Json::array();
+  for (const std::uint32_t c : counts)
+    arr.push(util::Json::number(static_cast<double>(c)));
+  return arr;
+}
+
+game::QuantizedStrategy strategy_from_json(const util::Json& json,
+                                           std::uint32_t intervals) {
+  if (!json.is_array()) throw util::JsonError(0, "expected a tick-count array");
+  std::vector<std::uint32_t> counts;
+  counts.reserve(json.size());
+  for (const auto& kv : json.members()) {
+    const double x = kv.second.as_number();
+    if (x < 0.0 || x != static_cast<double>(static_cast<std::uint32_t>(x)))
+      throw util::JsonError(0, "profile tick counts must be non-negative "
+                               "integers");
+    counts.push_back(static_cast<std::uint32_t>(x));
+  }
+  // The QuantizedStrategy constructor enforces sum(counts) == intervals; remap
+  // its failure to the serializer's error type.
+  try {
+    return game::QuantizedStrategy(std::move(counts), intervals);
+  } catch (const std::exception& e) {
+    throw util::JsonError(0, std::string("invalid quantized profile: ") +
+                                 e.what());
+  }
+}
+
+util::Json sample_to_json(const SolveSample& s) {
+  util::Json j = util::Json::object();
+  j.set("p", vector_to_json(s.p));
+  j.set("q", vector_to_json(s.q));
+  j.set("objective", s.objective);
+  j.set("valid", s.valid);
+  j.set("is_nash", s.is_nash);
+  j.set("regret", s.regret);
+  if (s.profile) {
+    util::Json p = util::Json::object();
+    p.set("intervals", static_cast<std::size_t>(s.profile->p.intervals()));
+    p.set("p", counts_to_json(s.profile->p.counts()));
+    p.set("q", counts_to_json(s.profile->q.counts()));
+    j.set("profile", std::move(p));
+  }
+  return j;
+}
+
+SolveSample sample_from_json(const util::Json& json) {
+  SolveSample s;
+  s.p = vector_from_json(json.at("p"));
+  s.q = vector_from_json(json.at("q"));
+  s.objective = json.at("objective").as_number();
+  s.valid = json.at("valid").as_bool();
+  s.is_nash = json.at("is_nash").as_bool();
+  s.regret = json.at("regret").as_number();
+  if (const util::Json* profile = json.find("profile")) {
+    const double raw = profile->at("intervals").as_number();
+    const auto intervals = static_cast<std::uint32_t>(raw);
+    if (raw <= 0.0 || static_cast<double>(intervals) != raw)
+      throw util::JsonError(0, "profile intervals must be a positive integer");
+    s.profile = game::QuantizedProfile{
+        strategy_from_json(profile->at("p"), intervals),
+        strategy_from_json(profile->at("q"), intervals)};
+  }
+  return s;
+}
+
+}  // namespace
+
+util::Json report_to_json(const SolveReport& report) {
+  util::Json j = util::Json::object();
+  j.set("backend", report.backend);
+  j.set("game", report.game_name);
+  j.set("nash_count", report.nash_count);
+  j.set("valid_count", report.valid_count);
+  j.set("best_objective", report.best_objective);
+  j.set("modeled_time_s", report.modeled_time_s);
+  j.set("wall_clock_s", report.wall_clock_s);
+  util::Json samples = util::Json::array();
+  for (const SolveSample& s : report.samples) samples.push(sample_to_json(s));
+  j.set("samples", std::move(samples));
+  return j;
+}
+
+SolveReport report_from_json(const util::Json& json) {
+  SolveReport report;
+  report.backend = json.at("backend").as_string();
+  report.game_name = json.at("game").as_string();
+  const util::Json& samples = json.at("samples");
+  if (!samples.is_array()) throw util::JsonError(0, "samples must be an array");
+  report.samples.reserve(samples.size());
+  for (const auto& kv : samples.members())
+    report.samples.push_back(sample_from_json(kv.second));
+  // Aggregates are carried explicitly (not recomputed) so a parsed report is
+  // bit-identical to the serialized one even if summarize() evolves.
+  report.nash_count =
+      static_cast<std::size_t>(json.at("nash_count").as_number());
+  report.valid_count =
+      static_cast<std::size_t>(json.at("valid_count").as_number());
+  report.best_objective = json.at("best_objective").as_number();
+  report.modeled_time_s = json.at("modeled_time_s").as_number();
+  report.wall_clock_s = json.at("wall_clock_s").as_number();
+  return report;
+}
+
+}  // namespace cnash::core

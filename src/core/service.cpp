@@ -51,12 +51,14 @@ SolverService::SolverService(ServiceOptions options)
 SolverService::~SolverService() {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
+    draining_ = true;  // reject racing submissions during teardown
     stop_ = true;
   }
   cv_.notify_all();
+  // Workers keep dispatching while any job has runnable steps, so queued work
+  // is finished (not abandoned) before the pool exits — destruction is an
+  // implicit drain().
   for (std::thread& t : workers_) t.join();
-  // Jobs still queued are abandoned: their promises are destroyed unfulfilled
-  // and pending futures observe std::future_error (broken_promise).
 }
 
 std::shared_ptr<SolverService::Job> SolverService::make_job() {
@@ -69,6 +71,11 @@ std::future<SolveReport> SolverService::enqueue(std::shared_ptr<Job> job) {
   std::future<SolveReport> future = job->promise.get_future();
   {
     const std::lock_guard<std::mutex> lock(mutex_);
+    if (draining_) {
+      job->promise.set_exception(std::make_exception_ptr(std::runtime_error(
+          "SolverService: draining — not accepting new jobs")));
+      return future;
+    }
     jobs_.push_back(std::move(job));
   }
   cv_.notify_all();
@@ -128,6 +135,33 @@ SolveReport SolverService::solve(SolveRequest request) {
 std::size_t SolverService::pending_jobs() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return jobs_.size();
+}
+
+SolverService::QueueDepth SolverService::queue_depth() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  QueueDepth depth;
+  depth.jobs = jobs_.size();
+  for (const std::shared_ptr<Job>& job : jobs_) {
+    if (!job->prepared) {
+      // The prepare step is the job's only known unit until it runs.
+      if (!job->prepare_claimed) depth.queued_units++;
+    } else {
+      depth.queued_units += job->total - job->next_unit;
+    }
+    depth.in_flight_units += job->in_flight;
+  }
+  return depth;
+}
+
+void SolverService::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  draining_ = true;
+  cv_.wait(lock, [&] { return jobs_.empty() && finishing_ == 0; });
+}
+
+bool SolverService::draining() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return draining_;
 }
 
 void SolverService::finish(std::shared_ptr<Job> job) {
@@ -215,9 +249,11 @@ void SolverService::worker_loop() {
           jobs_.erase(it);
           break;
         }
+      finishing_++;  // drain() must not return before the promise is set
       lock.unlock();
       finish(std::move(job));
       lock.lock();
+      finishing_--;
     }
     // New units may have become dispatchable (post-prepare, freed cap slot,
     // or queue head change after completion).

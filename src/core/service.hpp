@@ -61,6 +61,27 @@ class SolverService {
   /// Jobs queued or in flight (diagnostic).
   std::size_t pending_jobs() const;
 
+  /// Unit-granular queue introspection (the serve/ gateway's admission
+  /// watermark reads this): `jobs` counts queued + in-flight jobs,
+  /// `queued_units` work units not yet dispatched (an unprepared job counts
+  /// its pending prepare step as one unit), `in_flight_units` units currently
+  /// running on workers.
+  struct QueueDepth {
+    std::size_t jobs = 0;
+    std::size_t queued_units = 0;
+    std::size_t in_flight_units = 0;
+  };
+  QueueDepth queue_depth() const;
+
+  /// Graceful shutdown: stop accepting new jobs, then block until every
+  /// queued and in-flight job has finished (all futures resolved before
+  /// drain() returns). Terminal — the service rejects submissions with
+  /// std::runtime_error afterwards. Idempotent and safe to call concurrently
+  /// with in-flight submissions from other threads: a submission either
+  /// lands before the drain (and is finished by it) or is rejected.
+  void drain();
+  bool draining() const;
+
   /// The process-wide service (one worker per hardware thread) used by
   /// SolverEngine / CNashSolver and the CLI drivers.
   static SolverService& shared();
@@ -79,6 +100,10 @@ class SolverService {
   std::list<std::shared_ptr<Job>> jobs_;
   std::vector<std::thread> workers_;
   bool stop_ = false;
+  bool draining_ = false;
+  /// Jobs delisted from jobs_ whose promise is still being fulfilled; drain()
+  /// waits for this to reach zero so every future is resolved on return.
+  std::size_t finishing_ = 0;
 };
 
 }  // namespace cnash::core

@@ -1,0 +1,30 @@
+#include "serve/admission.hpp"
+
+namespace cnash::serve {
+
+AdmissionController::Verdict AdmissionController::admit(
+    std::size_t global_in_flight, std::size_t connection_in_flight) {
+  if (connection_in_flight >= options_.per_connection_inflight) {
+    stats_.shed_connection_cap++;
+    return Verdict::kShedConnectionCap;
+  }
+  if (global_in_flight >= options_.max_queue_depth) {
+    stats_.shed_queue_full++;
+    return Verdict::kShedQueueFull;
+  }
+  stats_.admitted++;
+  return Verdict::kAdmit;
+}
+
+double AdmissionController::retry_after_s(std::size_t global_in_flight) const {
+  const double base = options_.retry_after_s;
+  if (options_.max_queue_depth == 0) return base;
+  // base at an empty queue, 2×base at the watermark (the deepest backlog the
+  // controller ever admits), growing linearly in between — a fleet of shed
+  // clients backs off harder the fuller the queue they were shed from.
+  const double backlog = static_cast<double>(global_in_flight) /
+                         static_cast<double>(options_.max_queue_depth);
+  return base * (1.0 + backlog);
+}
+
+}  // namespace cnash::serve

@@ -1,0 +1,69 @@
+#pragma once
+// serve — admission control. The gateway sits between an unbounded number of
+// clients and a fixed solver pool, so it must bound the work it is willing to
+// queue and tell shed clients when to come back instead of letting the queue
+// (and every client's latency) grow without limit. Two limits apply to each
+// `solve`:
+//
+//   * a global watermark on solve jobs queued + in flight on the service
+//     (`max_queue_depth`) — overload protection for the whole process;
+//   * a per-connection in-flight cap (`per_connection_inflight`) — one
+//     pipelining client cannot monopolise the queue.
+//
+// A shed request is answered immediately with `"code": "overloaded"` and a
+// `retry_after_s` hint that grows linearly with the backlog, so a fleet of
+// retrying clients naturally spreads out instead of thundering back at once.
+//
+// Not thread-safe: driven from the gateway's single poll-loop thread.
+
+#include <cstddef>
+
+namespace cnash::serve {
+
+struct AdmissionOptions {
+  /// Global watermark: solve jobs queued or in flight before shedding.
+  std::size_t max_queue_depth = 64;
+  /// Per-connection in-flight solve cap.
+  std::size_t per_connection_inflight = 8;
+  /// Base retry hint; scaled by backlog at shed time.
+  double retry_after_s = 0.25;
+};
+
+struct AdmissionStats {
+  /// Requests admitted past admission control — new jobs and coalesced
+  /// attachments alike (the latter are also counted in `coalesced`).
+  std::size_t admitted = 0;
+  std::size_t shed_queue_full = 0;
+  std::size_t shed_connection_cap = 0;
+  /// Admissions answered by an already in-flight identical solve (coalesced
+  /// onto the running job instead of submitting a duplicate).
+  std::size_t coalesced = 0;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions options)
+      : options_(options) {}
+
+  enum class Verdict { kAdmit, kShedQueueFull, kShedConnectionCap };
+
+  /// Decide on one solve given the current global backlog and the posting
+  /// connection's in-flight count. Counts the verdict.
+  Verdict admit(std::size_t global_in_flight, std::size_t connection_in_flight);
+
+  /// A duplicate request was attached to an in-flight job (no new work).
+  void note_coalesced() { stats_.coalesced++; }
+
+  /// Backoff hint for a shed response: base × (1 + backlog/watermark) — the
+  /// base hint at an empty queue, twice that at the watermark.
+  double retry_after_s(std::size_t global_in_flight) const;
+
+  const AdmissionOptions& options() const { return options_; }
+  const AdmissionStats& stats() const { return stats_; }
+
+ private:
+  AdmissionOptions options_;
+  AdmissionStats stats_;
+};
+
+}  // namespace cnash::serve

@@ -1,0 +1,76 @@
+#include "serve/cache.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace cnash::serve {
+
+std::size_t report_footprint(const core::SolveReport& report) {
+  std::size_t bytes = sizeof(core::SolveReport) + report.backend.size() +
+                      report.game_name.size();
+  for (const core::SolveSample& s : report.samples) {
+    bytes += sizeof(core::SolveSample);
+    bytes += (s.p.size() + s.q.size()) * sizeof(double);
+    if (s.profile)
+      bytes += (s.profile->p.counts().size() + s.profile->q.counts().size()) *
+               sizeof(std::uint32_t);
+  }
+  return bytes;
+}
+
+SolutionCache::SolutionCache(std::size_t byte_budget) {
+  stats_.byte_budget = byte_budget;
+}
+
+SolutionCache::LruList::iterator SolutionCache::find(const GameKey& key) {
+  const auto bucket = index_.find(key.digest);
+  if (bucket == index_.end()) return lru_.end();
+  for (const LruList::iterator it : bucket->second)
+    if (it->key.blob == key.blob) return it;
+  return lru_.end();
+}
+
+void SolutionCache::erase(LruList::iterator it) {
+  auto bucket = index_.find(it->key.digest);
+  auto& entries = bucket->second;
+  entries.erase(std::find(entries.begin(), entries.end(), it));
+  if (entries.empty()) index_.erase(bucket);
+  stats_.bytes -= it->bytes;
+  stats_.entries--;
+  lru_.erase(it);
+}
+
+const core::SolveReport* SolutionCache::lookup(const GameKey& key) {
+  const LruList::iterator it = find(key);
+  if (it == lru_.end()) {
+    stats_.misses++;
+    return nullptr;
+  }
+  stats_.hits++;
+  lru_.splice(lru_.begin(), lru_, it);  // bump to most-recently-used
+  return &it->report;
+}
+
+void SolutionCache::insert(const GameKey& key, core::SolveReport report) {
+  const std::size_t bytes =
+      report_footprint(report) + key.blob.size() + sizeof(Entry);
+  if (bytes > stats_.byte_budget) {
+    stats_.oversize_rejects++;
+    return;
+  }
+  const LruList::iterator existing = find(key);
+  if (existing != lru_.end()) erase(existing);  // refresh (coalesced double insert)
+
+  lru_.push_front(Entry{key, std::move(report), bytes});
+  index_[key.digest].push_back(lru_.begin());
+  stats_.bytes += bytes;
+  stats_.entries++;
+  stats_.insertions++;
+
+  while (stats_.bytes > stats_.byte_budget && stats_.entries > 1) {
+    erase(std::prev(lru_.end()));
+    stats_.evictions++;
+  }
+}
+
+}  // namespace cnash::serve

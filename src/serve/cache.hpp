@@ -1,0 +1,73 @@
+#pragma once
+// serve — content-addressed solution cache. Maps a GameKey (canonical game +
+// solve parameters, see canonical.hpp) to the canonical SolveReport produced
+// the first time that solve ran. Replay is deterministic by construction: the
+// stored report is returned as-is — including the modeled architecture timing
+// and the original measured wall clock — so a cache hit renders byte-for-byte
+// the same response as the solve that populated it.
+//
+// Eviction is least-recently-used under a byte budget (reports dominate:
+// samples × (p + q + quantized profile) + the key blob). Entries larger than
+// the whole budget are never admitted. All counters are exposed for the
+// `stats` wire method and the serving bench.
+//
+// Not thread-safe: the gateway touches it from its single poll-loop thread.
+
+#include <cstddef>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "core/backend.hpp"
+#include "serve/canonical.hpp"
+
+namespace cnash::serve {
+
+struct CacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t insertions = 0;
+  std::size_t evictions = 0;
+  /// Reports too large for the whole budget, dropped at insert().
+  std::size_t oversize_rejects = 0;
+  std::size_t entries = 0;
+  std::size_t bytes = 0;
+  std::size_t byte_budget = 0;
+};
+
+/// Approximate resident size of a report (heap payload + bookkeeping).
+std::size_t report_footprint(const core::SolveReport& report);
+
+class SolutionCache {
+ public:
+  explicit SolutionCache(std::size_t byte_budget);
+
+  /// Hit: bumps the entry to most-recently-used and returns its canonical
+  /// report (owned by the cache; valid until the next insert()). Miss:
+  /// nullptr. Counts hits/misses.
+  const core::SolveReport* lookup(const GameKey& key);
+
+  /// Insert (or refresh) the canonical report for `key`, then evict from the
+  /// LRU tail until the byte budget holds.
+  void insert(const GameKey& key, core::SolveReport report);
+
+  const CacheStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    GameKey key;
+    core::SolveReport report;
+    std::size_t bytes = 0;
+  };
+  using LruList = std::list<Entry>;
+
+  LruList::iterator find(const GameKey& key);
+  void erase(LruList::iterator it);
+
+  LruList lru_;  // front = most recently used
+  /// digest → entries with that digest (collisions resolved by blob compare).
+  std::unordered_map<std::uint64_t, std::vector<LruList::iterator>> index_;
+  CacheStats stats_;
+};
+
+}  // namespace cnash::serve

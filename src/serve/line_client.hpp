@@ -1,0 +1,99 @@
+#pragma once
+// serve::LineClient — a minimal blocking client for the gateway's
+// newline-delimited JSON protocol: connect to a host/port, send one line,
+// receive one line. Shared by examples/nash_client.cpp,
+// bench/bench_serve_throughput.cpp and tests/test_serve.cpp so the framing
+// (and its EINTR/partial-send handling) exists exactly once. Header-only —
+// it is client-side convenience, not part of the server.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstddef>
+#include <string>
+
+namespace cnash::serve {
+
+class LineClient {
+ public:
+  LineClient() = default;
+  ~LineClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  LineClient(LineClient&& other) noexcept
+      : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+    other.fd_ = -1;
+  }
+  LineClient& operator=(LineClient&& other) noexcept {
+    if (this != &other) {
+      if (fd_ >= 0) ::close(fd_);
+      fd_ = other.fd_;
+      buffer_ = std::move(other.buffer_);
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  LineClient(const LineClient&) = delete;
+  LineClient& operator=(const LineClient&) = delete;
+
+  /// False on failure (errno is left describing the failing call).
+  bool connect_to(const std::string& host, unsigned short port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+      errno = EINVAL;
+      return false;
+    }
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof addr) < 0)
+      return false;
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    return true;
+  }
+  bool connect_to(unsigned short port) { return connect_to("127.0.0.1", port); }
+
+  /// Appends the newline terminator itself. False on a lost connection.
+  bool send_line(std::string line) {
+    line += '\n';
+    std::size_t off = 0;
+    while (off < line.size()) {
+      const ssize_t sent =
+          ::send(fd_, line.data() + off, line.size() - off, MSG_NOSIGNAL);
+      if (sent < 0 && errno == EINTR) continue;
+      if (sent <= 0) return false;
+      off += static_cast<std::size_t>(sent);
+    }
+    return true;
+  }
+
+  /// One response line without its terminator; false on EOF or error.
+  bool recv_line(std::string& line) {
+    for (;;) {
+      const std::size_t nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        line = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        return true;
+      }
+      char chunk[16384];
+      const ssize_t got = ::recv(fd_, chunk, sizeof chunk, 0);
+      if (got < 0 && errno == EINTR) continue;
+      if (got <= 0) return false;
+      buffer_.append(chunk, static_cast<std::size_t>(got));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace cnash::serve

@@ -1,0 +1,193 @@
+#include "serve/protocol.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "core/report_json.hpp"
+#include "game/parse.hpp"
+
+namespace cnash::serve {
+
+namespace {
+
+[[noreturn]] void bad(const std::string& message) {
+  throw ProtocolError("bad_request", message);
+}
+
+double number_field(const util::Json& obj, const char* key, double fallback) {
+  const util::Json* v = obj.find(key);
+  if (!v) return fallback;
+  if (!v->is_number()) bad(std::string("\"") + key + "\" must be a number");
+  return v->as_number();
+}
+
+std::size_t size_field(const util::Json& obj, const char* key,
+                       std::size_t fallback) {
+  // 2^53: the largest range in which every integer has an exact double
+  // representation — the documented wire limit for seeds and counts.
+  constexpr double kMaxExactInteger = 9007199254740992.0;
+  const double v = number_field(obj, key, static_cast<double>(fallback));
+  if (v < 0.0 || v != std::floor(v) || v > kMaxExactInteger)
+    bad(std::string("\"") + key + "\" must be a non-negative integer <= 2^53");
+  return static_cast<std::size_t>(v);
+}
+
+bool bool_field(const util::Json& obj, const char* key, bool fallback) {
+  const util::Json* v = obj.find(key);
+  if (!v) return fallback;
+  if (!v->is_bool()) bad(std::string("\"") + key + "\" must be a boolean");
+  return v->as_bool();
+}
+
+la::Matrix matrix_field(const util::Json& game, const char* key) {
+  const util::Json* rows = game.find(key);
+  if (!rows || !rows->is_array() || rows->size() == 0)
+    bad(std::string("game.") + key + " must be a non-empty array of rows");
+  const std::size_t n = rows->size();
+  const util::Json& first = rows->at(std::size_t{0});
+  if (!first.is_array() || first.size() == 0)
+    bad(std::string("game.") + key + " rows must be non-empty number arrays");
+  const std::size_t m = first.size();
+  la::Matrix out(n, m);
+  for (std::size_t r = 0; r < n; ++r) {
+    const util::Json& row = rows->at(r);
+    if (!row.is_array() || row.size() != m)
+      bad(std::string("game.") + key + " rows must all have the same length");
+    for (std::size_t c = 0; c < m; ++c) {
+      const util::Json& cell = row.at(c);
+      if (!cell.is_number())
+        bad(std::string("game.") + key + " entries must be numbers");
+      out(r, c) = cell.as_number();
+    }
+  }
+  return out;
+}
+
+game::BimatrixGame game_from_request(const util::Json& root) {
+  const util::Json* text = root.find("game_text");
+  const util::Json* obj = root.find("game");
+  if (text && obj) bad("pass either \"game_text\" or \"game\", not both");
+  try {
+    if (text) {
+      if (!text->is_string()) bad("\"game_text\" must be a string");
+      return game::parse_game_text(text->as_string());
+    }
+    if (obj) {
+      if (!obj->is_object()) bad("\"game\" must be an object");
+      std::string name;
+      if (const util::Json* n = obj->find("name")) name = n->as_string();
+      return game::BimatrixGame(matrix_field(*obj, "m"),
+                                matrix_field(*obj, "n"), name);
+    }
+  } catch (const ProtocolError&) {
+    throw;
+  } catch (const std::exception& e) {
+    bad(std::string("invalid game: ") + e.what());
+  }
+  bad("solve needs a game: \"game_text\" (solve_file text format) or "
+      "\"game\" {name, m, n}");
+}
+
+core::SolveRequest solve_from_request(const util::Json& root) {
+  core::SolveRequest req(game_from_request(root));
+  if (const util::Json* b = root.find("backend")) {
+    if (!b->is_string()) bad("\"backend\" must be a string");
+    req.backend = b->as_string();
+  }
+  req.runs = size_field(root, "runs", 32);
+  req.sa.iterations = size_field(root, "iterations", 2000);
+  const std::size_t intervals = size_field(root, "intervals", 12);
+  if (intervals == 0 || intervals > 4096) bad("\"intervals\" must be in [1, 4096]");
+  req.intervals = static_cast<std::uint32_t>(intervals);
+  // Seeds are full uint64 in core; JSON numbers are doubles, so the wire
+  // loses precision beyond 2^53 — fine for a backoff/cache key as long as
+  // clients are told (README). Negative seeds are rejected.
+  req.seed = static_cast<std::uint64_t>(
+      size_field(root, "seed", static_cast<std::size_t>(0xC0FFEE)));
+  const double scale = number_field(root, "scale", 1.0);
+  if (!(scale > 0.0) || !std::isfinite(scale))
+    bad("\"scale\" must be a positive number");
+  req.hardware.value_scale = scale;
+  req.chip.tile_rows = size_field(root, "tile_rows", req.chip.tile_rows);
+  req.chip.tile_cols = size_field(root, "tile_cols", req.chip.tile_cols);
+  req.report_best = bool_field(root, "report_best", false);
+  try {
+    // Resolve the backend key up front (at() throws naming the registered
+    // keys) so an unknown backend is a bad_request here, not an "internal"
+    // failure after it consumed an admission slot and a solver job.
+    core::SolverRegistry::global().at(req.backend);
+    core::validate_request(req);
+  } catch (const std::exception& e) {
+    bad(e.what());
+  }
+  return req;
+}
+
+}  // namespace
+
+WireRequest parse_request(const std::string& line) {
+  util::Json root;
+  try {
+    root = util::Json::parse(line);
+  } catch (const util::JsonError& e) {
+    bad(e.what());
+  }
+  if (!root.is_object()) bad("request must be a JSON object");
+
+  WireRequest req;
+  if (const util::Json* id = root.find("id")) req.id = *id;
+  try {
+    const util::Json* method = root.find("method");
+    if (!method || !method->is_string())
+      bad("request needs a string \"method\"");
+    req.method = method->as_string();
+
+    if (req.method == "solve") {
+      req.no_cache = bool_field(root, "no_cache", false);
+      req.solve = solve_from_request(root);
+    } else if (req.method != "status" && req.method != "stats" &&
+               req.method != "list-backends") {
+      bad("unknown method \"" + req.method +
+          "\" (expected solve, status, stats or list-backends)");
+    }
+  } catch (ProtocolError& e) {
+    e.set_id(req.id);  // the id parsed fine; echo it on the error
+    throw;
+  }
+  return req;
+}
+
+std::string render_solve_ok(const util::Json& id, bool cached,
+                            const core::SolveReport& report) {
+  util::Json out = util::Json::object();
+  out.set("ok", true);
+  out.set("id", id);
+  out.set("cached", cached);
+  out.set("report", core::report_to_json(report));
+  return out.dump() + "\n";
+}
+
+std::string render_error(const util::Json& id, const std::string& code,
+                         const std::string& message,
+                         std::optional<double> retry_after_s) {
+  util::Json out = util::Json::object();
+  out.set("ok", false);
+  out.set("id", id);
+  util::Json err = util::Json::object();
+  err.set("code", code);
+  err.set("message", message);
+  out.set("error", std::move(err));
+  if (retry_after_s) out.set("retry_after_s", *retry_after_s);
+  return out.dump() + "\n";
+}
+
+std::string render_ok(const util::Json& id, const std::string& key,
+                      util::Json payload) {
+  util::Json out = util::Json::object();
+  out.set("ok", true);
+  out.set("id", id);
+  out.set(key, std::move(payload));
+  return out.dump() + "\n";
+}
+
+}  // namespace cnash::serve

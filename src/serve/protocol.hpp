@@ -1,0 +1,77 @@
+#pragma once
+// serve — the newline-delimited JSON wire protocol of the Nash-serving
+// gateway. One request per line, one response per line; requests carry an
+// optional "id" echoed verbatim so pipelining clients can correlate
+// out-of-order completions.
+//
+// Methods:
+//   {"method":"solve","id":1,"game_text":"name: g\nM:\n...","backend":"...",
+//    "runs":32,"iterations":2000,"intervals":12,"seed":51966,"scale":1.0,
+//    "tile_rows":64,"tile_cols":1024,"report_best":false,"no_cache":false}
+//     — `game_text` is the solve_file text format; alternatively
+//       "game":{"name":"g","m":[[...]],"n":[[...]]} with row-major payoff
+//       matrices. Every parameter except the game is optional.
+//     → {"ok":true,"id":1,"cached":false,"report":{...}}   (report_json.hpp)
+//   {"method":"status"}       → queue depths, drain flag, connection count
+//   {"method":"stats"}        → cache / admission / served counters
+//   {"method":"list-backends"}→ registered backend keys + descriptions
+//
+// Errors are structured, never a closed connection:
+//   {"ok":false,"id":1,"error":{"code":"bad_request","message":"..."}}
+//   codes: bad_request   malformed JSON / schema / game / solve parameters
+//          overloaded    admission shed; response carries "retry_after_s"
+//          draining      server is shutting down; carries "retry_after_s"
+//          internal      solver-side failure
+
+#include <optional>
+#include <string>
+
+#include "core/backend.hpp"
+#include "util/json.hpp"
+
+namespace cnash::serve {
+
+/// Schema violation (or unsupported method) while parsing a request line.
+/// Carries the request's echoed id when the enclosing JSON object parsed far
+/// enough to yield one, so even error responses honour the id-echo contract.
+class ProtocolError : public std::runtime_error {
+ public:
+  ProtocolError(std::string code, const std::string& message)
+      : std::runtime_error(message), code_(std::move(code)) {}
+  const std::string& code() const { return code_; }
+  const util::Json& id() const { return id_; }
+  void set_id(util::Json id) { id_ = std::move(id); }
+
+ private:
+  std::string code_;
+  util::Json id_;  // null unless the request carried one
+};
+
+/// One parsed request line.
+struct WireRequest {
+  std::string method;
+  util::Json id;  // echoed verbatim; null when absent
+  bool no_cache = false;
+  /// Present iff method == "solve".
+  std::optional<core::SolveRequest> solve;
+};
+
+/// Parse + validate one request line. Throws ProtocolError (code
+/// "bad_request") on malformed JSON, schema violations, malformed games or
+/// invalid solve parameters. Solve parameter defaults are sized for an
+/// interactive gateway (32 runs × 2000 iterations), not the paper's batch
+/// sweeps.
+WireRequest parse_request(const std::string& line);
+
+// ---- Response rendering (compact single-line JSON + '\n') ------------------
+
+std::string render_solve_ok(const util::Json& id, bool cached,
+                            const core::SolveReport& report);
+std::string render_error(const util::Json& id, const std::string& code,
+                         const std::string& message,
+                         std::optional<double> retry_after_s = std::nullopt);
+/// Generic success envelope: {"ok":true,"id":...,<key>:<payload>}.
+std::string render_ok(const util::Json& id, const std::string& key,
+                      util::Json payload);
+
+}  // namespace cnash::serve

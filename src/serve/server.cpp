@@ -1,0 +1,475 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace cnash::serve {
+
+namespace {
+
+[[noreturn]] void sys_fail(const char* what) {
+  throw std::runtime_error(std::string("serve: ") + what + ": " +
+                           std::strerror(errno));
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
+    sys_fail("fcntl(O_NONBLOCK)");
+}
+
+}  // namespace
+
+NashServer::NashServer(ServeOptions options)
+    : options_(options),
+      service_(core::ServiceOptions{options.service_threads, nullptr}),
+      cache_(options.cache_bytes),
+      admission_(options.admission) {}
+
+NashServer::~NashServer() {
+  for (auto& [id, conn] : conns_)
+    if (conn.fd >= 0) ::close(conn.fd);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void NashServer::start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) sys_fail("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1)
+    throw std::runtime_error("serve: invalid host address " + options_.host);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) < 0)
+    sys_fail("bind");
+  if (::listen(listen_fd_, 64) < 0) sys_fail("listen");
+  set_nonblocking(listen_fd_);
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) < 0)
+    sys_fail("getsockname");
+  port_ = ntohs(bound.sin_port);
+
+  if (options_.announce) {
+    std::printf("LISTENING %u\n", static_cast<unsigned>(port_));
+    std::fflush(stdout);
+  }
+}
+
+void NashServer::accept_ready() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      if (errno == EMFILE || errno == ENFILE) {
+        // fd exhaustion: the pending connection stays queued and the
+        // listener stays readable, so back off briefly instead of letting
+        // the poll loop busy-spin on a failure that cannot clear itself.
+        ::poll(nullptr, 0, 50);
+        return;
+      }
+      return;  // transient accept failure (e.g. ECONNABORTED); keep serving
+    }
+    set_nonblocking(fd);
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    Connection conn;
+    conn.fd = fd;
+    conns_.emplace(next_conn_id_++, std::move(conn));
+  }
+}
+
+void NashServer::read_ready(std::uint64_t conn_id) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  Connection& conn = it->second;
+  char buf[16384];
+  for (;;) {
+    const ssize_t got = ::recv(conn.fd, buf, sizeof buf, 0);
+    if (got > 0) {
+      conn.in.append(buf, static_cast<std::size_t>(got));
+      continue;
+    }
+    if (got < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (got < 0 && errno == EINTR) continue;
+    // Peer closed (or hard error): serve what was already buffered, then
+    // close once owed responses are flushed.
+    conn.close_after_flush = true;
+    break;
+  }
+
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t nl = conn.in.find('\n', start);
+    if (nl == std::string::npos) break;
+    std::string line = conn.in.substr(start, nl - start);
+    start = nl + 1;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    handle_line(conn_id, line);
+    // handle_line may have closed the connection.
+    it = conns_.find(conn_id);
+    if (it == conns_.end()) return;
+  }
+  Connection& c = it->second;
+  c.in.erase(0, start);
+  if (c.in.size() > options_.max_line_bytes) {
+    respond(conn_id,
+            render_error(util::Json(), "bad_request",
+                         "request line exceeds " +
+                             std::to_string(options_.max_line_bytes) +
+                             " bytes"),
+            /*is_error=*/true);
+    c.in.clear();
+    c.close_after_flush = true;
+  }
+}
+
+void NashServer::handle_line(std::uint64_t conn_id, const std::string& line) {
+  served_.lines++;
+  WireRequest request;
+  try {
+    request = parse_request(line);
+  } catch (const ProtocolError& e) {
+    respond(conn_id, render_error(e.id(), e.code(), e.what()), true);
+    return;
+  } catch (const std::exception& e) {
+    // Defensive: nothing may escape the poll loop.
+    respond(conn_id, render_error(util::Json(), "internal", e.what()), true);
+    return;
+  }
+
+  try {
+    dispatch(conn_id, std::move(request));
+  } catch (const std::exception& e) {
+    respond(conn_id, render_error(util::Json(), "internal", e.what()), true);
+  }
+}
+
+void NashServer::dispatch(std::uint64_t conn_id, WireRequest request) {
+  if (request.method == "solve") {
+    handle_solve(conn_id, std::move(request));
+  } else if (request.method == "status") {
+    respond(conn_id, render_ok(request.id, "status", status_payload()), false);
+  } else if (request.method == "stats") {
+    respond(conn_id, render_ok(request.id, "stats", stats_payload()), false);
+  } else {  // list-backends (parse_request rejected everything else)
+    util::Json backends = util::Json::array();
+    const core::SolverRegistry& registry = core::SolverRegistry::global();
+    for (const std::string& name : registry.names()) {
+      util::Json& b = backends.push();
+      b.set("name", name);
+      b.set("description", registry.at(name).describe());
+    }
+    respond(conn_id, render_ok(request.id, "backends", std::move(backends)),
+            false);
+  }
+}
+
+void NashServer::handle_solve(std::uint64_t conn_id, WireRequest request) {
+  if (draining_) {
+    respond(conn_id,
+            render_error(request.id, "draining",
+                         "server is draining and accepts no new solves",
+                         admission_.options().retry_after_s),
+            true);
+    return;
+  }
+
+  CanonicalRequest canonical = canonicalize(std::move(*request.solve));
+
+  // Layer 1: the content-addressed cache. Replay is deterministic — the
+  // stored canonical report (modeled timing included) is mapped back to the
+  // caller's action order; for an identical request that mapping is the
+  // identity and the response is byte-identical to the first one.
+  if (!request.no_cache) {
+    if (const core::SolveReport* hit = cache_.lookup(canonical.key)) {
+      served_.solves_ok++;
+      served_.cache_hits++;
+      respond(conn_id,
+              render_solve_ok(request.id, /*cached=*/true,
+                              map_to_original(canonical.mapping, *hit)),
+              false);
+      return;
+    }
+
+    // Layer 1b: coalesce onto an identical in-flight solve — the duplicate
+    // costs a waiter slot, not a solver job. Waiters hold a response slot
+    // and buffered output, so they still count against the connection's
+    // in-flight cap (only the global job watermark does not apply).
+    for (PendingSolve& pending : pending_) {
+      if (pending.store_in_cache && pending.key == canonical.key) {
+        Connection& conn = conns_.at(conn_id);
+        if (admission_.admit(/*global_in_flight=*/0, conn.inflight) !=
+            AdmissionController::Verdict::kAdmit) {
+          respond(conn_id,
+                  render_error(request.id, "overloaded",
+                               "connection in-flight cap reached",
+                               admission_.retry_after_s(pending_.size())),
+                  true);
+          return;
+        }
+        admission_.note_coalesced();
+        served_.coalesced++;
+        conn.inflight++;
+        pending.waiters.push_back(
+            {conn_id, request.id, std::move(canonical.mapping)});
+        return;
+      }
+    }
+  }
+
+  // Layer 2: admission control.
+  Connection& conn = conns_.at(conn_id);
+  const AdmissionController::Verdict verdict =
+      admission_.admit(pending_.size(), conn.inflight);
+  if (verdict != AdmissionController::Verdict::kAdmit) {
+    const bool queue_full =
+        verdict == AdmissionController::Verdict::kShedQueueFull;
+    respond(conn_id,
+            render_error(request.id, "overloaded",
+                         queue_full
+                             ? "solve queue is at its watermark"
+                             : "connection in-flight cap reached",
+                         admission_.retry_after_s(pending_.size())),
+            true);
+    return;
+  }
+
+  // Layer 3: the solver pool.
+  PendingSolve pending;
+  pending.key = std::move(canonical.key);
+  pending.store_in_cache = !request.no_cache;
+  pending.future = service_.submit(std::move(canonical.request));
+  served_.jobs_submitted++;
+  conn.inflight++;
+  pending.waiters.push_back(
+      {conn_id, request.id, std::move(canonical.mapping)});
+  pending_.push_back(std::move(pending));
+}
+
+void NashServer::poll_pending() {
+  for (std::size_t i = 0; i < pending_.size();) {
+    PendingSolve& pending = pending_[i];
+    if (pending.future.wait_for(std::chrono::seconds(0)) !=
+        std::future_status::ready) {
+      ++i;
+      continue;
+    }
+
+    core::SolveReport report;
+    std::string failure;
+    try {
+      report = pending.future.get();
+    } catch (const std::exception& e) {
+      failure = e.what();
+    }
+
+    for (PendingSolve::Waiter& waiter : pending.waiters) {
+      const auto conn = conns_.find(waiter.conn_id);
+      if (conn != conns_.end() && conn->second.inflight > 0)
+        conn->second.inflight--;
+      if (conn == conns_.end()) continue;  // client went away; drop response
+      if (!failure.empty()) {
+        respond(waiter.conn_id,
+                render_error(waiter.id, "internal", failure), true);
+      } else {
+        served_.solves_ok++;
+        respond(waiter.conn_id,
+                render_solve_ok(waiter.id, /*cached=*/false,
+                                map_to_original(waiter.mapping, report)),
+                false);
+      }
+    }
+    if (failure.empty() && pending.store_in_cache)
+      cache_.insert(pending.key, std::move(report));
+
+    if (i + 1 != pending_.size()) pending_[i] = std::move(pending_.back());
+    pending_.pop_back();
+  }
+}
+
+util::Json NashServer::status_payload() const {
+  util::Json status = util::Json::object();
+  status.set("draining", draining_);
+  status.set("connections", conns_.size());
+  status.set("pending_solves", pending_.size());
+  status.set("queue_limit", admission_.options().max_queue_depth);
+  status.set("per_connection_inflight",
+             admission_.options().per_connection_inflight);
+  const core::SolverService::QueueDepth depth = service_.queue_depth();
+  util::Json svc = util::Json::object();
+  svc.set("threads", service_.threads());
+  svc.set("jobs", depth.jobs);
+  svc.set("queued_units", depth.queued_units);
+  svc.set("in_flight_units", depth.in_flight_units);
+  status.set("service", std::move(svc));
+  return status;
+}
+
+util::Json NashServer::stats_payload() const {
+  util::Json stats = util::Json::object();
+
+  util::Json cache = util::Json::object();
+  const CacheStats& cs = cache_.stats();
+  cache.set("hits", cs.hits);
+  cache.set("misses", cs.misses);
+  cache.set("insertions", cs.insertions);
+  cache.set("evictions", cs.evictions);
+  cache.set("oversize_rejects", cs.oversize_rejects);
+  cache.set("entries", cs.entries);
+  cache.set("bytes", cs.bytes);
+  cache.set("byte_budget", cs.byte_budget);
+  stats.set("cache", std::move(cache));
+
+  util::Json admission = util::Json::object();
+  const AdmissionStats& as = admission_.stats();
+  admission.set("admitted", as.admitted);
+  admission.set("shed_queue_full", as.shed_queue_full);
+  admission.set("shed_connection_cap", as.shed_connection_cap);
+  admission.set("coalesced", as.coalesced);
+  stats.set("admission", std::move(admission));
+
+  util::Json served = util::Json::object();
+  served.set("lines", served_.lines);
+  served.set("solves_ok", served_.solves_ok);
+  served.set("cache_hits", served_.cache_hits);
+  served.set("coalesced", served_.coalesced);
+  served.set("errors", served_.errors);
+  served.set("jobs_submitted", served_.jobs_submitted);
+  stats.set("served", std::move(served));
+  return stats;
+}
+
+void NashServer::respond(std::uint64_t conn_id, std::string text,
+                         bool is_error) {
+  if (is_error) served_.errors++;
+  const auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  it->second.out += text;
+  flush(it->second);
+}
+
+void NashServer::flush(Connection& conn) {
+  while (!conn.out.empty()) {
+    const ssize_t sent =
+        ::send(conn.fd, conn.out.data(), conn.out.size(), MSG_NOSIGNAL);
+    if (sent > 0) {
+      conn.out.erase(0, static_cast<std::size_t>(sent));
+      continue;
+    }
+    if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    if (sent < 0 && errno == EINTR) continue;
+    conn.out.clear();  // broken pipe: drop buffered output, close below
+    conn.close_after_flush = true;
+    return;
+  }
+}
+
+void NashServer::close_connection(std::uint64_t conn_id) {
+  const auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  ::close(it->second.fd);
+  conns_.erase(it);
+}
+
+void NashServer::begin_drain() {
+  draining_ = true;
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void NashServer::run() {
+  if (listen_fd_ < 0 && !draining_)
+    throw std::runtime_error("serve: run() before start()");
+
+  std::vector<pollfd> fds;
+  std::vector<std::uint64_t> fd_conn;  // conn id per pollfd (0 = listener)
+
+  for (;;) {
+    if (stop_requested_.load(std::memory_order_relaxed) && !draining_)
+      begin_drain();
+    if (draining_ && pending_.empty()) break;
+
+    fds.clear();
+    fd_conn.clear();
+    if (listen_fd_ >= 0) {
+      fds.push_back({listen_fd_, POLLIN, 0});
+      fd_conn.push_back(0);
+    }
+    for (const auto& [id, conn] : conns_) {
+      short events = POLLIN;
+      if (!conn.out.empty()) events |= POLLOUT;
+      fds.push_back({conn.fd, events, 0});
+      fd_conn.push_back(id);
+    }
+
+    const int timeout_ms = pending_.empty() ? 200 : 2;
+    const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (ready < 0 && errno != EINTR) sys_fail("poll");
+
+    if (ready > 0) {
+      for (std::size_t i = 0; i < fds.size(); ++i) {
+        if (fds[i].revents == 0) continue;
+        if (fd_conn[i] == 0) {
+          accept_ready();
+          continue;
+        }
+        const std::uint64_t conn_id = fd_conn[i];
+        if (fds[i].revents & (POLLIN | POLLHUP | POLLERR))
+          read_ready(conn_id);
+        const auto it = conns_.find(conn_id);
+        if (it != conns_.end() && (fds[i].revents & POLLOUT))
+          flush(it->second);
+      }
+    }
+
+    poll_pending();
+
+    // Reap connections that are done: flushed + flagged, or flushed with the
+    // peer gone and nothing owed.
+    std::vector<std::uint64_t> dead;
+    for (const auto& [id, conn] : conns_)
+      if (conn.close_after_flush && conn.out.empty() && conn.inflight == 0)
+        dead.push_back(id);
+    for (const std::uint64_t id : dead) close_connection(id);
+  }
+
+  // Drained: give sockets a bounded grace period to take the final bytes.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  for (;;) {
+    bool outstanding = false;
+    for (auto& [id, conn] : conns_) {
+      flush(conn);
+      if (!conn.out.empty()) outstanding = true;
+    }
+    if (!outstanding || std::chrono::steady_clock::now() > deadline) break;
+    ::poll(nullptr, 0, 10);
+  }
+  std::vector<std::uint64_t> all;
+  for (const auto& [id, conn] : conns_) all.push_back(id);
+  for (const std::uint64_t id : all) close_connection(id);
+
+  service_.drain();
+}
+
+}  // namespace cnash::serve

@@ -1,0 +1,144 @@
+#pragma once
+// serve::NashServer — the Nash-serving gateway: a single-threaded, poll-based
+// TCP front end (newline-delimited JSON, see protocol.hpp) multiplexing many
+// client connections onto one SolverService worker pool. Three layers:
+//
+//   canonicalize → cache → admit → solve
+//
+//   * Requests are canonicalized (serve/canonical.hpp) and looked up in the
+//     content-addressed SolutionCache — a repeated solve is answered from the
+//     cache with a byte-identical response and never reaches the solver.
+//   * Identical solves already in flight are coalesced: the duplicate waits
+//     on the running job instead of submitting a second one.
+//   * The AdmissionController bounds queued work (global watermark +
+//     per-connection in-flight cap) and sheds the rest with a structured
+//     "overloaded" response carrying a retry_after_s hint.
+//
+// The poll loop owns every data structure — no locks; concurrency lives in
+// the SolverService pool behind std::future. request_stop() (async-signal-
+// safe; the nash_serve binary calls it from its SIGTERM/SIGINT handler)
+// triggers a graceful drain: stop accepting connections, answer new solves
+// with "draining", finish every in-flight job, flush, then drain the solver
+// pool and return from run().
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/service.hpp"
+#include "serve/admission.hpp"
+#include "serve/cache.hpp"
+#include "serve/protocol.hpp"
+
+namespace cnash::serve {
+
+struct ServeOptions {
+  /// Loopback by default; the gateway speaks a trusting plain-text protocol.
+  std::string host = "127.0.0.1";
+  /// 0 = ephemeral (read the bound port back via port()).
+  std::uint16_t port = 0;
+  /// SolverService pool size (0 = one worker per hardware thread).
+  std::size_t service_threads = 0;
+  AdmissionOptions admission;
+  std::size_t cache_bytes = 64u << 20;
+  /// A connection whose buffered request line exceeds this is answered with
+  /// an error and closed (protocol-abuse guard).
+  std::size_t max_line_bytes = 8u << 20;
+  /// Print "LISTENING <port>" on stdout once bound (smoke scripts wait for
+  /// this line to learn an ephemeral port).
+  bool announce = false;
+};
+
+/// Counters for the `stats` wire method.
+struct ServedStats {
+  std::size_t lines = 0;          // request lines parsed (incl. malformed)
+  std::size_t solves_ok = 0;      // successful solve responses (all paths)
+  std::size_t cache_hits = 0;     // ... of which answered from the cache
+  std::size_t coalesced = 0;      // ... of which attached to an in-flight job
+  std::size_t errors = 0;         // error responses of any code
+  std::size_t jobs_submitted = 0; // jobs actually handed to the SolverService
+};
+
+class NashServer {
+ public:
+  explicit NashServer(ServeOptions options = {});
+  ~NashServer();
+  NashServer(const NashServer&) = delete;
+  NashServer& operator=(const NashServer&) = delete;
+
+  /// Bind + listen. Throws std::runtime_error (with errno text) on failure.
+  void start();
+  /// Bound port; valid after start().
+  std::uint16_t port() const { return port_; }
+
+  /// Blocking poll loop; returns once a requested stop has fully drained.
+  /// Call start() first.
+  void run();
+
+  /// Async-signal-safe drain trigger (callable from a signal handler or
+  /// another thread).
+  void request_stop() { stop_requested_.store(true, std::memory_order_relaxed); }
+
+  // Post-run introspection for tests and benches. NOT synchronised with a
+  // concurrently running poll loop — read these only before run() starts or
+  // after it returns (while running, use the `stats` wire method).
+  const CacheStats& cache_stats() const { return cache_.stats(); }
+  const AdmissionStats& admission_stats() const { return admission_.stats(); }
+  const ServedStats& served_stats() const { return served_; }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::string in;   // unparsed request bytes
+    std::string out;  // unflushed response bytes
+    std::size_t inflight = 0;  // solve responses owed (queued + coalesced)
+    bool close_after_flush = false;
+  };
+
+  /// One job on the solver pool plus every response waiting on it.
+  struct PendingSolve {
+    std::future<core::SolveReport> future;
+    GameKey key;
+    bool store_in_cache = true;
+    struct Waiter {
+      std::uint64_t conn_id;
+      util::Json id;
+      ReportMapping mapping;  // slim: perms + name, not the payoff matrices
+    };
+    std::vector<Waiter> waiters;
+  };
+
+  void accept_ready();
+  void read_ready(std::uint64_t conn_id);
+  void handle_line(std::uint64_t conn_id, const std::string& line);
+  void dispatch(std::uint64_t conn_id, WireRequest request);
+  void handle_solve(std::uint64_t conn_id, WireRequest request);
+  void poll_pending();
+  util::Json status_payload() const;
+  util::Json stats_payload() const;
+  void respond(std::uint64_t conn_id, std::string text, bool is_error);
+  void flush(Connection& conn);
+  void close_connection(std::uint64_t conn_id);
+  void begin_drain();
+
+  ServeOptions options_;
+  core::SolverService service_;
+  SolutionCache cache_;
+  AdmissionController admission_;
+  ServedStats served_;
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::uint64_t next_conn_id_ = 1;
+  std::unordered_map<std::uint64_t, Connection> conns_;
+  std::vector<PendingSolve> pending_;
+
+  std::atomic<bool> stop_requested_{false};
+  bool draining_ = false;
+};
+
+}  // namespace cnash::serve

@@ -1,0 +1,633 @@
+// The Nash-serving gateway (src/serve/). Contracts under test:
+//   * canonicalization: permuted-but-identical games (and their solve
+//     parameters) share a GameKey, near-identical games never do, and
+//     map_to_original() inverts the canonical permutation;
+//   * SolutionCache: LRU eviction order under a byte budget, hit/miss/
+//     eviction counters, and a cached report bit-identical to a fresh solve
+//     with the same seed;
+//   * AdmissionController: per-connection cap, global watermark, growing
+//     retry_after hints;
+//   * end-to-end over loopback TCP: every registered backend round-trips a
+//     solve (including hardware-sa-tiled), a repeated identical request is
+//     served from the cache (hit counter up, no new SolverService job,
+//     byte-identical report), load shedding returns retry_after instead of
+//     queueing unbounded work, malformed requests get structured errors, and
+//     request_stop() drains gracefully.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/report_json.hpp"
+#include "game/games.hpp"
+#include "game/parse.hpp"
+#include "game/random_games.hpp"
+#include "serve/line_client.hpp"
+#include "serve/server.hpp"
+#include "util/json.hpp"
+
+namespace cnash::serve {
+namespace {
+
+// ---- helpers ----------------------------------------------------------------
+
+core::SolveRequest quick_request(const game::BimatrixGame& g,
+                                 const std::string& backend = "exact-sa",
+                                 std::size_t runs = 4, std::uint64_t seed = 7) {
+  core::SolveRequest req(g);
+  req.backend = backend;
+  req.runs = runs;
+  req.seed = seed;
+  req.sa.iterations = 300;
+  return req;
+}
+
+game::BimatrixGame permute_game(const game::BimatrixGame& g,
+                                const std::vector<std::uint32_t>& rows,
+                                const std::vector<std::uint32_t>& cols,
+                                const std::string& name) {
+  la::Matrix m(g.num_actions1(), g.num_actions2());
+  la::Matrix n(g.num_actions1(), g.num_actions2());
+  for (std::size_t r = 0; r < g.num_actions1(); ++r)
+    for (std::size_t c = 0; c < g.num_actions2(); ++c) {
+      m(r, c) = g.payoff1()(rows[r], cols[c]);
+      n(r, c) = g.payoff2()(rows[r], cols[c]);
+    }
+  return game::BimatrixGame(std::move(m), std::move(n), name);
+}
+
+std::string fingerprint_no_wall_clock(const core::SolveReport& r) {
+  // Everything the determinism guarantee covers; reuses the canonical JSON
+  // rendering (wall_clock_s zeroed — it is measured, not derived).
+  core::SolveReport copy = r;
+  copy.wall_clock_s = 0.0;
+  return core::report_to_json(copy).dump();
+}
+
+/// serve::LineClient plus gtest-flavoured helpers for the loopback tests.
+class TestClient {
+ public:
+  void connect_to(std::uint16_t port) {
+    ASSERT_TRUE(client_.connect_to(port)) << std::strerror(errno);
+  }
+  void send_line(const std::string& line) {
+    ASSERT_TRUE(client_.send_line(line)) << std::strerror(errno);
+  }
+  /// False on orderly EOF.
+  bool recv_line(std::string& line) { return client_.recv_line(line); }
+
+  util::Json request(const std::string& line) {
+    send_line(line);
+    std::string response;
+    EXPECT_TRUE(recv_line(response));
+    return util::Json::parse(response);
+  }
+
+ private:
+  LineClient client_;
+};
+
+/// Boots a NashServer on an ephemeral loopback port in a background thread
+/// and joins it on teardown (graceful drain via request_stop()).
+class ServerFixture {
+ public:
+  explicit ServerFixture(ServeOptions options = {}) : server_(options) {
+    server_.start();
+    thread_ = std::thread([this] { server_.run(); });
+  }
+  ~ServerFixture() { stop(); }
+
+  void stop() {
+    if (!thread_.joinable()) return;
+    server_.request_stop();
+    thread_.join();
+  }
+
+  NashServer& server() { return server_; }
+  std::uint16_t port() const { return server_.port(); }
+
+ private:
+  NashServer server_;
+  std::thread thread_;
+};
+
+std::string solve_line(const game::BimatrixGame& g, int id,
+                       const std::string& backend = "exact-sa",
+                       std::size_t runs = 4, std::size_t iterations = 300,
+                       std::uint64_t seed = 7, const std::string& extra = "") {
+  std::string line = "{\"method\":\"solve\",\"id\":" + std::to_string(id);
+  line += ",\"game_text\":" +
+          util::Json::string(game::serialize_game(g, /*precision=*/12)).dump();
+  line += ",\"backend\":\"" + backend + "\"";
+  line += ",\"runs\":" + std::to_string(runs);
+  line += ",\"iterations\":" + std::to_string(iterations);
+  line += ",\"seed\":" + std::to_string(seed);
+  line += extra;
+  line += "}";
+  return line;
+}
+
+// ---- canonicalization -------------------------------------------------------
+
+TEST(Canonicalization, PermutedButIdenticalGamesShareAKey) {
+  util::Rng rng(42);
+  const game::BimatrixGame g = game::random_covariant_game(6, 5, 0.3, rng);
+  const CanonicalRequest base = canonicalize(quick_request(g));
+
+  std::vector<std::uint32_t> rows(6), cols(5);
+  std::iota(rows.begin(), rows.end(), 0u);
+  std::iota(cols.begin(), cols.end(), 0u);
+  for (int trial = 0; trial < 8; ++trial) {
+    for (std::size_t i = rows.size(); i > 1; --i)
+      std::swap(rows[i - 1], rows[rng.uniform_index(i)]);
+    for (std::size_t i = cols.size(); i > 1; --i)
+      std::swap(cols[i - 1], cols[rng.uniform_index(i)]);
+    const game::BimatrixGame shuffled =
+        permute_game(g, rows, cols, "another name entirely");
+    const CanonicalRequest other = canonicalize(quick_request(shuffled));
+    EXPECT_EQ(other.key.digest, base.key.digest) << "trial " << trial;
+    EXPECT_EQ(other.key.blob, base.key.blob) << "trial " << trial;
+    // Same canonical game, different recorded permutations.
+    EXPECT_EQ(other.request.game.payoff1(), base.request.game.payoff1());
+    EXPECT_EQ(other.request.game.payoff2(), base.request.game.payoff2());
+  }
+}
+
+TEST(Canonicalization, NearIdenticalGamesAndParamsHashDifferent) {
+  util::Rng rng(43);
+  const game::BimatrixGame g = game::random_covariant_game(4, 4, 0.0, rng);
+  const CanonicalRequest base = canonicalize(quick_request(g));
+
+  // One payoff nudged by 1 ulp-scale epsilon → different key.
+  la::Matrix m = g.payoff1();
+  m(2, 3) += 1e-12;
+  const game::BimatrixGame nudged(m, g.payoff2(), g.name());
+  EXPECT_NE(canonicalize(quick_request(nudged)).key.blob, base.key.blob);
+
+  // Any result-affecting parameter change → different key.
+  core::SolveRequest req = quick_request(g);
+  req.seed = 8;
+  EXPECT_NE(canonicalize(req).key.blob, base.key.blob);
+  req = quick_request(g);
+  req.backend = "hardware-sa";
+  EXPECT_NE(canonicalize(req).key.blob, base.key.blob);
+  req = quick_request(g);
+  req.runs = 5;
+  EXPECT_NE(canonicalize(req).key.blob, base.key.blob);
+  req = quick_request(g);
+  req.sa.iterations = 301;
+  EXPECT_NE(canonicalize(req).key.blob, base.key.blob);
+  req = quick_request(g);
+  req.chip.tile_rows = 32;
+  EXPECT_NE(canonicalize(req).key.blob, base.key.blob);
+
+  // ... but max_parallelism is scheduling-only and must NOT split the key.
+  req = quick_request(g);
+  req.max_parallelism = 3;
+  EXPECT_EQ(canonicalize(req).key.blob, base.key.blob);
+  // Neither does the game's display name.
+  const game::BimatrixGame renamed(g.payoff1(), g.payoff2(), "other");
+  EXPECT_EQ(canonicalize(quick_request(renamed)).key.blob, base.key.blob);
+}
+
+TEST(Canonicalization, MapToOriginalInvertsThePermutation) {
+  util::Rng rng(44);
+  const game::BimatrixGame g = game::random_covariant_game(5, 4, -0.5, rng);
+  const CanonicalRequest canonical = canonicalize(quick_request(g));
+
+  // Solve the canonical game, map back, and check the mapping element-wise.
+  const core::SolveReport canon_report =
+      core::SolverRegistry::global().at("exact-sa").solve(canonical.request);
+  const core::SolveReport mapped =
+      map_to_original(canonical.mapping, canon_report);
+  EXPECT_EQ(mapped.game_name, g.name());
+  ASSERT_EQ(mapped.samples.size(), canon_report.samples.size());
+  for (std::size_t s = 0; s < mapped.samples.size(); ++s) {
+    for (std::size_t i = 0; i < canonical.mapping.row_perm.size(); ++i)
+      EXPECT_EQ(mapped.samples[s].p[canonical.mapping.row_perm[i]],
+                canon_report.samples[s].p[i]);
+    for (std::size_t j = 0; j < canonical.mapping.col_perm.size(); ++j)
+      EXPECT_EQ(mapped.samples[s].q[canonical.mapping.col_perm[j]],
+                canon_report.samples[s].q[j]);
+  }
+}
+
+// ---- solution cache ---------------------------------------------------------
+
+GameKey fake_key(char tag) {
+  GameKey key;
+  key.blob = std::string("key-") + tag;
+  key.digest = static_cast<std::uint64_t>(tag);
+  return key;
+}
+
+core::SolveReport small_report(char tag) {
+  core::SolveReport report;
+  report.backend = "test";
+  report.game_name = std::string(1, tag);
+  core::SolveSample s;
+  s.p = {1.0, 0.0};
+  s.q = {0.0, 1.0};
+  report.samples = {s};
+  return report;
+}
+
+TEST(SolutionCache, LruEvictionOrderUnderByteBudget) {
+  // Measure the exact accounted size of one entry, then budget for three.
+  std::size_t entry_bytes = 0;
+  {
+    SolutionCache probe(1u << 20);
+    probe.insert(fake_key('a'), small_report('a'));
+    entry_bytes = probe.stats().bytes;
+  }
+  SolutionCache cache(3 * entry_bytes + entry_bytes / 2);  // fits 3 entries
+
+  cache.insert(fake_key('a'), small_report('a'));
+  cache.insert(fake_key('b'), small_report('b'));
+  cache.insert(fake_key('c'), small_report('c'));
+  EXPECT_EQ(cache.stats().entries, 3u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+
+  // Touch 'a' so 'b' becomes least recently used, then overflow with 'd'.
+  ASSERT_NE(cache.lookup(fake_key('a')), nullptr);
+  cache.insert(fake_key('d'), small_report('d'));
+
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.lookup(fake_key('b')), nullptr) << "LRU entry must go first";
+  EXPECT_NE(cache.lookup(fake_key('a')), nullptr);
+  EXPECT_NE(cache.lookup(fake_key('c')), nullptr);
+  EXPECT_NE(cache.lookup(fake_key('d')), nullptr);
+  EXPECT_EQ(cache.stats().hits, 4u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_LE(cache.stats().bytes, cache.stats().byte_budget);
+}
+
+TEST(SolutionCache, OversizeReportsAreNeverAdmitted) {
+  SolutionCache cache(64);  // smaller than any real report
+  cache.insert(fake_key('a'), small_report('a'));
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().oversize_rejects, 1u);
+  EXPECT_EQ(cache.lookup(fake_key('a')), nullptr);
+}
+
+TEST(SolutionCache, CachedReportIsBitIdenticalToAFreshSolveWithTheSameSeed) {
+  const game::BimatrixGame g = game::bird_game();
+  const CanonicalRequest canonical =
+      canonicalize(quick_request(g, "hardware-sa", 3, 99));
+
+  const core::SolveReport first =
+      core::SolverRegistry::global().at("hardware-sa").solve(canonical.request);
+  SolutionCache cache(1u << 20);
+  cache.insert(canonical.key, first);
+
+  const core::SolveReport* replay = cache.lookup(canonical.key);
+  ASSERT_NE(replay, nullptr);
+  const core::SolveReport fresh =
+      core::SolverRegistry::global().at("hardware-sa").solve(canonical.request);
+  EXPECT_EQ(fingerprint_no_wall_clock(*replay),
+            fingerprint_no_wall_clock(fresh));
+  // Replay preserves the *original* measured wall clock and modeled timing.
+  EXPECT_EQ(replay->wall_clock_s, first.wall_clock_s);
+  EXPECT_EQ(replay->modeled_time_s, first.modeled_time_s);
+}
+
+// ---- admission --------------------------------------------------------------
+
+TEST(Admission, CapsAndWatermarkAndRetryHints) {
+  AdmissionController admission({/*max_queue_depth=*/2,
+                                 /*per_connection_inflight=*/1,
+                                 /*retry_after_s=*/0.5});
+  using Verdict = AdmissionController::Verdict;
+  EXPECT_EQ(admission.admit(0, 0), Verdict::kAdmit);
+  EXPECT_EQ(admission.admit(0, 1), Verdict::kShedConnectionCap);
+  EXPECT_EQ(admission.admit(2, 0), Verdict::kShedQueueFull);
+  EXPECT_EQ(admission.stats().admitted, 1u);
+  EXPECT_EQ(admission.stats().shed_connection_cap, 1u);
+  EXPECT_EQ(admission.stats().shed_queue_full, 1u);
+  // base × (1 + backlog/watermark): base when empty, 2×base at the
+  // watermark — the deepest backlog a shed request can observe.
+  EXPECT_DOUBLE_EQ(admission.retry_after_s(0), 0.5);
+  EXPECT_DOUBLE_EQ(admission.retry_after_s(1), 0.75);
+  EXPECT_DOUBLE_EQ(admission.retry_after_s(2), 1.0);
+}
+
+// ---- end-to-end over loopback ----------------------------------------------
+
+TEST(ServeEndToEnd, EveryRegisteredBackendRoundTripsASolve) {
+  ServerFixture fixture;
+  TestClient client;
+  client.connect_to(fixture.port());
+
+  const game::BimatrixGame g = game::battle_of_sexes();
+  int id = 0;
+  for (const std::string& backend : core::SolverRegistry::global().names()) {
+    const util::Json response =
+        client.request(solve_line(g, id++, backend, 6, 300, 2024));
+    ASSERT_TRUE(response.at("ok").as_bool()) << backend << ": "
+                                             << response.dump();
+    EXPECT_FALSE(response.at("cached").as_bool()) << backend;
+    const core::SolveReport report =
+        core::report_from_json(response.at("report"));
+    EXPECT_EQ(report.backend, backend);
+    EXPECT_EQ(report.game_name, g.name()) << backend;
+    EXPECT_FALSE(report.samples.empty()) << backend;
+    for (const core::SolveSample& s : report.samples) {
+      EXPECT_EQ(s.p.size(), g.num_actions1()) << backend;
+      EXPECT_EQ(s.q.size(), g.num_actions2()) << backend;
+    }
+  }
+}
+
+TEST(ServeEndToEnd, RepeatedIdenticalRequestIsServedFromTheCache) {
+  ServerFixture fixture;
+  TestClient client;
+  client.connect_to(fixture.port());
+  const game::BimatrixGame g = game::bird_game();
+
+  const util::Json cold =
+      client.request(solve_line(g, 1, "hardware-sa", 4, 400, 51966));
+  ASSERT_TRUE(cold.at("ok").as_bool()) << cold.dump();
+  EXPECT_FALSE(cold.at("cached").as_bool());
+
+  const util::Json warm =
+      client.request(solve_line(g, 2, "hardware-sa", 4, 400, 51966));
+  ASSERT_TRUE(warm.at("ok").as_bool()) << warm.dump();
+  EXPECT_TRUE(warm.at("cached").as_bool());
+  // Byte-identical report (rendering is deterministic, replay is exact —
+  // including the modeled timing and the original measured wall clock).
+  EXPECT_EQ(warm.at("report").dump(), cold.at("report").dump());
+
+  // Hit counter incremented, and no new SolverService job was submitted.
+  const util::Json stats = client.request("{\"method\":\"stats\"}");
+  ASSERT_TRUE(stats.at("ok").as_bool());
+  EXPECT_EQ(stats.at("stats").at("cache").at("hits").as_number(), 1.0);
+  EXPECT_EQ(stats.at("stats").at("cache").at("misses").as_number(), 1.0);
+  EXPECT_EQ(stats.at("stats").at("served").at("jobs_submitted").as_number(),
+            1.0);
+
+  // A different seed is a different solve: miss, new job.
+  const util::Json other =
+      client.request(solve_line(g, 3, "hardware-sa", 4, 400, 51967));
+  ASSERT_TRUE(other.at("ok").as_bool());
+  EXPECT_FALSE(other.at("cached").as_bool());
+  EXPECT_NE(other.at("report").dump(), cold.at("report").dump());
+}
+
+TEST(ServeEndToEnd, PermutedGameIsServedFromTheCacheInItsOwnActionOrder) {
+  ServerFixture fixture;
+  TestClient client;
+  client.connect_to(fixture.port());
+
+  const game::BimatrixGame g = game::battle_of_sexes();
+  const game::BimatrixGame swapped =
+      permute_game(g, {1, 0}, {1, 0}, "swapped bos");
+
+  const util::Json cold = client.request(solve_line(g, 1, "exact-sa", 5, 400));
+  ASSERT_TRUE(cold.at("ok").as_bool());
+  const util::Json hit =
+      client.request(solve_line(swapped, 2, "exact-sa", 5, 400));
+  ASSERT_TRUE(hit.at("ok").as_bool()) << hit.dump();
+  EXPECT_TRUE(hit.at("cached").as_bool())
+      << "permuted-but-identical game must hit the cache";
+
+  // Same solve, reported in the caller's (swapped) action order.
+  const core::SolveReport a = core::report_from_json(cold.at("report"));
+  const core::SolveReport b = core::report_from_json(hit.at("report"));
+  EXPECT_EQ(b.game_name, "swapped bos");
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  for (std::size_t s = 0; s < a.samples.size(); ++s) {
+    EXPECT_EQ(a.samples[s].p[0], b.samples[s].p[1]);
+    EXPECT_EQ(a.samples[s].p[1], b.samples[s].p[0]);
+    EXPECT_EQ(a.samples[s].q[0], b.samples[s].q[1]);
+    EXPECT_EQ(a.samples[s].q[1], b.samples[s].q[0]);
+    EXPECT_EQ(a.samples[s].is_nash, b.samples[s].is_nash);
+  }
+}
+
+TEST(ServeEndToEnd, LoadSheddingReturnsRetryAfterInsteadOfQueueing) {
+  // A watermark of zero sheds every solve that is not answered by the cache:
+  // the deterministic way to exercise the queue-full path.
+  ServeOptions options;
+  options.admission.max_queue_depth = 0;
+  options.admission.retry_after_s = 0.25;
+  ServerFixture fixture(options);
+  TestClient client;
+  client.connect_to(fixture.port());
+
+  const util::Json shed =
+      client.request(solve_line(game::battle_of_sexes(), 9, "exact-sa"));
+  ASSERT_FALSE(shed.at("ok").as_bool());
+  EXPECT_EQ(shed.at("error").at("code").as_string(), "overloaded");
+  EXPECT_GE(shed.at("retry_after_s").as_number(), 0.25);
+  EXPECT_EQ(shed.at("id").as_number(), 9.0);
+
+  const util::Json stats = client.request("{\"method\":\"stats\"}");
+  EXPECT_EQ(
+      stats.at("stats").at("admission").at("shed_queue_full").as_number(),
+      1.0);
+  EXPECT_EQ(stats.at("stats").at("served").at("jobs_submitted").as_number(),
+            0.0);
+}
+
+TEST(ServeEndToEnd, PerConnectionInflightCapSheds) {
+  ServeOptions options;
+  options.admission.per_connection_inflight = 1;
+  options.service_threads = 1;
+  ServerFixture fixture(options);
+  TestClient client;
+  client.connect_to(fixture.port());
+
+  // Pipeline two solves without waiting: the first occupies the connection's
+  // single in-flight slot (a slow hardware solve), the second must shed.
+  util::Rng rng(7);
+  const game::BimatrixGame big = game::random_integer_game(12, 12, rng);
+  client.send_line(solve_line(big, 1, "hardware-sa", 8, 20000));
+  client.send_line(solve_line(big, 2, "hardware-sa", 8, 20000, 8));
+
+  // The shed response arrives first (the solve is still running).
+  std::string line;
+  ASSERT_TRUE(client.recv_line(line));
+  const util::Json shed = util::Json::parse(line);
+  ASSERT_FALSE(shed.at("ok").as_bool()) << line;
+  EXPECT_EQ(shed.at("id").as_number(), 2.0);
+  EXPECT_EQ(shed.at("error").at("code").as_string(), "overloaded");
+  EXPECT_GT(shed.at("retry_after_s").as_number(), 0.0);
+
+  ASSERT_TRUE(client.recv_line(line));
+  const util::Json solved = util::Json::parse(line);
+  EXPECT_TRUE(solved.at("ok").as_bool()) << line;
+  EXPECT_EQ(solved.at("id").as_number(), 1.0);
+}
+
+TEST(ServeEndToEnd, CoalescedDuplicatesStillRespectTheConnectionCap) {
+  // Duplicates of an in-flight solve occupy waiter slots and output buffers,
+  // so they must not bypass the per-connection in-flight cap.
+  ServeOptions options;
+  options.admission.per_connection_inflight = 1;
+  options.service_threads = 1;
+  ServerFixture fixture(options);
+  TestClient client;
+  client.connect_to(fixture.port());
+
+  util::Rng rng(17);
+  const game::BimatrixGame big = game::random_integer_game(10, 10, rng);
+  client.send_line(solve_line(big, 1, "hardware-sa", 6, 20000));
+  client.send_line(solve_line(big, 2, "hardware-sa", 6, 20000));  // identical
+
+  std::string line;
+  ASSERT_TRUE(client.recv_line(line));
+  const util::Json shed = util::Json::parse(line);
+  ASSERT_FALSE(shed.at("ok").as_bool()) << line;
+  EXPECT_EQ(shed.at("id").as_number(), 2.0);
+  EXPECT_EQ(shed.at("error").at("code").as_string(), "overloaded");
+
+  ASSERT_TRUE(client.recv_line(line));
+  EXPECT_TRUE(util::Json::parse(line).at("ok").as_bool()) << line;
+}
+
+TEST(ServeEndToEnd, MalformedRequestsGetStructuredErrors) {
+  ServerFixture fixture;
+  TestClient client;
+  client.connect_to(fixture.port());
+
+  const util::Json not_json = client.request("this is not json");
+  ASSERT_FALSE(not_json.at("ok").as_bool());
+  EXPECT_EQ(not_json.at("error").at("code").as_string(), "bad_request");
+
+  const util::Json bad_method =
+      client.request("{\"method\":\"frobnicate\",\"id\":3}");
+  ASSERT_FALSE(bad_method.at("ok").as_bool());
+  EXPECT_EQ(bad_method.at("error").at("code").as_string(), "bad_request");
+
+  const util::Json no_game = client.request("{\"method\":\"solve\"}");
+  ASSERT_FALSE(no_game.at("ok").as_bool());
+  EXPECT_NE(no_game.at("error").at("message").as_string().find("game"),
+            std::string::npos);
+
+  const util::Json ragged = client.request(
+      R"({"method":"solve","id":7,"game":{"m":[[1,2],[3]],"n":[[1,2],[3,4]]}})");
+  ASSERT_FALSE(ragged.at("ok").as_bool());
+  EXPECT_EQ(ragged.at("error").at("code").as_string(), "bad_request");
+  // The id-echo contract holds on error responses too (pipelining clients
+  // correlate structured errors back to the failing request).
+  EXPECT_EQ(ragged.at("id").as_number(), 7.0);
+
+  // Unknown backend: the message names the registered keys (self-correcting
+  // clients), and the connection keeps serving afterwards.
+  const util::Json unknown = client.request(
+      solve_line(game::battle_of_sexes(), 4, "quantum-oracle"));
+  ASSERT_FALSE(unknown.at("ok").as_bool());
+  EXPECT_EQ(unknown.at("error").at("code").as_string(), "bad_request")
+      << "unknown backend is the client's mistake, not a server fault";
+  EXPECT_NE(unknown.at("error").at("message").as_string().find("hardware-sa"),
+            std::string::npos);
+
+  const util::Json ok =
+      client.request(solve_line(game::battle_of_sexes(), 5, "exact-sa"));
+  EXPECT_TRUE(ok.at("ok").as_bool());
+}
+
+TEST(ServeEndToEnd, StatusReportsQueueDepthAndDrainFlag) {
+  ServerFixture fixture;
+  TestClient client;
+  client.connect_to(fixture.port());
+
+  const util::Json response = client.request("{\"method\":\"status\"}");
+  ASSERT_TRUE(response.at("ok").as_bool());
+  const util::Json& status = response.at("status");
+  EXPECT_FALSE(status.at("draining").as_bool());
+  EXPECT_EQ(status.at("connections").as_number(), 1.0);
+  EXPECT_EQ(status.at("pending_solves").as_number(), 0.0);
+  EXPECT_GE(status.at("service").at("threads").as_number(), 1.0);
+}
+
+TEST(ServeEndToEnd, GracefulDrainFinishesInFlightWorkAndRejectsNewSolves) {
+  ServeOptions options;
+  options.service_threads = 1;
+  ServerFixture fixture(options);
+  TestClient client;
+  client.connect_to(fixture.port());
+
+  // A slow solve goes in flight, then the drain is requested (the SIGTERM
+  // path in nash_serve calls exactly this), then another solve arrives.
+  util::Rng rng(11);
+  const game::BimatrixGame big = game::random_integer_game(10, 10, rng);
+  client.send_line(solve_line(big, 1, "hardware-sa", 6, 20000));
+  // Status is answered synchronously on the same connection, so once its
+  // response is here the solve is committed to the queue.
+  ASSERT_EQ(client.request("{\"method\":\"status\"}")
+                .at("status")
+                .at("pending_solves")
+                .as_number(),
+            1.0);
+  fixture.server().request_stop();
+  // Wait until the poll loop observed the stop before posting the late solve
+  // (otherwise it could still be admitted — request_stop is asynchronous).
+  for (;;) {
+    if (client.request("{\"method\":\"status\"}")
+            .at("status")
+            .at("draining")
+            .as_bool())
+      break;
+  }
+  client.send_line(solve_line(big, 2, "exact-sa", 2, 200));
+
+  // Both responses arrive before the server closes the connection: the
+  // in-flight solve completes, the late one is refused as draining.
+  std::string line;
+  util::Json by_id[3];
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(client.recv_line(line)) << "connection closed early";
+    const util::Json response = util::Json::parse(line);
+    const int id = static_cast<int>(response.at("id").as_number());
+    ASSERT_TRUE(id == 1 || id == 2);
+    by_id[id] = response;
+  }
+  EXPECT_TRUE(by_id[1].at("ok").as_bool()) << by_id[1].dump();
+  ASSERT_FALSE(by_id[2].at("ok").as_bool());
+  EXPECT_EQ(by_id[2].at("error").at("code").as_string(), "draining");
+  EXPECT_GT(by_id[2].at("retry_after_s").as_number(), 0.0);
+
+  // ... then the server closes the connection and run() returns.
+  EXPECT_FALSE(client.recv_line(line));
+  fixture.stop();
+  EXPECT_EQ(fixture.server().served_stats().solves_ok, 1u);
+  EXPECT_EQ(fixture.server().served_stats().errors, 1u);
+}
+
+TEST(ServeEndToEnd, IdenticalInFlightSolvesAreCoalescedOntoOneJob) {
+  ServeOptions options;
+  options.service_threads = 1;
+  ServerFixture fixture(options);
+  TestClient client;
+  client.connect_to(fixture.port());
+
+  util::Rng rng(13);
+  const game::BimatrixGame big = game::random_integer_game(10, 10, rng);
+  // Two identical slow solves pipelined back to back: the second must attach
+  // to the first job, not submit a duplicate.
+  client.send_line(solve_line(big, 1, "hardware-sa", 6, 20000));
+  client.send_line(solve_line(big, 2, "hardware-sa", 6, 20000));
+
+  std::string line;
+  util::Json responses[2];
+  for (auto& response : responses) {
+    ASSERT_TRUE(client.recv_line(line));
+    response = util::Json::parse(line);
+    ASSERT_TRUE(response.at("ok").as_bool()) << line;
+  }
+  EXPECT_EQ(responses[0].at("report").dump(), responses[1].at("report").dump());
+
+  const util::Json stats = client.request("{\"method\":\"stats\"}");
+  EXPECT_EQ(stats.at("stats").at("served").at("jobs_submitted").as_number(),
+            1.0);
+  EXPECT_EQ(stats.at("stats").at("admission").at("coalesced").as_number(),
+            1.0);
+}
+
+}  // namespace
+}  // namespace cnash::serve

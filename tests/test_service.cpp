@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <future>
 #include <limits>
 #include <string>
@@ -231,6 +232,64 @@ TEST(SolverService, ExactBackendsVerifyAndDeduplicate) {
   for (std::size_t i = 0; i < lh.samples.size(); ++i)
     for (std::size_t j = i + 1; j < lh.samples.size(); ++j)
       EXPECT_NE(lh.samples[i].key(), lh.samples[j].key());
+}
+
+TEST(SolverService, DrainFinishesQueuedWorkAndRejectsNewSubmissions) {
+  // Satellite contract: drain() stops accepting, finishes every queued job
+  // (all futures resolved when it returns) — the graceful-shutdown hook the
+  // serve/ gateway relies on. More jobs than workers so some are still
+  // queued when the drain starts.
+  SolverService service(ServiceOptions{2});
+  const game::BimatrixGame g = game::battle_of_sexes();
+  std::vector<std::future<SolveReport>> futures;
+  for (std::size_t i = 0; i < 6; ++i)
+    futures.push_back(
+        service.submit(sa_request(g, "exact-sa", 4, 100 + i, 400)));
+
+  EXPECT_FALSE(service.draining());
+  service.drain();
+  EXPECT_TRUE(service.draining());
+  EXPECT_EQ(service.pending_jobs(), 0u);
+
+  for (auto& future : futures) {
+    // Resolved already — get() must not block on new work.
+    ASSERT_EQ(future.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    EXPECT_EQ(future.get().samples.size(), 4u);
+  }
+
+  // Post-drain submissions are rejected via the future, not accepted.
+  auto late = service.submit(sa_request(g, "exact-sa", 2, 1, 200));
+  EXPECT_THROW(late.get(), std::runtime_error);
+
+  // drain() is idempotent.
+  service.drain();
+}
+
+TEST(SolverService, QueueDepthTracksQueuedAndInFlightUnits) {
+  SolverService service(ServiceOptions{1});
+  const SolverService::QueueDepth idle = service.queue_depth();
+  EXPECT_EQ(idle.jobs, 0u);
+  EXPECT_EQ(idle.queued_units, 0u);
+  EXPECT_EQ(idle.in_flight_units, 0u);
+
+  // Three jobs on a single worker: right after submit at least two must
+  // still be queued (the worker can hold only one unit at a time).
+  std::vector<std::future<SolveReport>> futures;
+  for (std::size_t i = 0; i < 3; ++i)
+    futures.push_back(
+        service.submit(sa_request(game::battle_of_sexes(), "exact-sa", 3,
+                                  7 + i, 2000)));
+  const SolverService::QueueDepth busy = service.queue_depth();
+  EXPECT_GE(busy.jobs, 2u);
+  EXPECT_GE(busy.queued_units + busy.in_flight_units, 2u);
+  EXPECT_LE(busy.in_flight_units, 1u);  // one worker
+
+  for (auto& future : futures) future.get();
+  const SolverService::QueueDepth done = service.queue_depth();
+  EXPECT_EQ(done.jobs, 0u);
+  EXPECT_EQ(done.queued_units, 0u);
+  EXPECT_EQ(done.in_flight_units, 0u);
 }
 
 TEST(SolverService, ReportsCarryArchitectureTiming) {
