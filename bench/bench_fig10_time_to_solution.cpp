@@ -78,6 +78,64 @@ int main(int argc, char** argv) {
       "C-Nash TTS = SA iterations x iteration latency (1 MHz controller, "
       "analog path\nin ns) / success rate; D-Wave TTS = (programming + 5000 "
       "reads) / success rate.\n");
+
+  // ---- Replica-exchange series: iterations-to-target on a hard game --------
+  // Parallel tempering changes WHAT the controller converges to, not just how
+  // fast an iteration runs: on coordination games the pure equilibria sit
+  // behind high barriers that plain SA at the production schedule rarely
+  // crosses. The series sweeps an iterations ladder on Coordination-64
+  // (64 actions, I = 4) and reports the first rung where each mode reaches
+  // 50% success. Replicas of one ensemble occupy concurrent crossbar banks,
+  // so an ensemble's modeled iteration count is that of a single run.
+  std::printf("\n=== SA mode ablation: replica exchange vs plain SA ===\n\n");
+  const std::size_t plain_runs = cli.runs > 0 ? 2 * cli.runs : 48;
+  const std::size_t re_ensembles = cli.runs > 0 ? cli.runs : 24;
+  const double target = 0.5;
+  util::Table re_table(
+      {"SA iterations", "plain SA success", "replica-exchange success"});
+  bench::Json& re_node = report.root().obj("replica_exchange");
+  re_node.set("game", "Coordination-64");
+  re_node.set("intervals", 4.0);
+  re_node.set("target_success", target);
+  std::size_t plain_first = 0, re_first = 0;
+  for (const std::size_t iters : {4000, 16000, 64000, 256000}) {
+    core::SolveRequest req(game::coordination(64));
+    req.backend = "exact-sa";
+    req.intervals = 4;
+    req.seed = 0xF160;
+    req.sa.iterations = iters;
+    req.runs = plain_runs;
+    const auto plain = core::SolverRegistry::global().at("exact-sa").solve(req);
+    req.sa.mode = core::SaMode::kReplicaExchange;
+    req.runs = re_ensembles;
+    const auto re = core::SolverRegistry::global().at("exact-sa").solve(req);
+    total_runs += plain_runs + re_ensembles * req.sa.replicas;
+    const double ps = plain.nash_rate();
+    const double rs = re.nash_rate();
+    if (plain_first == 0 && ps >= target) plain_first = iters;
+    if (re_first == 0 && rs >= target) re_first = iters;
+    re_table.add_row({util::Table::num(static_cast<double>(iters), 0),
+                      core::percent(ps), core::percent(rs)});
+    bench::Json& row = re_node.arr("ladder").push();
+    row.set("iterations", static_cast<double>(iters));
+    row.set("plain_success", ps);
+    row.set("replica_exchange_success", rs);
+    std::fprintf(stderr, "re ladder %zu: plain %.2f re %.2f\n", iters, ps, rs);
+  }
+  re_node.set("plain_first_success_iters", static_cast<double>(plain_first));
+  re_node.set("re_first_success_iters", static_cast<double>(re_first));
+  std::printf("%s\n", re_table.pretty().c_str());
+  auto rung = [](std::size_t it) {
+    return it == 0 ? std::string("> 256000")
+                   : util::Table::num(static_cast<double>(it), 0);
+  };
+  std::printf(
+      "Coordination-64, I = 4, %zu plain runs / %zu ensembles x 8 replicas "
+      "per rung.\nFirst rung at >= 50%% success: plain SA %s iterations, "
+      "replica exchange %s.\n",
+      plain_runs, re_ensembles, rung(plain_first).c_str(),
+      rung(re_first).c_str());
+
   report.finish(static_cast<double>(total_runs));
   return 0;
 }

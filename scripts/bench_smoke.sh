@@ -35,7 +35,7 @@ run "$build_dir/bench_ablation_faults" $runs
 run "$build_dir/bench_ablation_mlc" $runs
 run "$build_dir/bench_ablation_squbo" $runs
 if [ -x "$build_dir/bench_micro_vmv" ]; then
-  run "$build_dir/bench_micro_vmv" --benchmark_min_time=0.01
+  run "$build_dir/bench_micro_vmv" --benchmark_min_time=0.01 --json "$out_dir/"
 fi
 
 echo "bench smoke OK; JSON reports in $out_dir:"

@@ -27,6 +27,17 @@ void validate_request(const SolveRequest& request) {
         "invalid solve request: runs == 0 (need at least one sample unit)");
   if (request.game.num_actions1() == 0 || request.game.num_actions2() == 0)
     throw std::invalid_argument("invalid solve request: empty game");
+  if (request.sa.mode == SaMode::kReplicaExchange) {
+    if (request.sa.replicas < 2)
+      throw std::invalid_argument(
+          "invalid solve request: replica-exchange needs sa.replicas >= 2");
+    if (request.sa.exchange_interval == 0)
+      throw std::invalid_argument(
+          "invalid solve request: sa.exchange_interval must be >= 1");
+    if (!(request.sa.ladder_ratio > 1.0))
+      throw std::invalid_argument(
+          "invalid solve request: sa.ladder_ratio must be > 1");
+  }
   for (const la::Matrix* m : {&request.game.payoff1(), &request.game.payoff2()})
     for (std::size_t r = 0; r < m->rows(); ++r)
       for (std::size_t c = 0; c < m->cols(); ++c)
@@ -109,25 +120,97 @@ SaPreparedJob::SaPreparedJob(std::shared_ptr<const EvaluatorFactory> factory,
       num_runs_(num_runs),
       nash_eps_(nash_eps) {
   if (!factory_) throw std::invalid_argument("SaPreparedJob: null factory");
+  if (sa_.mode == SaMode::kReplicaExchange) {
+    if (sa_.replicas < 2)
+      throw std::invalid_argument("SaPreparedJob: sa.replicas must be >= 2");
+    if (sa_.exchange_interval == 0)
+      throw std::invalid_argument(
+          "SaPreparedJob: sa.exchange_interval must be >= 1");
+    if (!(sa_.ladder_ratio > 1.0))
+      throw std::invalid_argument(
+          "SaPreparedJob: sa.ladder_ratio must be > 1");
+  }
   game_name = factory_->game().name();
 }
 
-std::vector<SolveSample> SaPreparedJob::run_unit(std::size_t unit) const {
-  // Even keys address evaluator instances, odd keys SA streams, so the two
-  // families can never alias across runs.
-  const std::uint64_t r = base_run_ + unit;
-  const std::unique_ptr<ObjectiveEvaluator> evaluator = factory_->create(2 * r);
-  util::Rng sa_rng = root_.split(2 * r + 1);
-  const SaRunResult res =
-      simulated_annealing(*evaluator, intervals_, sa_, sa_rng);
+namespace {
+
+SolveSample sa_sample(const SaRunResult& res, bool report_best) {
   const game::QuantizedProfile& chosen =
-      report_best_ ? res.best_profile : res.final_profile;
-  std::vector<SolveSample> out(1);
-  SolveSample& s = out.front();
+      report_best ? res.best_profile : res.final_profile;
+  SolveSample s;
   s.p = chosen.p.to_distribution();
   s.q = chosen.q.to_distribution();
-  s.objective = report_best_ ? res.best_objective : res.final_objective;
+  s.objective = report_best ? res.best_objective : res.final_objective;
   s.profile = chosen;
+  return s;
+}
+
+}  // namespace
+
+std::size_t SaPreparedJob::num_units() const {
+  if (sa_.mode == SaMode::kReplicaExchange) return num_runs_;
+  const std::size_t k = std::max<std::size_t>(1, sa_.batch_lanes);
+  return (num_runs_ + k - 1) / k;
+}
+
+std::vector<SolveSample> SaPreparedJob::run_unit(std::size_t unit) const {
+  return sa_.mode == SaMode::kReplicaExchange ? run_ensemble_unit(unit)
+                                              : run_batch_unit(unit);
+}
+
+std::vector<SolveSample> SaPreparedJob::run_batch_unit(std::size_t unit) const {
+  // Even keys address evaluator instances, odd keys SA streams, so the two
+  // families can never alias across runs. Lanes keep the per-run keys of the
+  // scalar sweep, so any K produces bit-identical reports.
+  const std::size_t k = std::max<std::size_t>(1, sa_.batch_lanes);
+  const std::uint64_t first = base_run_ + unit * k;
+  const std::size_t count = std::min(k, num_runs_ - unit * k);
+  std::vector<std::uint64_t> keys(count);
+  std::vector<util::Rng> rngs;
+  rngs.reserve(count);
+  for (std::size_t l = 0; l < count; ++l) {
+    keys[l] = 2 * (first + l);
+    rngs.push_back(root_.split(2 * (first + l) + 1));
+  }
+  const std::unique_ptr<BatchedEvaluator> batch =
+      factory_->create_batched(keys.data(), count);
+  const std::vector<SaRunResult> results =
+      simulated_annealing_batch(*batch, intervals_, sa_, rngs.data());
+  std::vector<SolveSample> out;
+  out.reserve(count);
+  for (const SaRunResult& res : results)
+    out.push_back(sa_sample(res, report_best_));
+  verify_samples(factory_->game(), nash_eps_, out);
+  return out;
+}
+
+std::vector<SolveSample> SaPreparedJob::run_ensemble_unit(
+    std::size_t unit) const {
+  const std::uint64_t e = base_run_ + unit;
+  const std::size_t r = sa_.replicas;
+  const std::uint64_t stride = static_cast<std::uint64_t>(r) + 1;
+  std::vector<std::uint64_t> keys(r);
+  std::vector<util::Rng> rngs;
+  rngs.reserve(r);
+  for (std::size_t l = 0; l < r; ++l) {
+    keys[l] = 2 * (e * stride + l);
+    rngs.push_back(root_.split(2 * (e * stride + l) + 1));
+  }
+  util::Rng swap_rng = root_.split(2 * (e * stride + r) + 1);
+  const std::unique_ptr<BatchedEvaluator> batch =
+      factory_->create_batched(keys.data(), r);
+  const std::vector<SaRunResult> results = simulated_annealing_replica_exchange(
+      *batch, intervals_, sa_, rngs.data(), swap_rng);
+  // The ensemble reports its winning replica (ties to the lowest lane index
+  // for determinism).
+  std::size_t win = 0;
+  auto score = [&](const SaRunResult& res) {
+    return report_best_ ? res.best_objective : res.final_objective;
+  };
+  for (std::size_t l = 1; l < results.size(); ++l)
+    if (score(results[l]) < score(results[win])) win = l;
+  std::vector<SolveSample> out{sa_sample(results[win], report_best_)};
   verify_samples(factory_->game(), nash_eps_, out);
   return out;
 }

@@ -166,8 +166,20 @@ class SolverRegistry {
 };
 
 /// The SA job shared by the hardware-sa / exact-sa backends and the
-/// SolverEngine: unit u is run (base_run + u), with evaluator instance key 2r
-/// and SA stream key 2r + 1 (even/odd keys can never alias across runs).
+/// SolverEngine.
+///
+/// Independent mode: runs are grouped into lockstep batches of
+/// sa.batch_lanes lanes; unit u covers runs [u*K, u*K + lanes). Run r keeps
+/// the scalar key scheme — evaluator instance key 2r, SA stream key 2r + 1
+/// (even/odd keys can never alias across runs) — so the report is
+/// byte-identical for ANY batch_lanes value, including the unbatched K = 1.
+///
+/// Replica-exchange mode: unit u is ONE ensemble of sa.replicas lockstep
+/// replicas producing one sample (the winning replica). Ensemble e uses a
+/// key stride of (replicas + 1): replica l takes instance key
+/// 2*(e*(R+1) + l) and SA stream key 2*(e*(R+1) + l) + 1, and the swap
+/// proposals draw from stream key 2*(e*(R+1) + R) + 1 — all distinct within
+/// and across ensembles.
 class SaPreparedJob final : public PreparedJob {
  public:
   SaPreparedJob(std::shared_ptr<const EvaluatorFactory> factory,
@@ -175,10 +187,13 @@ class SaPreparedJob final : public PreparedJob {
                 std::uint64_t seed, std::size_t num_runs,
                 std::uint64_t base_run = 0, double nash_eps = 1e-7);
 
-  std::size_t num_units() const override { return num_runs_; }
+  std::size_t num_units() const override;
   std::vector<SolveSample> run_unit(std::size_t unit) const override;
 
  private:
+  std::vector<SolveSample> run_batch_unit(std::size_t unit) const;
+  std::vector<SolveSample> run_ensemble_unit(std::size_t unit) const;
+
   std::shared_ptr<const EvaluatorFactory> factory_;
   std::uint32_t intervals_;
   SaOptions sa_;

@@ -1,0 +1,26 @@
+#include "core/batch.hpp"
+
+#include <stdexcept>
+
+namespace cnash::core {
+
+LaneBatchedEvaluator::LaneBatchedEvaluator(
+    std::vector<std::unique_ptr<ObjectiveEvaluator>> lanes)
+    : lanes_(std::move(lanes)) {
+  if (lanes_.empty())
+    throw std::invalid_argument("LaneBatchedEvaluator: zero lanes");
+  for (const auto& l : lanes_)
+    if (!l) throw std::invalid_argument("LaneBatchedEvaluator: null lane");
+}
+
+BatchedExactMaxQubo::BatchedExactMaxQubo(
+    std::shared_ptr<const ExactMaxQubo::Shared> shared, std::size_t lanes) {
+  if (!shared)
+    throw std::invalid_argument("BatchedExactMaxQubo: null shared block");
+  if (lanes == 0)
+    throw std::invalid_argument("BatchedExactMaxQubo: zero lanes");
+  lanes_.reserve(lanes);
+  for (std::size_t l = 0; l < lanes; ++l) lanes_.emplace_back(shared);
+}
+
+}  // namespace cnash::core

@@ -1,0 +1,65 @@
+#pragma once
+// Lockstep run-batching: K concurrent SA runs stepped as lanes of one batch.
+//
+// A BatchedEvaluator owns K thread-confined evaluator lanes that the batched
+// SA drivers (core/anneal.hpp) advance in lockstep — iteration-major,
+// lane-minor. Every lane is a full ObjectiveEvaluator whose arithmetic and
+// RNG consumption are EXACTLY those of a standalone instance with the same
+// instance key, so a K-lane batch byte-reproduces K independent scalar runs
+// for any K (the bit-exactness contract the batched tests pin down).
+//
+// Two implementations:
+//   * LaneBatchedEvaluator — generic: K independent instances (the hardware
+//     two-phase lanes each program their own crossbar/WTA/ADC stack);
+//   * BatchedExactMaxQubo  — exact objective: all lanes share one read-only
+//     payoff block (game + transposed copies) and replicate only the O(m+n)
+//     per-lane delta states — structure-of-arrays across runs.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/maxqubo.hpp"
+
+namespace cnash::core {
+
+/// K evaluator lanes stepped in lockstep by the batched SA drivers.
+/// Lane instances are stateful and thread-confined; a batch must only be
+/// driven from one thread at a time.
+class BatchedEvaluator {
+ public:
+  virtual ~BatchedEvaluator() = default;
+  virtual std::size_t lanes() const = 0;
+  virtual ObjectiveEvaluator& lane(std::size_t l) = 0;
+  /// All lanes evaluate the same game.
+  const game::BimatrixGame& game() { return lane(0).game(); }
+};
+
+/// Generic fallback: K independent evaluator instances.
+class LaneBatchedEvaluator final : public BatchedEvaluator {
+ public:
+  explicit LaneBatchedEvaluator(
+      std::vector<std::unique_ptr<ObjectiveEvaluator>> lanes);
+  std::size_t lanes() const override { return lanes_.size(); }
+  ObjectiveEvaluator& lane(std::size_t l) override { return *lanes_[l]; }
+
+ private:
+  std::vector<std::unique_ptr<ObjectiveEvaluator>> lanes_;
+};
+
+/// Exact-objective batch: one shared immutable payoff block, K per-lane
+/// delta states. Each lane IS an ExactMaxQubo, so lane arithmetic is
+/// byte-identical to the scalar path by construction.
+class BatchedExactMaxQubo final : public BatchedEvaluator {
+ public:
+  BatchedExactMaxQubo(std::shared_ptr<const ExactMaxQubo::Shared> shared,
+                      std::size_t lanes);
+  std::size_t lanes() const override { return lanes_.size(); }
+  ObjectiveEvaluator& lane(std::size_t l) override { return lanes_[l]; }
+
+ private:
+  std::vector<ExactMaxQubo> lanes_;
+};
+
+}  // namespace cnash::core

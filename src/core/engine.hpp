@@ -43,18 +43,27 @@ class EvaluatorFactory {
   virtual const game::BimatrixGame& game() const = 0;
   virtual std::unique_ptr<ObjectiveEvaluator> create(
       std::uint64_t instance_key) const = 0;
+  /// `lanes` lockstep lanes for the batched SA drivers: lane l behaves
+  /// byte-identically to create(instance_keys[l]). The default wraps scalar
+  /// instances; factories with shareable immutable state override it.
+  virtual std::unique_ptr<BatchedEvaluator> create_batched(
+      const std::uint64_t* instance_keys, std::size_t lanes) const;
 };
 
 /// Exact software objective (ablation backend). Instances are stateless
-/// w.r.t. the key — every instance evaluates Eq. 9 identically.
+/// w.r.t. the key — every instance evaluates Eq. 9 identically — and share
+/// one read-only payoff block (game + transposed copies) across all
+/// instances and batch lanes of the factory's lifetime.
 class ExactEvaluatorFactory final : public EvaluatorFactory {
  public:
   explicit ExactEvaluatorFactory(game::BimatrixGame game);
-  const game::BimatrixGame& game() const override { return game_; }
+  const game::BimatrixGame& game() const override { return shared_->game; }
   std::unique_ptr<ObjectiveEvaluator> create(std::uint64_t) const override;
+  std::unique_ptr<BatchedEvaluator> create_batched(
+      const std::uint64_t* instance_keys, std::size_t lanes) const override;
 
  private:
-  game::BimatrixGame game_;
+  std::shared_ptr<const ExactMaxQubo::Shared> shared_;
 };
 
 /// Full hardware model: each instance programs its own bi-crossbar / WTA /

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "simd/simd.hpp"
+
 namespace cnash::core {
 
 namespace {
@@ -11,7 +13,13 @@ namespace {
 constexpr std::size_t kRefreshInterval = 1024;
 }  // namespace
 
-ExactMaxQubo::ExactMaxQubo(game::BimatrixGame game) : game_(std::move(game)) {}
+ExactMaxQubo::ExactMaxQubo(game::BimatrixGame game)
+    : ExactMaxQubo(std::make_shared<const Shared>(std::move(game))) {}
+
+ExactMaxQubo::ExactMaxQubo(std::shared_ptr<const Shared> shared)
+    : shared_(std::move(shared)) {
+  if (!shared_) throw std::invalid_argument("ExactMaxQubo: null shared block");
+}
 
 double ExactMaxQubo::evaluate(const game::QuantizedProfile& profile) {
   return evaluate_continuous(profile.p.to_distribution(),
@@ -26,8 +34,8 @@ double ExactMaxQubo::evaluate_continuous(const la::Vector& p,
 ExactMaxQubo::Components ExactMaxQubo::components(const la::Vector& p,
                                                   const la::Vector& q) const {
   Components c;
-  const la::Vector mq = game_.row_payoffs(q);
-  const la::Vector ntp = game_.col_payoffs(p);
+  const la::Vector mq = shared_->game.row_payoffs(q);
+  const la::Vector ntp = shared_->game.col_payoffs(p);
   c.max_mq = la::max_element(mq);
   c.max_ntp = la::max_element(ntp);
   c.vmv = la::dot(p, mq) + la::dot(q, ntp);
@@ -48,41 +56,49 @@ void ExactMaxQubo::recompute(DeltaState& st) const {
     dist_p_[i] = static_cast<double>(p_counts_[i]) * inv;
   for (std::size_t j = 0; j < dist_q_.size(); ++j)
     dist_q_[j] = static_cast<double>(q_counts_[j]) * inv;
-  game_.payoff1().multiply_into(dist_q_, st.mq);
-  game_.payoff2().multiply_into(dist_q_, st.nq);
-  game_.payoff1().multiply_transposed_into(dist_p_, st.mtp);
-  game_.payoff2().multiply_transposed_into(dist_p_, st.ntp);
+  shared_->game.payoff1().multiply_into(dist_q_, st.mq);
+  shared_->game.payoff2().multiply_into(dist_q_, st.nq);
+  shared_->game.payoff1().multiply_transposed_into(dist_p_, st.mtp);
+  shared_->game.payoff2().multiply_transposed_into(dist_p_, st.ntp);
   st.ptmq = la::dot(dist_p_, st.mq);
   st.ptnq = la::dot(dist_p_, st.nq);
 }
 
 void ExactMaxQubo::apply_move(DeltaState& st, const TickMove& mv,
                               double tick) const {
-  const la::Matrix& m = game_.payoff1();
-  const la::Matrix& n = game_.payoff2();
+  const la::Matrix& m = shared_->game.payoff1();
+  const la::Matrix& n = shared_->game.payoff2();
+  const std::size_t cols = m.cols();
+  const std::size_t rows = m.rows();
   if (mv.player == TickMove::Player::kRow) {
     // p' = p + tick * (e_to − e_from): the bilinear terms move by the row
     // difference against the CURRENT q-products in `st`, which already
     // reflect any earlier q-move of the same proposal (exact cross term).
     st.ptmq += (st.mq[mv.to] - st.mq[mv.from]) * tick;
     st.ptnq += (st.nq[mv.to] - st.nq[mv.from]) * tick;
-    for (std::size_t j = 0; j < st.mtp.size(); ++j) {
-      st.mtp[j] += (m(mv.to, j) - m(mv.from, j)) * tick;
-      st.ntp[j] += (n(mv.to, j) - n(mv.from, j)) * tick;
-    }
+    const double* md = m.data().data();
+    const double* nd = n.data().data();
+    simd::add_scaled_diff(st.mtp.data(), md + mv.to * cols,
+                          md + mv.from * cols, tick, cols);
+    simd::add_scaled_diff(st.ntp.data(), nd + mv.to * cols,
+                          nd + mv.from * cols, tick, cols);
   } else {
     st.ptmq += (st.mtp[mv.to] - st.mtp[mv.from]) * tick;
     st.ptnq += (st.ntp[mv.to] - st.ntp[mv.from]) * tick;
-    for (std::size_t i = 0; i < st.mq.size(); ++i) {
-      st.mq[i] += (m(i, mv.to) - m(i, mv.from)) * tick;
-      st.nq[i] += (n(i, mv.to) - n(i, mv.from)) * tick;
-    }
+    // Column differences read from the transposed copies: same doubles the
+    // strided m(i, to) − m(i, from) walk would load, contiguous layout.
+    const double* mtd = shared_->mt.data().data();
+    const double* ntd = shared_->nt.data().data();
+    simd::add_scaled_diff(st.mq.data(), mtd + mv.to * rows,
+                          mtd + mv.from * rows, tick, rows);
+    simd::add_scaled_diff(st.nq.data(), ntd + mv.to * rows,
+                          ntd + mv.from * rows, tick, rows);
   }
 }
 
 void ExactMaxQubo::reset(const game::QuantizedProfile& profile) {
-  if (profile.p.num_actions() != game_.num_actions1() ||
-      profile.q.num_actions() != game_.num_actions2())
+  if (profile.p.num_actions() != shared_->game.num_actions1() ||
+      profile.q.num_actions() != shared_->game.num_actions2())
     throw std::invalid_argument("ExactMaxQubo::reset: profile shape mismatch");
   if (profile.p.intervals() != profile.q.intervals())
     throw std::invalid_argument("ExactMaxQubo::reset: mixed interval counts");

@@ -68,10 +68,24 @@ class ObjectiveEvaluator {
 class ExactMaxQubo final : public ObjectiveEvaluator,
                            public IncrementalEvaluator {
  public:
+  /// Read-only payoff block: the game plus the transposed copies used by
+  /// column tick moves. Lockstep run-batches share one instance across all
+  /// lanes (structure-of-arrays across runs: the big immutable slabs exist
+  /// once, only the per-lane delta states are replicated).
+  struct Shared {
+    explicit Shared(game::BimatrixGame g)
+        : game(std::move(g)),
+          mt(game.payoff1().transposed()),
+          nt(game.payoff2().transposed()) {}
+    game::BimatrixGame game;
+    la::Matrix mt, nt;  // M^T, N^T
+  };
+
   explicit ExactMaxQubo(game::BimatrixGame game);
+  explicit ExactMaxQubo(std::shared_ptr<const Shared> shared);
 
   double evaluate(const game::QuantizedProfile& profile) override;
-  const game::BimatrixGame& game() const override { return game_; }
+  const game::BimatrixGame& game() const override { return shared_->game; }
   IncrementalEvaluator* incremental() override { return this; }
 
   // IncrementalEvaluator protocol.
@@ -103,7 +117,10 @@ class ExactMaxQubo final : public ObjectiveEvaluator,
   void recompute(DeltaState& st) const;
   void apply_move(DeltaState& st, const TickMove& mv, double tick) const;
 
-  game::BimatrixGame game_;
+  // The game plus transposed payoff copies (column tick moves update against
+  // contiguous rows — same values as the strided column walk, SIMD-friendly
+  // layout). Possibly shared with other lanes of a run-batch.
+  std::shared_ptr<const Shared> shared_;
 
   // Incremental state: committed profile counts, committed/scratch products,
   // and the moves of the outstanding proposal.

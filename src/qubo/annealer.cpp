@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "simd/simd.hpp"
+
 namespace cnash::qubo {
 
 AnnealResult anneal(const QuboModel& model, const AnnealSchedule& schedule,
@@ -12,14 +14,19 @@ AnnealResult anneal(const QuboModel& model, const AnnealSchedule& schedule,
 
   // Maintain local fields so each flip proposal is O(1) evaluate / O(n) apply.
   // field[i] = Q_ii + 2 Σ_{j != i} Q_ij x_j ; ΔE(flip i) = ±field[i].
+  //
+  // Built column-wise so each set bit contributes one contiguous SIMD axpy
+  // over row j instead of a strided gather: because Q is stored bitwise
+  // symmetric (add_quadratic splits every coupling w/2 into both triangles)
+  // and set bits are visited in ascending j for every i, this accumulates
+  // exactly the same doubles in exactly the same order as the historical
+  // row-wise loop — bit-identical fields.
   const la::Matrix& q = model.q();
+  const double* qd = q.data().data();
   std::vector<double> field(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    double f = q(i, i);
-    for (std::size_t j = 0; j < n; ++j)
-      if (j != i && x[j]) f += 2.0 * q(i, j);
-    field[i] = f;
-  }
+  for (std::size_t i = 0; i < n; ++i) field[i] = q(i, i);
+  for (std::size_t j = 0; j < n; ++j)
+    if (x[j]) simd::axpy_skip(field.data(), 2.0, qd + j * n, n, j);
 
   double energy = model.energy(x);
   AnnealResult res{x, energy, 0, 0};
@@ -44,8 +51,7 @@ AnnealResult anneal(const QuboModel& model, const AnnealSchedule& schedule,
         x[i] ^= 1u;
         energy += delta;
         ++res.flips_accepted;
-        for (std::size_t j = 0; j < n; ++j)
-          if (j != i) field[j] += sign * q(i, j);
+        simd::axpy_skip(field.data(), sign, qd + i * n, n, i);
         if (energy < res.best_energy) {
           res.best_energy = energy;
           res.best_state = x;

@@ -1,5 +1,7 @@
 #include "qubo/dwave_proxy.hpp"
 
+#include "simd/simd.hpp"
+
 namespace cnash::qubo {
 
 DWaveConfig dwave_2000q6_config() {
@@ -37,13 +39,19 @@ core::SolveSample DWaveProxy::sample_one(util::Rng& rng) const {
   AnnealResult res;
   if (noise_sigma_ > 0.0) {
     // Integrated control errors: every anneal runs a perturbed Hamiltonian.
+    // All n + n(n-1)/2 deviates are drawn in one batched pass (linears
+    // first, then the upper triangle row by row) instead of one libm
+    // Box-Muller call per coefficient.
     QuboModel noisy = solve_model_;
     const std::size_t n = noisy.num_vars();
-    for (std::size_t i = 0; i < n; ++i) {
-      noisy.add_linear(i, rng.normal(0.0, noise_sigma_));
+    std::vector<double> z(n + n * (n - 1) / 2);
+    simd::fill_normals(rng, z.data(), z.size());
+    std::size_t next = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      noisy.add_linear(i, noise_sigma_ * z[next++]);
+    for (std::size_t i = 0; i < n; ++i)
       for (std::size_t j = i + 1; j < n; ++j)
-        noisy.add_quadratic(i, j, rng.normal(0.0, noise_sigma_));
-    }
+        noisy.add_quadratic(i, j, noise_sigma_ * z[next++]);
     res = anneal(noisy, config_.schedule, rng);
     res.best_energy = solve_model_.energy(res.best_state);  // true energy
   } else {

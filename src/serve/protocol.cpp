@@ -111,6 +111,27 @@ core::SolveRequest solve_from_request(const util::Json& root) {
   req.chip.tile_rows = size_field(root, "tile_rows", req.chip.tile_rows);
   req.chip.tile_cols = size_field(root, "tile_cols", req.chip.tile_cols);
   req.report_best = bool_field(root, "report_best", false);
+  // SA mode knobs (SA backends only; others ignore them, like `iterations`).
+  if (const util::Json* m = root.find("sa_mode")) {
+    if (!m->is_string()) bad("\"sa_mode\" must be a string");
+    const std::string mode = m->as_string();
+    if (mode == "independent") {
+      req.sa.mode = core::SaMode::kIndependent;
+    } else if (mode == "replica-exchange") {
+      req.sa.mode = core::SaMode::kReplicaExchange;
+    } else {
+      bad("\"sa_mode\" must be \"independent\" or \"replica-exchange\"");
+    }
+  }
+  req.sa.batch_lanes = size_field(root, "batch_lanes", req.sa.batch_lanes);
+  req.sa.replicas = size_field(root, "replicas", req.sa.replicas);
+  req.sa.exchange_interval =
+      size_field(root, "exchange_interval", req.sa.exchange_interval);
+  const double ladder =
+      number_field(root, "ladder_ratio", req.sa.ladder_ratio);
+  if (!std::isfinite(ladder) || !(ladder > 0.0))
+    bad("\"ladder_ratio\" must be a positive number");
+  req.sa.ladder_ratio = ladder;
   try {
     // Resolve the backend key up front (at() throws naming the registered
     // keys) so an unknown backend is a bad_request here, not an "internal"

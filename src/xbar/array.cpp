@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "simd/simd.hpp"
+
 namespace cnash::xbar {
 
 namespace {
@@ -70,10 +72,96 @@ ProgrammedCrossbar::ProgrammedCrossbar(CrossbarMapping mapping,
   const double i_off_nominal = off_cell.read(true, true, config_.bias);
 
   prefix_.assign(g.n * g.m * block_stride_, 0.0);
+
+  // Batched programming: the common configuration (device variability on, no
+  // fault injection) samples all of a block's device deviates up front with
+  // simd::fill_normals and scores whole I×I bundle planes per cell index k
+  // with vector kernels, instead of three libm calls per cell. Deviates are
+  // laid out plane-major (zv[k*B + b] for bundle b = r*I + gr) so both the
+  // linearised fast path and the exact KCL path read the SAME per-cell draws
+  // — the fast-vs-exact statistical-closeness contract is preserved. The
+  // ideal and fault-injection configurations keep the legacy per-cell loop
+  // (they draw bernoullis interleaved per cell).
+  const bool batched = !config_.ideal && config_.stuck_off_rate == 0.0 &&
+                       config_.stuck_on_rate == 0.0;
+  const std::size_t bundles =
+      static_cast<std::size_t>(intervals) * intervals;
+  const fefet::VariabilityParams& var = config_.variability;
+  std::vector<double> zv, zr, zm, bundle_sum;
+  std::vector<std::uint32_t> levels(t);
+  if (batched) {
+    zv.resize(bundles * t);
+    zr.resize(bundles * t);
+    bundle_sum.resize(bundles);
+  }
+
   for (std::size_t i = 0; i < g.n; ++i) {
     for (std::size_t j = 0; j < g.m; ++j) {
       double* table = prefix_.data() + (i * g.m + j) * block_stride_;
       const std::uint32_t value = mapping_.element(i, j);
+      if (batched) {
+        bool need_mlc = false;
+        for (std::uint32_t k = 0; k < t; ++k) {
+          levels[k] = mapping_.cell_level(value, k);
+          if (var.sigma_mlc_rel > 0.0 && levels[k] > 0 && levels[k] < per_cell)
+            need_mlc = true;
+        }
+        simd::fill_normals(rng, zv.data(), bundles * t);
+        simd::fill_normals(rng, zr.data(), bundles * t);
+        if (need_mlc) {
+          zm.resize(bundles * t);
+          simd::fill_normals(rng, zm.data(), bundles * t);
+        }
+        std::fill(bundle_sum.begin(), bundle_sum.end(), 0.0);
+        for (std::uint32_t k = 0; k < t; ++k) {
+          const std::uint32_t level = levels[k];
+          const double frac =
+              static_cast<double>(level) / static_cast<double>(per_cell);
+          const double* zvk = zv.data() + k * bundles;
+          const double* zrk = zr.data() + k * bundles;
+          if (level == 0) {
+            simd::off_cell_accumulate(bundle_sum.data(), zvk, bundles,
+                                      fast.i_off0,
+                                      -var.sigma_vth * fast.off_decade_per_v);
+          } else if (level == per_cell && !config_.fast_sampling) {
+            // Full-ON binary state: exact series KCL solve per cell, on the
+            // same deviates the fast path would use.
+            for (std::size_t b = 0; b < bundles; ++b) {
+              const double vth = var.sigma_vth * zvk[b];
+              const double rel =
+                  std::clamp(var.sigma_r_rel * zrk[b], -3.0 * var.sigma_r_rel,
+                             3.0 * var.sigma_r_rel);
+              const fefet::Cell1T1R cell(
+                  true, {vth, var.r_nominal * (1.0 + rel)}, config_.fet);
+              bundle_sum[b] += cell.read(true, true, config_.bias);
+            }
+          } else {
+            // Full-ON (fast) or intermediate MLC state: clamped ON current
+            // scaled to the level, with the partial-polarization spread that
+            // peaks at mid level and vanishes at full ON.
+            const double mlc_sigma =
+                var.sigma_mlc_rel * 4.0 * frac * (1.0 - frac);
+            const simd::OnCellParams p{fast.i_on0,    fast.don_dvth,
+                                       fast.don_dr,   var.sigma_vth,
+                                       var.sigma_r_rel, var.r_nominal,
+                                       frac,          mlc_sigma};
+            simd::on_cell_accumulate(
+                bundle_sum.data(), zvk, zrk,
+                mlc_sigma > 0.0 ? zm.data() + k * bundles : nullptr, bundles,
+                p);
+          }
+        }
+        for (std::uint32_t r = 0; r < intervals; ++r) {
+          for (std::uint32_t gr = 0; gr < intervals; ++gr) {
+            const std::size_t idx = (r + 1) * table_dim_ + (gr + 1);
+            table[idx] = bundle_sum[r * intervals + gr] +
+                         table[r * table_dim_ + (gr + 1)] +
+                         table[(r + 1) * table_dim_ + gr] -
+                         table[r * table_dim_ + gr];
+          }
+        }
+        continue;
+      }
       // cell_sum[r][gr]: total current of the t cells at (row r, group gr).
       for (std::uint32_t r = 0; r < intervals; ++r) {
         for (std::uint32_t gr = 0; gr < intervals; ++gr) {
@@ -181,7 +269,7 @@ void ProgrammedCrossbar::read_mv_into(const std::uint32_t* groups_active,
   for (std::size_t j = 0; j < g.m; ++j) {
     const double* col =
         mv_table_.data() + (j * table_dim_ + groups_active[j]) * g.n;
-    for (std::size_t i = 0; i < g.n; ++i) out[i] += col[i];
+    simd::accumulate(out, col, g.n);
   }
 }
 
@@ -219,7 +307,7 @@ void ProgrammedCrossbar::mv_group_delta(std::size_t j, std::uint32_t g_old,
     throw std::out_of_range("mv_group_delta");
   const double* cold = mv_table_.data() + (j * table_dim_ + g_old) * g.n;
   const double* cnew = mv_table_.data() + (j * table_dim_ + g_new) * g.n;
-  for (std::size_t i = 0; i < g.n; ++i) mv[i] += cnew[i] - cold[i];
+  simd::add_diff(mv, cnew, cold, g.n);
 }
 
 double ProgrammedCrossbar::vmv_row_delta(

@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "core/anneal.hpp"
+#include "core/backend.hpp"
+#include "core/batch.hpp"
+#include "core/engine.hpp"
+#include "game/games.hpp"
+#include "simd/simd.hpp"
+#include "util/rng.hpp"
+
+namespace cnash::core {
+namespace {
+
+// The per-run key scheme shared by SaPreparedJob and these tests: run r's
+// evaluator instance key is 2r, its SA stream key 2r + 1.
+constexpr std::uint64_t instance_key(std::uint64_t run) { return 2 * run; }
+constexpr std::uint64_t stream_key(std::uint64_t run) { return 2 * run + 1; }
+
+void expect_same_result(const SaRunResult& a, const SaRunResult& b,
+                        std::size_t run) {
+  EXPECT_EQ(a.final_profile, b.final_profile) << "run " << run;
+  EXPECT_EQ(a.best_profile, b.best_profile) << "run " << run;
+  // Bitwise: the batched drivers execute the SAME lane code on the SAME
+  // streams, so even the floating-point accumulations must match exactly.
+  EXPECT_EQ(a.final_objective, b.final_objective) << "run " << run;
+  EXPECT_EQ(a.best_objective, b.best_objective) << "run " << run;
+  EXPECT_EQ(a.accepted, b.accepted) << "run " << run;
+  EXPECT_EQ(a.iterations, b.iterations) << "run " << run;
+  EXPECT_EQ(a.evaluations, b.evaluations) << "run " << run;
+}
+
+// K-lane lockstep batch vs K scalar runs on the same keyed streams: byte
+// identical, for the exact objective (shared payoff block) and the hardware
+// two-phase path (generic lane wrapper).
+void check_batch_matches_scalar(const EvaluatorFactory& factory,
+                                std::size_t lanes) {
+  const std::uint32_t intervals = 12;
+  SaOptions opts;
+  opts.iterations = 600;
+  const util::Rng root(0xBA7C);
+
+  // Scalar reference sweep, one run at a time.
+  std::vector<SaRunResult> ref;
+  for (std::size_t r = 0; r < lanes; ++r) {
+    auto obj = factory.create(instance_key(r));
+    util::Rng rng = root.split(stream_key(r));
+    ref.push_back(simulated_annealing(*obj, intervals, opts, rng));
+  }
+
+  std::vector<std::uint64_t> keys(lanes);
+  std::vector<util::Rng> rngs;
+  for (std::size_t r = 0; r < lanes; ++r) {
+    keys[r] = instance_key(r);
+    rngs.push_back(root.split(stream_key(r)));
+  }
+  auto batch = factory.create_batched(keys.data(), lanes);
+  ASSERT_EQ(batch->lanes(), lanes);
+  const auto res = simulated_annealing_batch(*batch, intervals, opts,
+                                             rngs.data());
+  ASSERT_EQ(res.size(), lanes);
+  for (std::size_t r = 0; r < lanes; ++r) expect_same_result(res[r], ref[r], r);
+}
+
+TEST(BatchedAnneal, ExactBatchMatchesScalarRuns) {
+  ExactEvaluatorFactory factory(game::bird_game());
+  for (const std::size_t k : {1, 4, 8}) check_batch_matches_scalar(factory, k);
+}
+
+TEST(BatchedAnneal, TwoPhaseBatchMatchesScalarRuns) {
+  HardwareEvaluatorFactory factory(game::bird_game(), 12, TwoPhaseConfig{},
+                                   util::Rng(0xFE0));
+  for (const std::size_t k : {1, 4, 8}) check_batch_matches_scalar(factory, k);
+}
+
+TEST(BatchedAnneal, BatchedExactSharesOnePayoffBlock) {
+  auto shared =
+      std::make_shared<const ExactMaxQubo::Shared>(game::battle_of_sexes());
+  BatchedExactMaxQubo batch(shared, 4);
+  EXPECT_EQ(batch.lanes(), 4u);
+  for (std::size_t l = 0; l < 4; ++l)
+    EXPECT_EQ(&batch.lane(l).game(), &shared->game);
+}
+
+void expect_same_report(const SolveReport& a, const SolveReport& b) {
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  EXPECT_EQ(a.nash_count, b.nash_count);
+  EXPECT_EQ(a.valid_count, b.valid_count);
+  for (std::size_t i = 0; i < a.samples.size(); ++i) {
+    const SolveSample& sa = a.samples[i];
+    const SolveSample& sb = b.samples[i];
+    EXPECT_EQ(sa.objective, sb.objective) << "sample " << i;
+    EXPECT_EQ(sa.profile, sb.profile) << "sample " << i;
+    EXPECT_EQ(sa.is_nash, sb.is_nash) << "sample " << i;
+    ASSERT_EQ(sa.p.size(), sb.p.size());
+    for (std::size_t j = 0; j < sa.p.size(); ++j)
+      EXPECT_EQ(sa.p[j], sb.p[j]) << "sample " << i;
+    for (std::size_t j = 0; j < sa.q.size(); ++j)
+      EXPECT_EQ(sa.q[j], sb.q[j]) << "sample " << i;
+  }
+}
+
+SolveRequest base_request(const char* backend) {
+  SolveRequest req(game::bird_game());
+  req.backend = backend;
+  req.runs = 10;
+  req.seed = 0x5EED;
+  req.sa.iterations = 500;
+  return req;
+}
+
+// The lane count is a pure throughput knob: any batch_lanes value produces
+// the byte-identical report, through the full backend path.
+TEST(BatchedAnneal, BackendReportInvariantInBatchLanes) {
+  for (const char* backend : {"exact-sa", "hardware-sa"}) {
+    SolveRequest req = base_request(backend);
+    req.sa.batch_lanes = 1;
+    const SolveReport unbatched =
+        SolverRegistry::global().at(backend).solve(req);
+    for (const std::size_t k : {2, 8, 16}) {
+      req.sa.batch_lanes = k;
+      const SolveReport batched =
+          SolverRegistry::global().at(backend).solve(req);
+      expect_same_report(unbatched, batched);
+    }
+  }
+}
+
+// SIMD dispatch must be invisible: a scalar-forced solve reproduces the
+// vectorized solve byte for byte.
+TEST(BatchedAnneal, BackendReportInvariantUnderForcedScalar) {
+  for (const char* backend : {"exact-sa", "hardware-sa"}) {
+    const SolveRequest req = base_request(backend);
+    ASSERT_TRUE(simd::force_level(simd::IsaLevel::kScalar));
+    const SolveReport scalar = SolverRegistry::global().at(backend).solve(req);
+    ASSERT_TRUE(simd::force_level(simd::max_supported_level()));
+    const SolveReport vec = SolverRegistry::global().at(backend).solve(req);
+    expect_same_report(scalar, vec);
+  }
+}
+
+TEST(BatchedAnneal, ReplicaExchangeIsDeterministic) {
+  SolveRequest req = base_request("exact-sa");
+  req.sa.mode = SaMode::kReplicaExchange;
+  req.runs = 4;  // 4 ensembles
+  const SolveReport a = SolverRegistry::global().at("exact-sa").solve(req);
+  const SolveReport b = SolverRegistry::global().at("exact-sa").solve(req);
+  ASSERT_EQ(a.samples.size(), 4u);  // one winner sample per ensemble
+  expect_same_report(a, b);
+}
+
+// The scenario parallel tempering exists for: a coordination game whose pure
+// equilibria sit behind high barriers. The hot replicas keep tunnelling, the
+// cold replica polishes — plain SA at this budget solves (almost) nothing
+// (see bench_fig10_time_to_solution --re for the full iterations ladder).
+TEST(BatchedAnneal, ReplicaExchangeSolvesCoordinationGame) {
+  SolveRequest req(game::coordination(16));
+  req.backend = "exact-sa";
+  req.runs = 6;
+  req.seed = 0xC00D;
+  req.intervals = 4;
+  req.sa.iterations = 8000;
+  req.sa.mode = SaMode::kReplicaExchange;
+  req.sa.replicas = 8;
+  const SolveReport rep = SolverRegistry::global().at("exact-sa").solve(req);
+  ASSERT_EQ(rep.samples.size(), 6u);
+  EXPECT_GE(rep.nash_count, 4u);
+  EXPECT_EQ(rep.valid_count, 6u);
+}
+
+TEST(BatchedAnneal, ReplicaExchangeChangesResultsVsIndependent) {
+  SolveRequest req = base_request("exact-sa");
+  const SolveReport ind = SolverRegistry::global().at("exact-sa").solve(req);
+  req.sa.mode = SaMode::kReplicaExchange;
+  const SolveReport re = SolverRegistry::global().at("exact-sa").solve(req);
+  // One sample per ensemble vs one per run — same count, different law.
+  EXPECT_EQ(ind.samples.size(), req.runs);
+  EXPECT_EQ(re.samples.size(), req.runs);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < re.samples.size(); ++i)
+    if (ind.samples[i].key() != re.samples[i].key() ||
+        ind.samples[i].objective != re.samples[i].objective)
+      any_diff = true;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(BatchedAnneal, ReplicaExchangeRequestValidation) {
+  SolveRequest req = base_request("exact-sa");
+  req.sa.mode = SaMode::kReplicaExchange;
+  req.sa.replicas = 1;
+  EXPECT_THROW(validate_request(req), std::invalid_argument);
+  req.sa.replicas = 8;
+  req.sa.exchange_interval = 0;
+  EXPECT_THROW(validate_request(req), std::invalid_argument);
+  req.sa.exchange_interval = 16;
+  req.sa.ladder_ratio = 1.0;
+  EXPECT_THROW(validate_request(req), std::invalid_argument);
+  req.sa.ladder_ratio = 1.5;
+  EXPECT_NO_THROW(validate_request(req));
+}
+
+// The direct replica-exchange driver: swap moves must preserve lane
+// bookkeeping invariants and respond to the ladder.
+TEST(BatchedAnneal, ReplicaExchangeDriverRunsAllReplicas) {
+  ExactEvaluatorFactory factory(game::bird_game());
+  const std::size_t r = 4;
+  std::vector<std::uint64_t> keys(r);
+  std::vector<util::Rng> rngs;
+  const util::Rng root(0x4E);
+  for (std::size_t l = 0; l < r; ++l) {
+    keys[l] = instance_key(l);
+    rngs.push_back(root.split(stream_key(l)));
+  }
+  util::Rng swap_rng = root.split(stream_key(r) + 1);
+  auto batch = factory.create_batched(keys.data(), r);
+  SaOptions opts;
+  opts.iterations = 400;
+  opts.replicas = r;
+  const auto res = simulated_annealing_replica_exchange(*batch, 12, opts,
+                                                        rngs.data(), swap_rng);
+  ASSERT_EQ(res.size(), r);
+  for (const SaRunResult& lane : res) {
+    EXPECT_EQ(lane.iterations, opts.iterations);
+    EXPECT_LE(lane.best_objective, lane.final_objective + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace cnash::core
