@@ -1,0 +1,240 @@
+// chaos_client — adversarial load generator for the nash_serve gateway
+// (scripts/chaos_smoke.sh drives it; README "Failure model"). Opens many
+// concurrent connections and misbehaves on purpose:
+//
+//   --mode slowloris   N connections dribbling a valid request one byte at a
+//                      time round-robin, then each reads its response — the
+//                      server must neither block on a slow writer nor drop a
+//                      complete request.
+//   --mode disconnect  N connections that send half a request (odd), or a
+//                      full solve and vanish without reading the response
+//                      (even) — exercises mid-request disconnects and
+//                      responses to dead peers.
+//   --mode malformed   N connections flooding unparsable JSON, wrong-type
+//                      fields and unknown methods — every line must come
+//                      back as a structured {"ok":false,...} error on a
+//                      still-usable connection.
+//   --mode mixed       all three, round-robin by connection index.
+//
+//   chaos_client --port P [--host H] [--mode M] [--connections N]
+//
+// Exit 0 when every expectation held; 1 otherwise (details on stderr).
+
+#include <cstdio>
+#include <cstring>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "serve/line_client.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+struct Options {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::string mode = "mixed";
+  std::size_t connections = 200;
+};
+
+const char* kStatusLine = "{\"method\":\"status\",\"id\":7}\n";
+
+// A tiny but real solve: matching-pennies, few runs/iterations so even a
+// storm of them drains quickly.
+std::string solve_line(std::size_t i) {
+  return "{\"method\":\"solve\",\"id\":" + std::to_string(i) +
+         ",\"game\":{\"name\":\"mp\",\"m\":[[1,-1],[-1,1]],"
+         "\"n\":[[-1,1],[1,-1]]},\"backend\":\"exact-sa\",\"runs\":2,"
+         "\"iterations\":60,\"seed\":" + std::to_string(1000 + i) + "}\n";
+}
+
+const char* malformed_line(std::size_t i) {
+  switch (i % 4) {
+    case 0: return "{not json at all\n";
+    case 1: return "{\"method\":42}\n";
+    case 2: return "{\"method\":\"no-such-method\",\"id\":3}\n";
+    default:
+      return "{\"method\":\"solve\",\"id\":4,\"game\":{\"m\":[[1]],"
+             "\"n\":[[1]]},\"runs\":-5}\n";
+  }
+}
+
+bool send_all(cnash::serve::LineClient& c, const std::string& bytes) {
+  // LineClient::send_line appends '\n'; the chaos lines carry their own, so
+  // strip it and let send_line re-add (keeps framing in one place).
+  std::string line = bytes;
+  if (!line.empty() && line.back() == '\n') line.pop_back();
+  return c.send_line(line);
+}
+
+bool expect_response(cnash::serve::LineClient& c, const char* what,
+                     bool* was_ok = nullptr) {
+  std::string line;
+  if (!c.recv_line(line)) {
+    std::fprintf(stderr, "chaos: no response for %s\n", what);
+    return false;
+  }
+  try {
+    const cnash::util::Json r = cnash::util::Json::parse(line);
+    const bool ok = r.at("ok").as_bool();
+    if (was_ok) *was_ok = ok;
+    if (!ok && !r.find("error")) {
+      std::fprintf(stderr, "chaos: error response without error object: %s\n",
+                   line.c_str());
+      return false;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "chaos: unparsable response for %s: %s\n", what,
+                 e.what());
+    return false;
+  }
+  return true;
+}
+
+int run_slowloris(const Options& opt) {
+  std::vector<cnash::serve::LineClient> conns(opt.connections);
+  for (std::size_t i = 0; i < conns.size(); ++i)
+    if (!conns[i].connect_to(opt.host, opt.port)) {
+      std::fprintf(stderr, "chaos: connect %zu failed: %s\n", i,
+                   std::strerror(errno));
+      return 1;
+    }
+  // Dribble the request one byte per connection per round: every connection
+  // stays incomplete for the whole ramp, so the server holds all of them
+  // buffered at once.
+  const std::string line = kStatusLine;
+  for (std::size_t pos = 0; pos + 1 < line.size(); ++pos)
+    for (auto& c : conns)
+      if (!c.send_raw(line.data() + pos, 1)) {
+        std::fprintf(stderr, "chaos: slowloris send failed: %s\n",
+                     std::strerror(errno));
+        return 1;
+      }
+  for (auto& c : conns)
+    if (!c.send_raw(line.data() + line.size() - 1, 1)) {
+      std::fprintf(stderr, "chaos: slowloris final byte failed\n");
+      return 1;
+    }
+  int rc = 0;
+  for (std::size_t i = 0; i < conns.size(); ++i) {
+    bool ok = false;
+    if (!expect_response(conns[i], "slowloris status", &ok) || !ok) rc = 1;
+  }
+  return rc;
+}
+
+int run_disconnect(const Options& opt) {
+  for (std::size_t i = 0; i < opt.connections; ++i) {
+    cnash::serve::LineClient c;
+    if (!c.connect_to(opt.host, opt.port)) {
+      std::fprintf(stderr, "chaos: connect %zu failed: %s\n", i,
+                   std::strerror(errno));
+      return 1;
+    }
+    const std::string line = solve_line(i);
+    if (i % 2) {
+      // Half a request, then vanish.
+      c.send_raw(line.data(), line.size() / 2);
+    } else {
+      // Full request, vanish before the response (the server answers a
+      // closed socket and must shrug it off).
+      send_all(c, line);
+    }
+    // c's destructor closes the socket — the disconnect.
+  }
+  // The server must still be alive and coherent afterwards.
+  cnash::serve::LineClient probe;
+  if (!probe.connect_to(opt.host, opt.port) ||
+      !send_all(probe, kStatusLine)) {
+    std::fprintf(stderr, "chaos: server unreachable after disconnect storm\n");
+    return 1;
+  }
+  bool ok = false;
+  if (!expect_response(probe, "post-storm status", &ok) || !ok) return 1;
+  return 0;
+}
+
+int run_malformed(const Options& opt) {
+  int rc = 0;
+  for (std::size_t i = 0; i < opt.connections; ++i) {
+    cnash::serve::LineClient c;
+    if (!c.connect_to(opt.host, opt.port)) {
+      std::fprintf(stderr, "chaos: connect %zu failed: %s\n", i,
+                   std::strerror(errno));
+      return 1;
+    }
+    if (!send_all(c, malformed_line(i))) {
+      std::fprintf(stderr, "chaos: malformed send %zu failed\n", i);
+      rc = 1;
+      continue;
+    }
+    bool ok = true;
+    if (!expect_response(c, "malformed line", &ok)) {
+      rc = 1;
+      continue;
+    }
+    if (ok) {
+      std::fprintf(stderr, "chaos: malformed line %zu was accepted\n", i);
+      rc = 1;
+      continue;
+    }
+    // The connection must survive a bad line: a good request on the same
+    // socket still gets served.
+    bool ok2 = false;
+    if (!send_all(c, kStatusLine) ||
+        !expect_response(c, "post-malformed status", &ok2) || !ok2) {
+      std::fprintf(stderr, "chaos: connection %zu unusable after error\n", i);
+      rc = 1;
+    }
+  }
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int a = 1; a < argc; ++a) {
+    auto next = [&](const char* flag) {
+      if (a + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++a];
+    };
+    if (!std::strcmp(argv[a], "--host")) opt.host = next("--host");
+    else if (!std::strcmp(argv[a], "--port"))
+      opt.port = static_cast<std::uint16_t>(
+          std::strtoul(next("--port"), nullptr, 10));
+    else if (!std::strcmp(argv[a], "--mode")) opt.mode = next("--mode");
+    else if (!std::strcmp(argv[a], "--connections"))
+      opt.connections = std::strtoul(next("--connections"), nullptr, 10);
+    else {
+      std::fprintf(stderr,
+                   "usage: %s --port P [--host H] [--mode slowloris|"
+                   "disconnect|malformed|mixed] [--connections N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (opt.port == 0 || opt.connections == 0) {
+    std::fprintf(stderr, "chaos: --port required, --connections > 0\n");
+    return 2;
+  }
+
+  if (opt.mode == "slowloris") return run_slowloris(opt);
+  if (opt.mode == "disconnect") return run_disconnect(opt);
+  if (opt.mode == "malformed") return run_malformed(opt);
+  if (opt.mode == "mixed") {
+    Options third = opt;
+    third.connections = (opt.connections + 2) / 3;
+    int rc = 0;
+    rc |= run_slowloris(third);
+    rc |= run_disconnect(third);
+    rc |= run_malformed(third);
+    return rc;
+  }
+  std::fprintf(stderr, "chaos: unknown mode %s\n", opt.mode.c_str());
+  return 2;
+}

@@ -5,17 +5,22 @@
 //   nash_client [--host H] [--port P] [--backend NAME] [--runs N]
 //               [--iterations N] [--intervals I] [--seed S] [--scale S]
 //               [--tile-rows R] [--tile-cols C] [--repeat K] [--no-cache]
-//               [--json] [--status] [--stats] [--list-backends]
-//               [--raw LINE] [game-file ...]
+//               [--max-retries N] [--json] [--status] [--stats]
+//               [--list-backends] [--raw LINE] [game-file ...]
 //
 // Batch mode: every game file becomes one request; all are sent up front and
 // answered as the server completes them. --repeat K sends each game K times
 // (identical requests — the repeats exercise the server's solution cache and
-// report "cached" in the summary). --raw sends one verbatim line and prints
-// the verbatim response (protocol smoke tests). Exit codes: 0 all responses
-// ok, 1 any error response or transport failure, 2 usage / unreadable file.
+// report "cached" in the summary). Retryable rejections ("overloaded",
+// "draining") are resent up to --max-retries times (default 3) after the
+// server's retry_after_s hint, escalated by retry_backoff_s (capped
+// exponential backoff with deterministic jitter). --raw sends one verbatim
+// line and prints the verbatim response (protocol smoke tests). Exit codes:
+// 0 all responses ok, 1 any error response or transport failure, 2 usage /
+// unreadable file.
 
 #include <cerrno>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -24,6 +29,7 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/report_json.hpp"
@@ -42,6 +48,7 @@ struct Options {
   bool have_seed = false;
   double scale = 0.0;
   std::size_t tile_rows = 0, tile_cols = 0;
+  std::size_t max_retries = 3;
   bool no_cache = false, json = false;
   bool status = false, stats = false, list_backends = false;
   std::string raw;
@@ -54,8 +61,8 @@ void print_usage(const char* argv0) {
       "usage: %s --port P [--host H] [--backend NAME] [--runs N]\n"
       "       [--iterations N] [--intervals I] [--seed S] [--scale S]\n"
       "       [--tile-rows R] [--tile-cols C] [--repeat K] [--no-cache]\n"
-      "       [--json] [--status] [--stats] [--list-backends] [--raw LINE]\n"
-      "       [game-file ...]\n",
+      "       [--max-retries N] [--json] [--status] [--stats]\n"
+      "       [--list-backends] [--raw LINE] [game-file ...]\n",
       argv0);
 }
 
@@ -128,6 +135,8 @@ int main(int argc, char** argv) {
       opt.tile_cols = std::strtoul(next("--tile-cols"), nullptr, 10);
     else if (!std::strcmp(argv[a], "--repeat"))
       opt.repeat = std::strtoul(next("--repeat"), nullptr, 10);
+    else if (!std::strcmp(argv[a], "--max-retries"))
+      opt.max_retries = std::strtoul(next("--max-retries"), nullptr, 10);
     else if (!std::strcmp(argv[a], "--no-cache")) opt.no_cache = true;
     else if (!std::strcmp(argv[a], "--json")) opt.json = true;
     else if (!std::strcmp(argv[a], "--status")) opt.status = true;
@@ -212,8 +221,11 @@ int main(int argc, char** argv) {
   struct Submission {
     std::string label;
     int id;
+    std::string line;        // the request as sent (resent verbatim on retry)
+    std::size_t attempts = 0;  // retries consumed
   };
   std::vector<Submission> submissions;
+  std::map<int, std::size_t> id_to_index;
   std::map<int, std::string> responses;
   std::size_t unmatched = 0;  // responses without a usable echoed id
   int next_id = 0;
@@ -239,13 +251,42 @@ int main(int argc, char** argv) {
       // id; report them without losing the batch accounting.
       const cnash::util::Json* id = response.find("id");
       const double id_num = id ? id->as_number() : std::nan("");
-      if (std::isfinite(id_num) && id_num == std::floor(id_num)) {
-        responses[static_cast<int>(id_num)] = line;
-      } else {
+      if (!std::isfinite(id_num) || id_num != std::floor(id_num)) {
         std::fprintf(stderr, "error response without request id: %s\n",
                      line.c_str());
         unmatched++;
+        return true;
       }
+      const int rid = static_cast<int>(id_num);
+
+      // Retryable shedding: wait the server's hint (escalated with capped
+      // exponential backoff + deterministic jitter), then resend the very
+      // same request line. The id is reused, so correlation is unchanged.
+      const cnash::util::Json* ok = response.find("ok");
+      const auto sub_it = id_to_index.find(rid);
+      if (ok && !ok->as_bool() && sub_it != id_to_index.end()) {
+        Submission& sub = submissions[sub_it->second];
+        std::string code;
+        if (const cnash::util::Json* error = response.find("error"))
+          if (const cnash::util::Json* c = error->find("code"))
+            code = c->as_string();
+        if ((code == "overloaded" || code == "draining") &&
+            sub.attempts < opt.max_retries) {
+          double hint = 0.0;
+          if (const cnash::util::Json* r = response.find("retry_after_s"))
+            hint = r->as_number();
+          const double wait_s = cnash::serve::retry_backoff_s(
+              hint, sub.attempts, static_cast<std::uint64_t>(rid));
+          sub.attempts++;
+          std::this_thread::sleep_for(std::chrono::duration<double>(wait_s));
+          if (!client.send_line(sub.line)) {
+            std::fprintf(stderr, "error: connection lost while retrying\n");
+            return false;
+          }
+          return true;  // response still outstanding
+        }
+      }
+      responses[rid] = line;
     } catch (const std::exception& e) {
       std::fprintf(stderr, "error: bad response: %s\n", e.what());
       return false;
@@ -293,7 +334,8 @@ int main(int argc, char** argv) {
       }
       std::string label = file;
       if (opt.repeat > 1) label += " #" + std::to_string(k + 1);
-      submissions.push_back({std::move(label), id});
+      id_to_index.emplace(id, submissions.size());
+      submissions.push_back({std::move(label), id, std::move(line)});
     }
   }
 

@@ -10,6 +10,10 @@
 // announced on stdout as "LISTENING <port>" so scripts can pick it up.
 // SIGTERM / SIGINT trigger a graceful drain: stop accepting, answer new
 // solves with {"code":"draining"}, finish in-flight jobs, flush, exit 0.
+//
+// Server-side fault injection (chaos testing; README "Failure model") is
+// read from the environment: CNASH_FAULT_SEED, CNASH_FAULT_WRITE_STALL,
+// CNASH_FAULT_DISCONNECT. All off by default.
 
 #include <csignal>
 #include <cstdio>
@@ -39,6 +43,7 @@ void print_usage(const char* argv0) {
 int main(int argc, char** argv) {
   cnash::serve::ServeOptions options;
   options.announce = true;
+  options.fault = cnash::util::fault_plan_from_env();
 
   for (int a = 1; a < argc; ++a) {
     auto next = [&](const char* flag) {

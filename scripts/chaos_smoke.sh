@@ -1,0 +1,103 @@
+#!/usr/bin/env bash
+# Chaos smoke of the Nash-serving gateway: boots nash_serve (ideally an ASan
+# build) and attacks it with chaos_client — slow-loris ramp, mid-request
+# disconnect storm, malformed floods — then exercises the robustness surface
+# end to end: a 100% tile-fault resilient solve (fallback_count == runs), a
+# deadline-bounded degraded solve, an FD-leak check against the pre-storm
+# baseline, and a clean SIGTERM drain (exit 0).
+# Usage: scripts/chaos_smoke.sh <build-dir> [connections]
+set -euo pipefail
+
+build_dir=${1:?usage: chaos_smoke.sh <build-dir> [connections]}
+connections=${2:-200}
+out_dir=$(mktemp -d)
+trap 'rm -rf "$out_dir"' EXIT
+
+server="$build_dir/nash_serve"
+client="$build_dir/nash_client"
+chaos="$build_dir/chaos_client"
+
+echo "--- boot nash_serve ---"
+"$server" --threads 2 --queue-depth 64 \
+  > "$out_dir/serve.stdout" 2> "$out_dir/serve.stderr" &
+server_pid=$!
+port=""
+for _ in $(seq 1 100); do
+  port=$(awk '/^LISTENING /{print $2}' "$out_dir/serve.stdout" 2>/dev/null || true)
+  [ -n "$port" ] && break
+  sleep 0.1
+done
+if [ -z "$port" ]; then
+  echo "FAIL: server did not announce a port" >&2
+  cat "$out_dir/serve.stderr" >&2
+  exit 1
+fi
+echo "server pid $server_pid on port $port, $connections connections per storm"
+
+fail() {
+  echo "FAIL: $*" >&2
+  cat "$out_dir/serve.stderr" >&2 || true
+  kill "$server_pid" 2>/dev/null || true
+  exit 1
+}
+
+fd_count() {
+  ls "/proc/$server_pid/fd" 2>/dev/null | wc -l
+}
+
+# Baseline AFTER one served request so lazily-created fds (epoll, pipes,
+# worker-thread plumbing) are already counted.
+"$client" --port "$port" --status --json > /dev/null \
+  || fail "pre-chaos status probe"
+fd_baseline=$(fd_count)
+echo "fd baseline: $fd_baseline"
+
+echo "--- slow-loris ramp ---"
+"$chaos" --port "$port" --mode slowloris --connections "$connections" \
+  || fail "slowloris"
+
+echo "--- disconnect storm ---"
+"$chaos" --port "$port" --mode disconnect --connections "$connections" \
+  || fail "disconnect storm"
+
+echo "--- malformed flood ---"
+"$chaos" --port "$port" --mode malformed --connections 64 \
+  || fail "malformed flood"
+
+echo "--- resilient solve: 100% tile faults -> full exact-sa fallback ---"
+resilient_req='{"method":"solve","id":1,"game":{"name":"mp","m":[[1,-1],[-1,1]],"n":[[-1,1],[1,-1]]},"backend":"resilient","primary":"hardware-sa-tiled","runs":4,"iterations":400,"seed":7,"fault":{"seed":11,"tile_rate":1.0}}'
+"$client" --port "$port" --raw "$resilient_req" > "$out_dir/resilient.json"
+grep -q '"ok":true' "$out_dir/resilient.json" || fail "resilient solve errored"
+grep -q '"fallback_count":4' "$out_dir/resilient.json" \
+  || fail "expected fallback_count == runs (4)"
+
+echo "--- deadline solve -> degraded report ---"
+deadline_req='{"method":"solve","id":2,"game":{"name":"mp","m":[[1,-1],[-1,1]],"n":[[-1,1],[1,-1]]},"backend":"exact-sa","runs":64,"iterations":1000000,"seed":3,"batch_lanes":1,"deadline_s":0.25}'
+"$client" --port "$port" --raw "$deadline_req" > "$out_dir/deadline.json"
+grep -q '"ok":true' "$out_dir/deadline.json" || fail "deadline solve errored"
+grep -q '"degraded":true' "$out_dir/deadline.json" \
+  || fail "deadline solve was not degraded (machine too fast? raise runs)"
+
+echo "--- degraded/fallback reports are not cached ---"
+"$client" --port "$port" --stats --json > "$out_dir/stats.json"
+grep -q '"uncached_reports":2' "$out_dir/stats.json" \
+  || fail "expected both robustness reports to be excluded from the cache"
+
+echo "--- fd leak check ---"
+fd_after=$fd_baseline
+for _ in $(seq 1 50); do
+  fd_after=$(fd_count)
+  [ "$fd_after" -le "$fd_baseline" ] && break
+  sleep 0.1   # reaping is poll-loop-async; give closed peers a beat
+done
+[ "$fd_after" -le "$fd_baseline" ] \
+  || fail "fd leak: baseline $fd_baseline, now $fd_after"
+
+echo "--- graceful SIGTERM drain ---"
+kill -TERM "$server_pid"
+server_rc=0
+wait "$server_pid" || server_rc=$?
+[ "$server_rc" -eq 0 ] || fail "server exited $server_rc after SIGTERM"
+grep -q 'drained' "$out_dir/serve.stderr" || fail "server did not report a drain"
+
+echo "chaos smoke OK"

@@ -10,12 +10,14 @@ TiledEvaluatorFactory::TiledEvaluatorFactory(game::BimatrixGame game,
                                              std::uint32_t intervals,
                                              core::TwoPhaseConfig config,
                                              ChipConfig chip,
-                                             util::Rng device_rng)
+                                             util::Rng device_rng,
+                                             util::FaultPlan fault)
     : game_(std::move(game)),
       intervals_(intervals),
       config_(config),
       chip_(chip),
-      device_rng_(device_rng) {}
+      device_rng_(device_rng),
+      fault_(fault) {}
 
 std::unique_ptr<core::ObjectiveEvaluator> TiledEvaluatorFactory::create(
     std::uint64_t key) const {
@@ -24,6 +26,11 @@ std::unique_ptr<core::ObjectiveEvaluator> TiledEvaluatorFactory::create(
 
 std::unique_ptr<TiledTwoPhaseEvaluator> TiledEvaluatorFactory::create_tiled(
     std::uint64_t key) const {
+  if (fault_.tile_failure_rate > 0.0) {
+    const util::FaultPlan plan = fault_.for_instance(key);
+    return std::make_unique<TiledTwoPhaseEvaluator>(
+        game_, intervals_, config_, chip_, device_rng_.split(key), &plan);
+  }
   return std::make_unique<TiledTwoPhaseEvaluator>(
       game_, intervals_, config_, chip_, device_rng_.split(key));
 }
@@ -44,7 +51,7 @@ class TiledSaBackend final : public core::SolverBackend {
       const core::SolveRequest& request) const override {
     auto factory = std::make_shared<TiledEvaluatorFactory>(
         request.game, request.intervals, request.hardware, request.chip,
-        util::Rng(request.seed));
+        util::Rng(request.seed), request.fault);
     // The tile-grid shape for the latency model is pure geometry — derive it
     // from the mapped element matrix directly (same shift/scale/coding
     // pipeline as the evaluator) instead of programming a probe chip.

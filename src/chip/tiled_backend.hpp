@@ -12,6 +12,7 @@
 #include "chip/tiled_two_phase.hpp"
 #include "core/backend.hpp"
 #include "core/engine.hpp"
+#include "util/fault.hpp"
 
 namespace cnash::chip {
 
@@ -20,9 +21,12 @@ namespace cnash::chip {
 /// worker creates it (same contract as HardwareEvaluatorFactory).
 class TiledEvaluatorFactory final : public core::EvaluatorFactory {
  public:
+  /// `fault` (default disabled) is re-keyed per instance — create(key) rolls
+  /// tile failures under fault.for_instance(key) — so the same run fails the
+  /// same way on every retry/worker, independently of the other runs.
   TiledEvaluatorFactory(game::BimatrixGame game, std::uint32_t intervals,
                         core::TwoPhaseConfig config, ChipConfig chip,
-                        util::Rng device_rng);
+                        util::Rng device_rng, util::FaultPlan fault = {});
   const game::BimatrixGame& game() const override { return game_; }
   std::uint32_t intervals() const { return intervals_; }
   const ChipConfig& chip() const { return chip_; }
@@ -37,6 +41,7 @@ class TiledEvaluatorFactory final : public core::EvaluatorFactory {
   core::TwoPhaseConfig config_;
   ChipConfig chip_;
   util::Rng device_rng_;
+  util::FaultPlan fault_;
 };
 
 /// The registry entry ("hardware-sa-tiled"); registered by

@@ -29,25 +29,52 @@
 // crossbar kernels (no per-call copies).
 
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
 #include "chip/tile_partition.hpp"
 #include "la/matrix.hpp"
+#include "util/fault.hpp"
 #include "util/rng.hpp"
 #include "xbar/array.hpp"
 #include "xbar/mapping.hpp"
 
 namespace cnash::chip {
 
+/// A chip declared unhealthy at program time: the post-programming read-back
+/// found at least one dead tile. Thrown from evaluator construction so the
+/// "resilient" backend can retry the unit on the exact software path.
+class ChipFault : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 class TiledCrossbar {
  public:
   /// `payoff` must be a non-negative integer matrix (same contract as
   /// CrossbarMapping). `cells_per_element` 0 derives t from the max element;
   /// every tile is forced to the global t so block geometry is uniform.
+  ///
+  /// `fault` (optional) injects dead tiles at program time: tile t (grid
+  /// row-major) is killed when fault->roll(kTile, fault_scope + t) fires. A
+  /// dead tile drives zero current on every analog read. The constructor
+  /// always runs a full-activation read-back per tile afterwards, comparing
+  /// the measured response to the ideal conducting-unit expectation from the
+  /// logical mapping: tiles responding below half nominal land in
+  /// failed_tiles(). The read-back draws no RNG, so a null/disabled plan
+  /// leaves the programmed array byte-identical to one built without it.
   TiledCrossbar(const la::Matrix& payoff, std::uint32_t intervals,
                 std::uint32_t cells_per_element, std::uint32_t levels_per_cell,
                 const xbar::ArrayConfig& config, std::size_t tile_rows,
-                std::size_t tile_cols, util::Rng& rng);
+                std::size_t tile_cols, util::Rng& rng,
+                const util::FaultPlan* fault = nullptr,
+                std::uint64_t fault_scope = 0);
+
+  /// Grid row-major indices of tiles whose program-time read-back failed.
+  const std::vector<std::size_t>& failed_tiles() const { return failed_; }
+  bool tile_dead(std::size_t tr, std::size_t tc) const {
+    return !dead_.empty() && dead_[tr * part_.grid_cols() + tc] != 0;
+  }
 
   /// The logical (whole-matrix) mapping.
   const xbar::CrossbarMapping& mapping() const { return global_; }
@@ -128,10 +155,14 @@ class TiledCrossbar {
   std::uint32_t max_element() const { return max_element_; }
 
  private:
+  void read_back_check();
+
   xbar::CrossbarMapping global_;
   TilePartition part_;
   std::vector<xbar::ProgrammedCrossbar> tiles_;  // grid row-major
   std::uint32_t max_element_ = 0;
+  std::vector<std::uint8_t> dead_;     // empty when no faults were injected
+  std::vector<std::size_t> failed_;    // read-back failures, grid row-major
 };
 
 }  // namespace cnash::chip

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <string>
 
 #include "util/bits.hpp"
 
@@ -13,7 +14,8 @@ TiledTwoPhaseEvaluator::TiledTwoPhaseEvaluator(game::BimatrixGame game,
                                                std::uint32_t intervals,
                                                const core::TwoPhaseConfig& config,
                                                const ChipConfig& chip,
-                                               util::Rng rng)
+                                               util::Rng rng,
+                                               const util::FaultPlan* fault)
     : game_(std::move(game)),
       intervals_(intervals),
       config_(config),
@@ -40,10 +42,18 @@ TiledTwoPhaseEvaluator::TiledTwoPhaseEvaluator(game::BimatrixGame game,
   util::Rng rng_nt = rng_.split();
   chip_m_ = std::make_unique<TiledCrossbar>(
       m_scaled, intervals_, config_.cells_per_element, config_.levels_per_cell,
-      config_.array, chip_.tile_rows, chip_.tile_cols, rng_m);
+      config_.array, chip_.tile_rows, chip_.tile_cols, rng_m, fault,
+      /*fault_scope=*/0);
   chip_nt_ = std::make_unique<TiledCrossbar>(
       nt_scaled, intervals_, config_.cells_per_element, config_.levels_per_cell,
-      config_.array, chip_.tile_rows, chip_.tile_cols, rng_nt);
+      config_.array, chip_.tile_rows, chip_.tile_cols, rng_nt, fault,
+      kNtFaultScope);
+  if (!chip_m_->failed_tiles().empty() || !chip_nt_->failed_tiles().empty())
+    throw ChipFault("TiledTwoPhaseEvaluator: program-time read-back failed (" +
+                    std::to_string(chip_m_->failed_tiles().size()) +
+                    " M tile(s), " +
+                    std::to_string(chip_nt_->failed_tiles().size()) +
+                    " Nt tile(s) below half nominal)");
 
   util::Rng rng_wta_rows = rng_.split();
   util::Rng rng_wta_cols = rng_.split();

@@ -47,9 +47,19 @@ class TiledTwoPhaseEvaluator final : public core::ObjectiveEvaluator,
   /// Programs both tile grids from the game. `config` carries the array /
   /// WTA / ADC / value-coding knobs shared with the monolithic evaluator;
   /// `chip` the tile dimensions and aggregation model.
+  ///
+  /// `fault` (optional) is consumed during construction only: tile-failure
+  /// rolls use scope base 0 for the M grid and kNtFaultScope for the Nᵀ grid.
+  /// When the program-time read-back flags any tile on either grid the
+  /// constructor throws ChipFault (the "resilient" backend's retry trigger).
+  /// A null/disabled plan changes nothing — no extra RNG draws.
   TiledTwoPhaseEvaluator(game::BimatrixGame game, std::uint32_t intervals,
                          const core::TwoPhaseConfig& config,
-                         const ChipConfig& chip, util::Rng rng);
+                         const ChipConfig& chip, util::Rng rng,
+                         const util::FaultPlan* fault = nullptr);
+
+  /// Fault-roll index base of the Nᵀ grid's tiles (M grid starts at 0).
+  static constexpr std::uint64_t kNtFaultScope = std::uint64_t{1} << 32;
 
   double evaluate(const game::QuantizedProfile& profile) override;
   const game::BimatrixGame& game() const override { return game_; }

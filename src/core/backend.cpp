@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "chip/tiled_backend.hpp"
+#include "core/resilient.hpp"
 #include "core/timing.hpp"
 #include "game/lemke_howson.hpp"
 #include "game/support_enum.hpp"
@@ -27,6 +28,34 @@ void validate_request(const SolveRequest& request) {
         "invalid solve request: runs == 0 (need at least one sample unit)");
   if (request.game.num_actions1() == 0 || request.game.num_actions2() == 0)
     throw std::invalid_argument("invalid solve request: empty game");
+  if (!std::isfinite(request.deadline_s) || request.deadline_s < 0.0)
+    throw std::invalid_argument(
+        "invalid solve request: deadline_s must be finite and >= 0 "
+        "(0 disables the deadline)");
+  const auto check_rate = [](double v, const char* name) {
+    if (!std::isfinite(v) || v < 0.0 || v > 1.0)
+      throw std::invalid_argument(std::string("invalid solve request: fault.") +
+                                  name + " must be in [0, 1]");
+  };
+  check_rate(request.fault.unit_failure_rate, "unit_failure_rate");
+  check_rate(request.fault.tile_failure_rate, "tile_failure_rate");
+  check_rate(request.fault.unit_delay_rate, "unit_delay_rate");
+  if (!std::isfinite(request.fault.unit_delay_s) ||
+      request.fault.unit_delay_s < 0.0)
+    throw std::invalid_argument(
+        "invalid solve request: fault.unit_delay_s must be finite and >= 0");
+  if (request.fault.solver_faults() && request.backend != "resilient")
+    throw std::invalid_argument(
+        "invalid solve request: fault injection is only accepted by the "
+        "\"resilient\" backend (backend \"" +
+        request.backend + "\" has no fallback path)");
+  if (request.backend == "resilient" &&
+      request.resilient_primary != "hardware-sa" &&
+      request.resilient_primary != "hardware-sa-tiled")
+    throw std::invalid_argument(
+        "invalid solve request: resilient primary must be \"hardware-sa\" or "
+        "\"hardware-sa-tiled\", not \"" +
+        request.resilient_primary + "\"");
   if (request.sa.mode == SaMode::kReplicaExchange) {
     if (request.sa.replicas < 2)
       throw std::invalid_argument(
@@ -65,9 +94,11 @@ void verify_samples(const game::BimatrixGame& game, double nash_eps,
 void summarize(SolveReport& report) {
   report.nash_count = 0;
   report.valid_count = 0;
+  report.fallback_count = 0;
   double best = std::numeric_limits<double>::quiet_NaN();
   for (const SolveSample& s : report.samples) {
     if (s.is_nash) ++report.nash_count;
+    if (s.fallback) ++report.fallback_count;
     if (!s.valid) continue;
     ++report.valid_count;
     if (std::isnan(best) || s.objective < best) best = s.objective;
@@ -98,6 +129,8 @@ SolveReport SolverBackend::solve(const SolveRequest& request) const {
   std::vector<std::vector<SolveSample>> slots(job->num_units());
   for (std::size_t u = 0; u < slots.size(); ++u) slots[u] = job->run_unit(u);
   SolveReport report = assemble_report(*job, std::move(slots));
+  report.units_total = job->num_units();
+  report.units_completed = job->num_units();
   report.wall_clock_s = std::chrono::duration<double>(
                             std::chrono::steady_clock::now() - t0)
                             .count();
@@ -501,6 +534,7 @@ SolverRegistry& SolverRegistry::global() {
                                           dwave_advantage41_timing));
     r->add(std::make_unique<LemkeHowsonBackend>());
     r->add(std::make_unique<SupportEnumBackend>());
+    r->add(make_resilient_backend());
     return r;
   }();
   return *registry;

@@ -10,6 +10,8 @@
 //   "dwave-advantage41" S-QUBO annealer proxy, Advantage 4.1 flavour
 //   "lemke-howson"      complementary pivoting from every initial label
 //   "support-enum"      exhaustive support enumeration (ground truth)
+//   "resilient"         hardware-sa[-tiled] with transparent per-unit
+//                       exact-sa fallback on chip failure (core/resilient)
 //
 // A backend prepares a request into a PreparedJob: per-job immutable state
 // (programmed crossbars, S-QUBO models) plus a count of independent work
@@ -31,6 +33,7 @@
 #include "core/sample.hpp"
 #include "core/two_phase.hpp"
 #include "game/game.hpp"
+#include "util/fault.hpp"
 #include "util/rng.hpp"
 
 namespace cnash::core {
@@ -61,6 +64,20 @@ struct SolveRequest {
   /// Cap on this job's units simultaneously in flight on the service pool
   /// (0 = no cap). Changes wall-clock only, never results.
   std::size_t max_parallelism = 0;
+  /// Anytime-degradation deadline in seconds (0 = none). Once a SolverService
+  /// job exceeds it, remaining units are skipped and the best-so-far report
+  /// is returned flagged degraded=true; in-flight units still complete, so
+  /// the bound is deadline + one unit's wall time. Ignored by the
+  /// synchronous SolverBackend::solve() path.
+  double deadline_s = 0.0;
+  /// "resilient" backend only: the primary hardware backend it wraps
+  /// ("hardware-sa" or "hardware-sa-tiled").
+  std::string resilient_primary = "hardware-sa";
+  /// Deterministic fault injection, OFF by default. Solver-side rates are
+  /// only accepted by the "resilient" backend (validate_request rejects them
+  /// elsewhere); a disabled plan leaves every backend bit-identical to a
+  /// request without one.
+  util::FaultPlan fault;
 };
 
 /// The normalised result of one job.
@@ -81,6 +98,18 @@ struct SolveReport {
   /// dependent — the only report field excluded from the determinism
   /// guarantee.
   double wall_clock_s = 0.0;
+  /// Anytime degradation: true when the request deadline expired before
+  /// every unit ran — samples cover only units_completed of units_total.
+  /// Degraded reports are never stored in the gateway's solution cache.
+  bool degraded = false;
+  /// Runs-completed accounting: scheduled work units vs. units that actually
+  /// produced samples (equal unless degraded).
+  std::size_t units_total = 0;
+  std::size_t units_completed = 0;
+  /// Samples produced by the "resilient" backend's exact-sa fallback path
+  /// after a primary hardware failure (0 for every other backend). Reports
+  /// with fallbacks are never cached either.
+  std::size_t fallback_count = 0;
 
   std::size_t runs() const { return samples.size(); }
   double nash_rate() const;
@@ -158,7 +187,7 @@ class SolverRegistry {
   /// Registration order.
   std::vector<std::string> names() const;
 
-  /// Process-wide registry preloaded with the six built-in backends.
+  /// Process-wide registry preloaded with the built-in backends.
   static SolverRegistry& global();
 
  private:

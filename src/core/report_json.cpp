@@ -58,6 +58,9 @@ util::Json sample_to_json(const SolveSample& s) {
   j.set("valid", s.valid);
   j.set("is_nash", s.is_nash);
   j.set("regret", s.regret);
+  // Emitted only when set: fallback samples exist only on the "resilient"
+  // backend's contingency path, and the common case stays compact.
+  if (s.fallback) j.set("fallback", true);
   if (s.profile) {
     util::Json p = util::Json::object();
     p.set("intervals", static_cast<std::size_t>(s.profile->p.intervals()));
@@ -76,6 +79,7 @@ SolveSample sample_from_json(const util::Json& json) {
   s.valid = json.at("valid").as_bool();
   s.is_nash = json.at("is_nash").as_bool();
   s.regret = json.at("regret").as_number();
+  if (const util::Json* fb = json.find("fallback")) s.fallback = fb->as_bool();
   if (const util::Json* profile = json.find("profile")) {
     const double raw = profile->at("intervals").as_number();
     const auto intervals = static_cast<std::uint32_t>(raw);
@@ -99,6 +103,10 @@ util::Json report_to_json(const SolveReport& report) {
   j.set("best_objective", report.best_objective);
   j.set("modeled_time_s", report.modeled_time_s);
   j.set("wall_clock_s", report.wall_clock_s);
+  j.set("degraded", report.degraded);
+  j.set("units_total", report.units_total);
+  j.set("units_completed", report.units_completed);
+  j.set("fallback_count", report.fallback_count);
   util::Json samples = util::Json::array();
   for (const SolveSample& s : report.samples) samples.push(sample_to_json(s));
   j.set("samples", std::move(samples));
@@ -123,6 +131,15 @@ SolveReport report_from_json(const util::Json& json) {
   report.best_objective = json.at("best_objective").as_number();
   report.modeled_time_s = json.at("modeled_time_s").as_number();
   report.wall_clock_s = json.at("wall_clock_s").as_number();
+  // Robustness accounting (PR 7+): absent in reports serialized by older
+  // builds, so parse with defaults.
+  if (const util::Json* d = json.find("degraded")) report.degraded = d->as_bool();
+  if (const util::Json* u = json.find("units_total"))
+    report.units_total = static_cast<std::size_t>(u->as_number());
+  if (const util::Json* u = json.find("units_completed"))
+    report.units_completed = static_cast<std::size_t>(u->as_number());
+  if (const util::Json* f = json.find("fallback_count"))
+    report.fallback_count = static_cast<std::size_t>(f->as_number());
   return report;
 }
 

@@ -33,6 +33,10 @@ struct SolveSample {
   /// max(regret1, regret2) — best unilateral pure-deviation gain of either
   /// player; NaN for invalid samples.
   double regret = 0.0;
+  /// True when the "resilient" meta-backend produced this sample on its
+  /// exact-sa fallback path after the primary hardware unit failed; counted
+  /// as SolveReport::fallback_count by summarize().
+  bool fallback = false;
 
   /// Stable dedup key across runs: the quantized profile key when present,
   /// the rounded distributions otherwise.

@@ -37,6 +37,13 @@ struct SolverService::Job {
   std::exception_ptr error;  // first failure; remaining units are skipped
   std::promise<SolveReport> promise;
   std::chrono::steady_clock::time_point submitted;
+
+  // Anytime degradation (request.deadline_s > 0): once `expired` is set by a
+  // worker scan, no further units are dispatched; the job finishes when its
+  // in-flight units drain and the report carries done < total, degraded.
+  bool has_deadline = false;
+  std::chrono::steady_clock::time_point deadline;
+  bool expired = false;
 };
 
 SolverService::SolverService(ServiceOptions options)
@@ -72,7 +79,7 @@ std::future<SolveReport> SolverService::enqueue(std::shared_ptr<Job> job) {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     if (draining_) {
-      job->promise.set_exception(std::make_exception_ptr(std::runtime_error(
+      job->promise.set_exception(std::make_exception_ptr(ServiceDrainingError(
           "SolverService: draining — not accepting new jobs")));
       return future;
     }
@@ -101,6 +108,13 @@ std::future<SolveReport> SolverService::submit(SolveRequest request) {
     return future;
   }
   job->backend = backend;
+  if (request.deadline_s > 0.0) {
+    job->has_deadline = true;
+    job->deadline = job->submitted + std::chrono::duration_cast<
+                                         std::chrono::steady_clock::duration>(
+                                         std::chrono::duration<double>(
+                                             request.deadline_s));
+  }
   job->request = std::move(request);
   return enqueue(std::move(job));
 }
@@ -170,6 +184,9 @@ void SolverService::finish(std::shared_ptr<Job> job) {
     return;
   }
   SolveReport report = assemble_report(*job->prepared, std::move(job->slots));
+  report.units_total = job->total;
+  report.units_completed = job->done;
+  report.degraded = job->expired && job->done < job->total;
   report.wall_clock_s = std::chrono::duration<double>(
                             std::chrono::steady_clock::now() - job->submitted)
                             .count();
@@ -186,17 +203,45 @@ void SolverService::worker_loop() {
     // units carry keyed streams).
     std::shared_ptr<Job> job;
     bool is_prepare = false;
+    bool is_expiry_finish = false;
     std::size_t unit = 0;
+    // Deadlines are checked lazily, during scans only: `now` is read once per
+    // scan and only when some job carries a deadline. No timed waits are
+    // needed — a sleeping pool implies every pending non-expired job has
+    // units in flight, and each completion re-runs this scan.
+    std::chrono::steady_clock::time_point now;
+    bool now_read = false;
     for (auto it = jobs_.begin(); it != jobs_.end(); ++it) {
       const std::shared_ptr<Job>& j = *it;
       if (j->error) continue;  // draining: no new units for failed jobs
+      if (j->has_deadline && !j->expired) {
+        if (!now_read) {
+          now = std::chrono::steady_clock::now();
+          now_read = true;
+        }
+        if (now >= j->deadline) j->expired = true;
+      }
       if (!j->prepared) {
+        // Prepare runs even past the deadline: the report is assembled from
+        // the prepared job's metadata, so a degraded (0-unit) report still
+        // needs it.
         if (j->prepare_claimed) continue;
         j->prepare_claimed = true;
         j->in_flight++;
         job = j;
         is_prepare = true;
         break;
+      }
+      if (j->expired) {
+        if (j->in_flight == 0) {
+          // Expiry discovered with nothing in flight (the post-unit check
+          // below never saw `expired`): finish the job from the scan.
+          job = j;
+          is_expiry_finish = true;
+          jobs_.erase(it);
+          break;
+        }
+        continue;  // let in-flight units drain; dispatch nothing new
       }
       if (j->next_unit < j->total && (j->cap == 0 || j->in_flight < j->cap)) {
         unit = j->next_unit++;
@@ -205,6 +250,15 @@ void SolverService::worker_loop() {
         jobs_.splice(jobs_.end(), jobs_, it);
         break;
       }
+    }
+    if (is_expiry_finish) {
+      finishing_++;  // drain() must not return before the promise is set
+      lock.unlock();
+      finish(std::move(job));
+      lock.lock();
+      finishing_--;
+      cv_.notify_all();
+      continue;
     }
     if (!job) {
       if (stop_) return;
@@ -242,7 +296,8 @@ void SolverService::worker_loop() {
 
     const bool finished =
         job->in_flight == 0 &&
-        (job->error || (job->prepared && job->done == job->total));
+        (job->error ||
+         (job->prepared && (job->done == job->total || job->expired)));
     if (finished) {
       for (auto it = jobs_.begin(); it != jobs_.end(); ++it)
         if (it->get() == job.get()) {

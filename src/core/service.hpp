@@ -22,12 +22,21 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
 #include "core/backend.hpp"
 
 namespace cnash::core {
+
+/// Submission rejected because the service is draining (or torn down). The
+/// serve/ gateway maps this to a retryable "draining" protocol error rather
+/// than an internal one.
+class ServiceDrainingError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 struct ServiceOptions {
   /// Worker pool size; 0 = one worker per hardware thread.
@@ -46,6 +55,15 @@ class SolverService {
 
   /// Queue a job; the future resolves once every unit has run. An unknown
   /// backend name resolves the future to std::invalid_argument immediately.
+  ///
+  /// Anytime degradation: when request.deadline_s > 0 the deadline clock
+  /// starts at submission. Once it passes, no further units of that job are
+  /// scheduled; in-flight units complete, and the report is assembled from
+  /// the units that did run, flagged degraded with units_total /
+  /// units_completed accounting. Latency is bounded by the deadline plus one
+  /// unit's wall time. Which units run is deterministic only when the
+  /// deadline never fires — a degraded report's *samples* are still
+  /// bit-exact per unit (keyed streams), there are just fewer of them.
   std::future<SolveReport> submit(SolveRequest request);
 
   /// Queue an already-prepared job (the SolverEngine's entry point: its

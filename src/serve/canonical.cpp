@@ -104,7 +104,7 @@ GameKey request_key(const core::SolveRequest& req) {
   // Version salt: bump when the key schema (or anything that changes solver
   // results for identical key bytes) changes, so stale processes never mix
   // cache entries across schemas.
-  kb.str("cnash-gamekey-v1");
+  kb.str("cnash-gamekey-v2");
   kb.str(req.backend);
   kb.u64(req.runs);
   kb.u64(req.seed);
@@ -138,6 +138,19 @@ GameKey request_key(const core::SolveRequest& req) {
   kb.u64(req.chip.tile_cols);
   kb.u32(static_cast<std::uint32_t>(req.chip.readout));
   kb.f64(req.chip.aggregation_noise_rel);
+  // Robustness knobs. The deadline keys the cache even though degraded
+  // reports are never inserted: a pending (coalescable) solve's result set
+  // depends on it, so two requests differing only in deadline must never
+  // coalesce. The fault plan changes which units fall back; delay knobs key
+  // too (they shift wall time, and keeping all solver-side fields keyed is
+  // cheaper than reasoning about which are observable).
+  kb.f64(req.deadline_s);
+  kb.str(req.resilient_primary);
+  kb.u64(req.fault.seed);
+  kb.f64(req.fault.unit_failure_rate);
+  kb.f64(req.fault.tile_failure_rate);
+  kb.f64(req.fault.unit_delay_rate);
+  kb.f64(req.fault.unit_delay_s);
   // Canonical payoffs last (the big part).
   kb.u64(req.game.num_actions1());
   kb.u64(req.game.num_actions2());

@@ -14,9 +14,30 @@
 
 #include <cerrno>
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
+#include "util/rng.hpp"
+
 namespace cnash::serve {
+
+/// Client-side wait before retrying a shed ("overloaded") or rejected
+/// ("draining") solve: the server's retry_after_s hint doubled per attempt
+/// (attempt 0 waits the hint itself), capped at `cap_s`, with deterministic
+/// ±25% jitter keyed on (key, attempt) so a fleet of clients retrying the
+/// same hint decorrelates without shared state — and so tests can assert the
+/// exact schedule.
+inline double retry_backoff_s(double retry_after_s, std::size_t attempt,
+                              std::uint64_t key, double cap_s = 2.0) {
+  double base = retry_after_s > 0.0 ? retry_after_s : 0.05;
+  for (std::size_t a = 0; a < attempt && base < cap_s; ++a) base *= 2.0;
+  if (base > cap_s) base = cap_s;
+  std::uint64_t state =
+      key ^ (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(attempt + 1));
+  const double unit =
+      static_cast<double>(util::splitmix64(state) >> 11) * 0x1.0p-53;
+  return base * (0.75 + 0.5 * unit);
+}
 
 class LineClient {
  public:
@@ -63,10 +84,14 @@ class LineClient {
   /// Appends the newline terminator itself. False on a lost connection.
   bool send_line(std::string line) {
     line += '\n';
+    return send_raw(line.data(), line.size());
+  }
+
+  /// Raw bytes, no framing — partial-request and slow-writer (chaos) tests.
+  bool send_raw(const char* data, std::size_t size) {
     std::size_t off = 0;
-    while (off < line.size()) {
-      const ssize_t sent =
-          ::send(fd_, line.data() + off, line.size() - off, MSG_NOSIGNAL);
+    while (off < size) {
+      const ssize_t sent = ::send(fd_, data + off, size - off, MSG_NOSIGNAL);
       if (sent < 0 && errno == EINTR) continue;
       if (sent <= 0) return false;
       off += static_cast<std::size_t>(sent);

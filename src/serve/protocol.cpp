@@ -132,6 +132,29 @@ core::SolveRequest solve_from_request(const util::Json& root) {
   if (!std::isfinite(ladder) || !(ladder > 0.0))
     bad("\"ladder_ratio\" must be a positive number");
   req.sa.ladder_ratio = ladder;
+  // Robustness knobs (PR 7): anytime deadline, resilient-primary selection
+  // and the deterministic fault plan. Absent fields leave the defaults (no
+  // deadline, no faults); range/backend compatibility checks live in
+  // validate_request below, which this parser maps to bad_request.
+  if (const util::Json* d = root.find("deadline_s")) {
+    if (!d->is_number()) bad("\"deadline_s\" must be a number");
+    const double deadline = d->as_number();
+    if (!std::isfinite(deadline) || !(deadline > 0.0))
+      bad("\"deadline_s\" must be a positive number");
+    req.deadline_s = deadline;
+  }
+  if (const util::Json* p = root.find("primary")) {
+    if (!p->is_string()) bad("\"primary\" must be a string");
+    req.resilient_primary = p->as_string();
+  }
+  if (const util::Json* f = root.find("fault")) {
+    if (!f->is_object()) bad("\"fault\" must be an object");
+    req.fault.seed = static_cast<std::uint64_t>(size_field(*f, "seed", 0));
+    req.fault.unit_failure_rate = number_field(*f, "unit_rate", 0.0);
+    req.fault.tile_failure_rate = number_field(*f, "tile_rate", 0.0);
+    req.fault.unit_delay_rate = number_field(*f, "delay_rate", 0.0);
+    req.fault.unit_delay_s = number_field(*f, "delay_s", 0.0);
+  }
   try {
     // Resolve the backend key up front (at() throws naming the registered
     // keys) so an unknown backend is a bad_request here, not an "internal"

@@ -91,6 +91,7 @@ void NashServer::accept_ready() {
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
     Connection conn;
     conn.fd = fd;
+    conn.id = next_conn_id_;
     conns_.emplace(next_conn_id_++, std::move(conn));
   }
 }
@@ -275,8 +276,14 @@ void NashServer::poll_pending() {
 
     core::SolveReport report;
     std::string failure;
+    bool service_draining = false;
     try {
       report = pending.future.get();
+    } catch (const core::ServiceDrainingError& e) {
+      // The submit raced the solver pool's drain (admitted before the drain,
+      // enqueued after): a retryable condition, not a server bug.
+      failure = e.what();
+      service_draining = true;
     } catch (const std::exception& e) {
       failure = e.what();
     }
@@ -287,8 +294,15 @@ void NashServer::poll_pending() {
         conn->second.inflight--;
       if (conn == conns_.end()) continue;  // client went away; drop response
       if (!failure.empty()) {
-        respond(waiter.conn_id,
-                render_error(waiter.id, "internal", failure), true);
+        if (service_draining) {
+          respond(waiter.conn_id,
+                  render_error(waiter.id, "draining", failure,
+                               admission_.options().retry_after_s),
+                  true);
+        } else {
+          respond(waiter.conn_id,
+                  render_error(waiter.id, "internal", failure), true);
+        }
       } else {
         served_.solves_ok++;
         respond(waiter.conn_id,
@@ -297,8 +311,15 @@ void NashServer::poll_pending() {
                 false);
       }
     }
-    if (failure.empty() && pending.store_in_cache)
-      cache_.insert(pending.key, std::move(report));
+    // Degraded (deadline-truncated) and fallback-containing reports are
+    // deliberately never cached: they are request-circumstance artefacts, and
+    // a later identical request deserves the full-quality answer.
+    if (failure.empty() && pending.store_in_cache) {
+      if (!report.degraded && report.fallback_count == 0)
+        cache_.insert(pending.key, std::move(report));
+      else
+        served_.uncached_reports++;
+    }
 
     if (i + 1 != pending_.size()) pending_[i] = std::move(pending_.back());
     pending_.pop_back();
@@ -353,6 +374,10 @@ util::Json NashServer::stats_payload() const {
   served.set("coalesced", served_.coalesced);
   served.set("errors", served_.errors);
   served.set("jobs_submitted", served_.jobs_submitted);
+  served.set("write_stalls", served_.write_stalls);
+  served.set("injected_disconnects", served_.injected_disconnects);
+  served.set("overflow_closed", served_.overflow_closed);
+  served.set("uncached_reports", served_.uncached_reports);
   stats.set("served", std::move(served));
   return stats;
 }
@@ -361,16 +386,50 @@ void NashServer::respond(std::uint64_t conn_id, std::string text,
                          bool is_error) {
   if (is_error) served_.errors++;
   const auto it = conns_.find(conn_id);
-  if (it == conns_.end()) return;
+  if (it == conns_.end() || it->second.aborted) return;
   it->second.out += text;
+  // Slow-reader guard: a peer that stops draining responses while issuing
+  // more requests cannot grow `out` past the cap — the connection is
+  // aborted instead (buffered output dropped, fd reaped by the poll loop).
+  if (it->second.out.size() > options_.max_output_bytes) {
+    it->second.out.clear();
+    it->second.aborted = true;
+    served_.overflow_closed++;
+    return;
+  }
   flush(it->second);
 }
 
 void NashServer::flush(Connection& conn) {
+  if (conn.aborted) return;
+  // Injected transport faults, rolled per flush attempt: a disconnect aborts
+  // the connection mid-response; a write stall delivers at most one byte and
+  // leaves the rest buffered for POLLOUT — downstream of both, the server
+  // must behave exactly as it does for a genuinely broken or slow peer.
+  if (!conn.out.empty() && options_.fault.server_faults()) {
+    using Scope = util::FaultPlan::Scope;
+    const std::uint64_t roll_index = (conn.id << 20) ^ conn.write_seq++;
+    if (options_.fault.roll(Scope::kDisconnect, roll_index,
+                            options_.fault.disconnect_rate)) {
+      conn.out.clear();
+      conn.aborted = true;
+      served_.injected_disconnects++;
+      return;
+    }
+    if (options_.fault.roll(Scope::kWriteStall, roll_index,
+                            options_.fault.write_stall_rate)) {
+      const ssize_t sent = ::send(conn.fd, conn.out.data(), 1, MSG_NOSIGNAL);
+      if (sent > 0) conn.out.erase(0, static_cast<std::size_t>(sent));
+      served_.write_stalls++;
+      return;  // rest stays buffered; POLLOUT resumes it
+    }
+  }
   while (!conn.out.empty()) {
     const ssize_t sent =
         ::send(conn.fd, conn.out.data(), conn.out.size(), MSG_NOSIGNAL);
     if (sent > 0) {
+      // Short writes are normal under O_NONBLOCK: loop until EAGAIN, the
+      // remainder stays in `out` and poll() watches POLLOUT.
       conn.out.erase(0, static_cast<std::size_t>(sent));
       continue;
     }
@@ -444,11 +503,14 @@ void NashServer::run() {
 
     poll_pending();
 
-    // Reap connections that are done: flushed + flagged, or flushed with the
-    // peer gone and nothing owed.
+    // Reap connections that are done: aborted (injected disconnect / output
+    // overflow — no goodbyes owed), or flushed + flagged with nothing owed.
+    // An aborted connection's pending waiters resolve against a missing conn
+    // id and are dropped, exactly like a genuine mid-request disconnect.
     std::vector<std::uint64_t> dead;
     for (const auto& [id, conn] : conns_)
-      if (conn.close_after_flush && conn.out.empty() && conn.inflight == 0)
+      if (conn.aborted ||
+          (conn.close_after_flush && conn.out.empty() && conn.inflight == 0))
         dead.push_back(id);
     for (const std::uint64_t id : dead) close_connection(id);
   }

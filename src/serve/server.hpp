@@ -33,6 +33,7 @@
 #include "serve/admission.hpp"
 #include "serve/cache.hpp"
 #include "serve/protocol.hpp"
+#include "util/fault.hpp"
 
 namespace cnash::serve {
 
@@ -48,6 +49,15 @@ struct ServeOptions {
   /// A connection whose buffered request line exceeds this is answered with
   /// an error and closed (protocol-abuse guard).
   std::size_t max_line_bytes = 8u << 20;
+  /// A connection whose buffered (unflushed) output exceeds this is aborted —
+  /// the slow-reader guard: a peer that never drains its responses cannot
+  /// grow the server's memory without bound.
+  std::size_t max_output_bytes = 16u << 20;
+  /// Server-side fault injection (write_stall_rate / disconnect_rate / seed;
+  /// nash_serve populates it from CNASH_FAULT_* env vars). Disabled by
+  /// default; solver-side fields are ignored here — they ride in on
+  /// SolveRequests instead.
+  util::FaultPlan fault;
   /// Print "LISTENING <port>" on stdout once bound (smoke scripts wait for
   /// this line to learn an ephemeral port).
   bool announce = false;
@@ -61,6 +71,10 @@ struct ServedStats {
   std::size_t coalesced = 0;      // ... of which attached to an in-flight job
   std::size_t errors = 0;         // error responses of any code
   std::size_t jobs_submitted = 0; // jobs actually handed to the SolverService
+  std::size_t write_stalls = 0;   // injected short writes (fault plan)
+  std::size_t injected_disconnects = 0;  // injected mid-response aborts
+  std::size_t overflow_closed = 0;  // connections aborted at max_output_bytes
+  std::size_t uncached_reports = 0;  // degraded/fallback reports not cached
 };
 
 class NashServer {
@@ -93,10 +107,15 @@ class NashServer {
  private:
   struct Connection {
     int fd = -1;
+    std::uint64_t id = 0;  // the conns_ key (fault-roll index base)
     std::string in;   // unparsed request bytes
     std::string out;  // unflushed response bytes
     std::size_t inflight = 0;  // solve responses owed (queued + coalesced)
+    std::uint64_t write_seq = 0;  // flush attempts (fault-roll index)
     bool close_after_flush = false;
+    /// Hard-dead (injected disconnect or output overflow): buffered I/O is
+    /// dropped and the poll loop reaps the fd without waiting on inflight.
+    bool aborted = false;
   };
 
   /// One job on the solver pool plus every response waiting on it.

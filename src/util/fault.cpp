@@ -1,0 +1,54 @@
+#include "util/fault.hpp"
+
+#include <cstdlib>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace cnash::util {
+
+bool FaultPlan::roll(Scope scope, std::uint64_t index, double rate) const {
+  if (!(rate > 0.0)) return false;
+  if (rate >= 1.0) return true;
+  // A keyed split of Rng(seed) per (scope, index): the same site fires for
+  // the same plan regardless of evaluation order. Scopes occupy the top key
+  // bits so the same index in different scopes rolls independently.
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(scope) << 58) ^ index;
+  return Rng(seed).split(key).uniform() < rate;
+}
+
+FaultPlan FaultPlan::for_instance(std::uint64_t instance_key) const {
+  FaultPlan sub = *this;
+  std::uint64_t state = seed ^ (instance_key * 0x9e3779b97f4a7c15ULL);
+  sub.seed = splitmix64(state);
+  return sub;
+}
+
+namespace {
+
+double env_rate(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (!v || !*v) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  if (end == v || parsed < 0.0) return fallback;
+  return parsed;
+}
+
+}  // namespace
+
+FaultPlan fault_plan_from_env() {
+  FaultPlan plan;
+  if (const char* v = std::getenv("CNASH_FAULT_SEED"))
+    plan.seed = std::strtoull(v, nullptr, 0);
+  plan.unit_failure_rate = env_rate("CNASH_FAULT_UNIT_RATE", 0.0);
+  plan.tile_failure_rate = env_rate("CNASH_FAULT_TILE_RATE", 0.0);
+  plan.unit_delay_rate = env_rate("CNASH_FAULT_DELAY_RATE", 0.0);
+  plan.unit_delay_s = env_rate("CNASH_FAULT_DELAY_S", 0.0);
+  plan.write_stall_rate = env_rate("CNASH_FAULT_WRITE_STALL", 0.0);
+  plan.disconnect_rate = env_rate("CNASH_FAULT_DISCONNECT", 0.0);
+  return plan;
+}
+
+}  // namespace cnash::util

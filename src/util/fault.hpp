@@ -1,0 +1,77 @@
+#pragma once
+// util::FaultPlan — deterministic fault injection for the failure-containment
+// layer. One plan describes WHICH faults to inject and at what rate; WHERE
+// they land is decided by keyed-RNG rolls addressed by (scope, index), so an
+// injection site fires identically for a given plan no matter which worker
+// thread, pool size or scheduling order reaches it — faulty runs are exactly
+// as reproducible as fault-free ones.
+//
+// A disabled plan (all rates zero — the default) performs no RNG work at all:
+// roll() short-circuits before constructing a generator, so the bit-exactness
+// contract of every backend is untouched when injection is off.
+//
+// Solver-side faults (unit_failure/tile_failure/unit_delay) flow through
+// SolveRequest and are only accepted by the "resilient" meta-backend
+// (core/resilient); server-side socket faults (write_stall/disconnect) are
+// read from CNASH_FAULT_* environment knobs by the nash_serve binary and
+// drive the chaos harness.
+
+#include <cstdint>
+
+namespace cnash::util {
+
+struct FaultPlan {
+  /// Root of every injection roll; two plans with equal rates and seeds
+  /// inject identical fault sets.
+  std::uint64_t seed = 0;
+
+  // ---- Solver-side (SolveRequest.fault; "resilient" backend only) ----------
+  /// Probability that a solve unit throws before its primary backend runs.
+  double unit_failure_rate = 0.0;
+  /// Probability that a modeled chip tile is declared dead at program time
+  /// (hardware-sa-tiled primaries; detected by the TiledCrossbar read-back).
+  double tile_failure_rate = 0.0;
+  /// Probability that a solve unit sleeps unit_delay_s before running.
+  double unit_delay_rate = 0.0;
+  double unit_delay_s = 0.0;
+
+  // ---- Server-side (CNASH_FAULT_* env; nash_serve socket loop) -------------
+  /// Probability that a flush event sends at most one byte (short write to a
+  /// slow peer; the buffered output drains via POLLOUT).
+  double write_stall_rate = 0.0;
+  /// Probability that a flush event tears the connection down mid-response.
+  double disconnect_rate = 0.0;
+
+  /// Independent roll families; a (scope, index) pair addresses one
+  /// injection site.
+  enum class Scope : std::uint64_t {
+    kUnit = 1,        // index = unit index
+    kTile = 2,        // index = instance-scoped tile index
+    kDelay = 3,       // index = unit index
+    kWriteStall = 4,  // index = connection-scoped write sequence
+    kDisconnect = 5,  // index = connection-scoped write sequence
+  };
+
+  bool solver_faults() const {
+    return unit_failure_rate > 0.0 || tile_failure_rate > 0.0 ||
+           unit_delay_rate > 0.0;
+  }
+  bool server_faults() const {
+    return write_stall_rate > 0.0 || disconnect_rate > 0.0;
+  }
+
+  /// Deterministic Bernoulli(rate) addressed by (seed, scope, index).
+  /// rate <= 0 returns false without touching any RNG; rate >= 1 always fires.
+  bool roll(Scope scope, std::uint64_t index, double rate) const;
+
+  /// The same plan re-keyed for a per-run evaluator instance, so tile rolls
+  /// are independent across the Monte-Carlo chip instances of a job while
+  /// staying deterministic in (plan seed, instance key).
+  FaultPlan for_instance(std::uint64_t instance_key) const;
+};
+
+/// Server-side plan from CNASH_FAULT_{SEED, UNIT_RATE, TILE_RATE, DELAY_RATE,
+/// DELAY_S, WRITE_STALL, DISCONNECT}. Unset/invalid variables keep defaults.
+FaultPlan fault_plan_from_env();
+
+}  // namespace cnash::util

@@ -38,10 +38,10 @@ std::string samples_fingerprint(const std::vector<SolveSample>& samples) {
   return fp;
 }
 
-TEST(SolverRegistry, GlobalRegistersTheSevenBackends) {
+TEST(SolverRegistry, GlobalRegistersTheEightBackends) {
   const std::vector<std::string> expected{
       "hardware-sa",  "hardware-sa-tiled", "exact-sa",    "dwave-2000q6",
-      "dwave-advantage41", "lemke-howson", "support-enum"};
+      "dwave-advantage41", "lemke-howson", "support-enum", "resilient"};
   EXPECT_EQ(SolverRegistry::global().names(), expected);
   for (const std::string& name : expected) {
     const SolverBackend* backend = SolverRegistry::global().find(name);

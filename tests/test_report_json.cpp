@@ -49,6 +49,7 @@ SolveReport golden_report() {
   good.valid = true;
   good.is_nash = true;
   good.regret = 0.0078125;
+  good.fallback = true;  // exercises the resilient-path sample flag
   good.profile = game::QuantizedProfile{
       game::QuantizedStrategy(std::vector<std::uint32_t>{1, 3}, 4),
       game::QuantizedStrategy(std::vector<std::uint32_t>{4, 0}, 4)};
@@ -65,6 +66,10 @@ SolveReport golden_report() {
   report.best_objective = 0.125;
   report.modeled_time_s = 1.25e-06;
   report.wall_clock_s = 0.03125;
+  report.degraded = true;  // exercises the robustness accounting fields
+  report.units_total = 4;
+  report.units_completed = 3;
+  report.fallback_count = 1;
   return report;
 }
 
@@ -76,6 +81,10 @@ void expect_reports_equal(const SolveReport& a, const SolveReport& b) {
   EXPECT_TRUE(same_bits(a.best_objective, b.best_objective));
   EXPECT_TRUE(same_bits(a.modeled_time_s, b.modeled_time_s));
   EXPECT_TRUE(same_bits(a.wall_clock_s, b.wall_clock_s));
+  EXPECT_EQ(a.degraded, b.degraded);
+  EXPECT_EQ(a.units_total, b.units_total);
+  EXPECT_EQ(a.units_completed, b.units_completed);
+  EXPECT_EQ(a.fallback_count, b.fallback_count);
   ASSERT_EQ(a.samples.size(), b.samples.size());
   for (std::size_t i = 0; i < a.samples.size(); ++i) {
     const SolveSample& sa = a.samples[i];
@@ -90,6 +99,7 @@ void expect_reports_equal(const SolveReport& a, const SolveReport& b) {
     EXPECT_EQ(sa.valid, sb.valid) << "sample " << i;
     EXPECT_EQ(sa.is_nash, sb.is_nash) << "sample " << i;
     EXPECT_TRUE(same_bits(sa.regret, sb.regret)) << "sample " << i;
+    EXPECT_EQ(sa.fallback, sb.fallback) << "sample " << i;
     EXPECT_EQ(sa.profile.has_value(), sb.profile.has_value()) << "sample " << i;
     if (sa.profile && sb.profile) {
       EXPECT_EQ(*sa.profile, *sb.profile);

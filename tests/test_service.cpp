@@ -61,7 +61,7 @@ SolveRequest sa_request(const game::BimatrixGame& g, const std::string& backend,
 
 TEST(SolverService, AllRegisteredBackendsSolveTheSameGameThroughSubmit) {
   const auto names = SolverRegistry::global().names();
-  ASSERT_EQ(names.size(), 7u);
+  ASSERT_EQ(names.size(), 8u);
   SolverService service(ServiceOptions{4});
   const game::BimatrixGame g = game::battle_of_sexes();
 
