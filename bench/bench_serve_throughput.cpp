@@ -1,17 +1,26 @@
-// Serving-gateway load generator: boots an in-process NashServer on an
-// ephemeral loopback port, drives it from pipelined client connections with a
-// mixed batch of game sizes and backends, and measures
+// Serving-gateway load generator: boots in-process NashServers on ephemeral
+// loopback ports and sweeps a client-concurrency grid over them —
+// serve_threads {1, 4} × connections {1, 8, 64} — with a closed-loop driver
+// (one request outstanding per connection, one client thread per connection)
+// so latency percentiles are true per-request round trips under concurrency.
 //
-//   * cold phase  — every request unique → full solve path: requests/s and
-//                   mean/max response latency per backend/size class;
-//   * warm phase  — the identical batch again → every request a cache hit:
-//                   cache-hit latency vs. the cold-solve latency and the
-//                   hit-rate counters from the server's `stats` method.
+//   * cold phase  — every request unique → full solve path (once per server);
+//   * warm sweep  — the batch replicated to >= 256 requests, every request a
+//                   cache hit: requests/s and p50/p95/p99 latency per
+//                   (serve_threads, connections) cell, plus one binary-framing
+//                   cell to compare framings on the same cache.
+//
+// The headline `warm_speedup` is warm req/s at (serve_threads 4, 64
+// connections) over the single-threaded baseline (serve_threads 1, one
+// synchronous connection). `hardware_threads` rides along in the JSON: on a
+// single-core host the sweep degenerates to syscall-batching gains only.
 //
 // Usage: bench_serve_throughput [requests-per-class] [--threads N]
 //                               [--json <path>]   (BENCH_serve_throughput.json)
 
+#include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <string>
 #include <thread>
 #include <vector>
@@ -20,6 +29,7 @@
 #include "game/parse.hpp"
 #include "game/random_games.hpp"
 #include "serve/line_client.hpp"
+#include "serve/protocol.hpp"
 #include "serve/server.hpp"
 #include "util/json.hpp"
 
@@ -36,76 +46,103 @@ struct RequestClass {
   std::size_t iterations;
 };
 
-std::string solve_line(const RequestClass& cls, const cnash::game::BimatrixGame& g,
-                       std::uint64_t seed, int id) {
-  std::string line = "{\"method\":\"solve\",\"id\":" + std::to_string(id);
-  line += ",\"game_text\":" +
+/// Request body without the trailing "}" — the driver appends its own id.
+std::string solve_body(const RequestClass& cls,
+                       const cnash::game::BimatrixGame& g, std::uint64_t seed) {
+  std::string body = "{\"method\":\"solve\"";
+  body += ",\"game_text\":" +
           cnash::util::Json::string(cnash::game::serialize_game(g)).dump();
-  line += ",\"backend\":\"" + cls.backend + "\"";
-  line += ",\"runs\":" + std::to_string(cls.runs);
-  line += ",\"iterations\":" + std::to_string(cls.iterations);
-  line += ",\"seed\":" + std::to_string(seed);
-  line += "}";
-  return line;
+  body += ",\"backend\":\"" + cls.backend + "\"";
+  body += ",\"runs\":" + std::to_string(cls.runs);
+  body += ",\"iterations\":" + std::to_string(cls.iterations);
+  body += ",\"seed\":" + std::to_string(seed);
+  return body;
 }
 
 struct PhaseResult {
   double wall_s = 0.0;
-  double mean_latency_s = 0.0;
-  double max_latency_s = 0.0;
   std::size_t responses = 0;
   std::size_t errors = 0;
   std::size_t cached = 0;
+  std::vector<double> latencies;  // successful responses, sorted by finish()
+
+  double rps() const {
+    return wall_s > 0.0 ? static_cast<double>(responses) / wall_s : 0.0;
+  }
+  double percentile(double p) const {  // nearest-rank on the sorted vector
+    if (latencies.empty()) return 0.0;
+    const double rank = p * static_cast<double>(latencies.size() - 1);
+    return latencies[static_cast<std::size_t>(rank + 0.5)];
+  }
+  double mean() const {
+    if (latencies.empty()) return 0.0;
+    double total = 0.0;
+    for (double l : latencies) total += l;
+    return total / static_cast<double>(latencies.size());
+  }
 };
 
-/// Sends every line and waits for all responses (pipelined per connection,
-/// round-robin across the pool). Latency is per-request submit→response.
-PhaseResult drive(std::vector<LineClient>& pool,
-                  const std::vector<std::string>& lines) {
+/// Closed-loop drive: `connections` client threads, each with its own
+/// connection and one request outstanding, splitting `bodies` round-robin.
+/// Latency is the synchronous submit→response round trip.
+PhaseResult drive(std::uint16_t port, std::size_t connections,
+                  const std::vector<std::string>& bodies, bool binary) {
   using clock = std::chrono::steady_clock;
-  PhaseResult result;
+  const std::size_t conns = std::min(std::max<std::size_t>(1, connections),
+                                     bodies.size());
+  std::vector<PhaseResult> shards(conns);
+  std::vector<std::thread> threads;
+  threads.reserve(conns);
   const auto start = clock::now();
-  std::vector<clock::time_point> sent(lines.size());
-  double total_latency = 0.0;
-  // Per-connection FIFO: responses on one connection come back in completion
-  // order; ids map them back to their submit times.
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    LineClient& client = pool[i % pool.size()];
-    sent[i] = clock::now();
-    if (!client.send_line(lines[i])) {
-      std::fprintf(stderr, "bench_serve_throughput: submit failed\n");
-      std::exit(1);
-    }
-  }
-  for (std::size_t c = 0; c < pool.size(); ++c) {
-    const std::size_t owed = lines.size() / pool.size() +
-                             (c < lines.size() % pool.size() ? 1 : 0);
-    for (std::size_t k = 0; k < owed; ++k) {
-      std::string line;
-      if (!pool[c].recv_line(line)) {
-        std::fprintf(stderr, "bench_serve_throughput: connection lost\n");
+  for (std::size_t t = 0; t < conns; ++t)
+    threads.emplace_back([&, t] {
+      PhaseResult& shard = shards[t];
+      LineClient client;
+      if (!client.connect_to(port)) {
+        std::fprintf(stderr, "bench_serve_throughput: connect failed\n");
         std::exit(1);
       }
-      const auto now = clock::now();
-      const cnash::util::Json response = cnash::util::Json::parse(line);
-      result.responses++;
-      if (!response.at("ok").as_bool()) {
-        result.errors++;
-        continue;
+      std::string line, response;
+      for (std::size_t i = t; i < bodies.size(); i += conns) {
+        line = bodies[i];
+        line += ",\"id\":0}";
+        const auto sent = clock::now();
+        bool got;
+        if (binary) {
+          unsigned char type = 0;
+          got = client.send_frame(cnash::serve::kFrameSolve, line) &&
+                client.recv_frame(type, response);
+        } else {
+          got = client.send_line(line) && client.recv_line(response);
+        }
+        if (!got) {
+          std::fprintf(stderr, "bench_serve_throughput: connection lost\n");
+          std::exit(1);
+        }
+        const double latency =
+            std::chrono::duration<double>(clock::now() - sent).count();
+        const cnash::util::Json parsed = cnash::util::Json::parse(response);
+        shard.responses++;
+        if (!parsed.at("ok").as_bool()) {
+          shard.errors++;
+          continue;
+        }
+        if (parsed.at("cached").as_bool()) shard.cached++;
+        shard.latencies.push_back(latency);
       }
-      if (response.at("cached").as_bool()) result.cached++;
-      const std::size_t id =
-          static_cast<std::size_t>(response.at("id").as_number());
-      const double latency =
-          std::chrono::duration<double>(now - sent[id]).count();
-      total_latency += latency;
-      if (latency > result.max_latency_s) result.max_latency_s = latency;
-    }
-  }
+    });
+  for (std::thread& t : threads) t.join();
+
+  PhaseResult result;
   result.wall_s = std::chrono::duration<double>(clock::now() - start).count();
-  if (result.responses > result.errors)
-    result.mean_latency_s =
-        total_latency / static_cast<double>(result.responses - result.errors);
+  for (PhaseResult& shard : shards) {
+    result.responses += shard.responses;
+    result.errors += shard.errors;
+    result.cached += shard.cached;
+    result.latencies.insert(result.latencies.end(), shard.latencies.begin(),
+                            shard.latencies.end());
+  }
+  std::sort(result.latencies.begin(), result.latencies.end());
   return result;
 }
 
@@ -114,10 +151,13 @@ void report_phase(Json& node, const PhaseResult& r) {
   node.set("errors", r.errors);
   node.set("cached", r.cached);
   node.set("wall_s", r.wall_s);
-  node.set("requests_per_sec",
-           r.wall_s > 0.0 ? static_cast<double>(r.responses) / r.wall_s : 0.0);
-  node.set("mean_latency_s", r.mean_latency_s);
-  node.set("max_latency_s", r.max_latency_s);
+  node.set("requests_per_sec", r.rps());
+  Json& lat = node.obj("latency_s");
+  lat.set("mean", r.mean());
+  lat.set("p50", r.percentile(0.50));
+  lat.set("p95", r.percentile(0.95));
+  lat.set("p99", r.percentile(0.99));
+  lat.set("max", r.latencies.empty() ? 0.0 : r.latencies.back());
 }
 
 }  // namespace
@@ -127,19 +167,8 @@ int main(int argc, char** argv) {
   const bench::CliOptions cli = bench::parse_cli(argc, argv);
   const std::size_t per_class = cli.runs > 0 ? cli.runs : 8;
   constexpr std::size_t kClasses = 5;  // must match `classes` below
+  constexpr std::size_t kWarmTarget = 256;  // minimum warm requests per cell
   bench::JsonReport report("serve_throughput", cli);
-
-  serve::ServeOptions options;
-  options.service_threads = cli.threads;
-  // This bench measures throughput and cache behavior, not shedding: the
-  // load generator pipelines the whole batch up front, so admission is
-  // sized to the offered load (every request must be admitted).
-  const std::size_t total_requests = kClasses * per_class;
-  options.admission.max_queue_depth = total_requests + 16;
-  options.admission.per_connection_inflight = total_requests + 16;
-  serve::NashServer server(options);
-  server.start();
-  std::thread server_thread([&] { server.run(); });
 
   // Mixed game-size / backend classes: the small-and-exact end answers in
   // microseconds, the hardware end exercises crossbar programming — together
@@ -158,8 +187,7 @@ int main(int argc, char** argv) {
   }
 
   util::Rng rng(0x5EEDBEEF);
-  std::vector<std::string> lines;
-  int id = 0;
+  std::vector<std::string> bodies;
   for (const RequestClass& cls : classes)
     for (std::size_t i = 0; i < per_class; ++i) {
       // Hardware backends want integer-codeable payoffs; the software
@@ -168,44 +196,24 @@ int main(int argc, char** argv) {
           cls.backend.rfind("hardware", 0) == 0
               ? game::random_integer_game(cls.actions, cls.actions, rng)
               : game::random_covariant_game(cls.actions, cls.actions, 0.0, rng);
-      lines.push_back(solve_line(cls, g, /*seed=*/1000 + i, id++));
+      bodies.push_back(solve_body(cls, g, /*seed=*/1000 + i));
     }
+  // Warm cells replay the cached batch enough times to be statistically
+  // meaningful (>= kWarmTarget requests per cell).
+  std::vector<std::string> warm_bodies;
+  const std::size_t reps = (kWarmTarget + bodies.size() - 1) / bodies.size();
+  warm_bodies.reserve(reps * bodies.size());
+  for (std::size_t r = 0; r < reps; ++r)
+    warm_bodies.insert(warm_bodies.end(), bodies.begin(), bodies.end());
 
-  std::vector<LineClient> pool(4);
-  for (LineClient& client : pool)
-    if (!client.connect_to(server.port())) {
-      std::fprintf(stderr, "bench_serve_throughput: connect failed\n");
-      return 1;
-    }
-
-  std::printf("serving %zu requests (%zu classes x %zu) on port %u\n",
-              lines.size(), classes.size(), per_class, server.port());
-
-  const PhaseResult cold = drive(pool, lines);
-  std::printf("cold: %.1f req/s, mean latency %.4f s, max %.4f s, "
-              "%zu errors\n",
-              cold.responses / cold.wall_s, cold.mean_latency_s,
-              cold.max_latency_s, cold.errors);
-
-  const PhaseResult warm = drive(pool, lines);
-  std::printf("warm: %.1f req/s, mean latency %.6f s, max %.6f s, "
-              "%zu cached of %zu\n",
-              warm.responses / warm.wall_s, warm.mean_latency_s,
-              warm.max_latency_s, warm.cached, warm.responses);
-
-  // Server-side counters over the wire, recorded into the JSON artifact.
-  std::string stats_line;
-  pool[0].send_line("{\"method\":\"stats\"}");
-  pool[0].recv_line(stats_line);
-  const util::Json stats = util::Json::parse(stats_line);
-
-  server.request_stop();
-  server_thread.join();
+  const std::vector<std::size_t> serve_thread_grid = {1, 4};
+  const std::vector<std::size_t> connection_grid = {1, 8, 64};
 
   Json& root = report.root();
-  root.set("port", static_cast<std::size_t>(server.port()));
-  root.set("connections", pool.size());
   root.set("requests_per_class", per_class);
+  root.set("warm_requests", warm_bodies.size());
+  root.set("hardware_threads",
+           static_cast<std::size_t>(std::thread::hardware_concurrency()));
   Json& classes_json = root.arr("classes");
   for (const RequestClass& cls : classes) {
     Json& c = classes_json.push();
@@ -214,25 +222,103 @@ int main(int argc, char** argv) {
     c.set("actions", cls.actions);
     c.set("runs", cls.runs);
   }
-  report_phase(root.obj("cold"), cold);
-  report_phase(root.obj("warm"), warm);
-  if (cold.mean_latency_s > 0.0 && warm.mean_latency_s > 0.0)
-    root.set("cache_speedup", cold.mean_latency_s / warm.mean_latency_s);
-  const util::Json& cache = stats.at("stats").at("cache");
-  Json& cache_json = root.obj("cache");
-  cache_json.set("hits", cache.at("hits").as_number());
-  cache_json.set("misses", cache.at("misses").as_number());
-  cache_json.set("entries", cache.at("entries").as_number());
-  cache_json.set("bytes", cache.at("bytes").as_number());
-  report.finish(static_cast<double>(cold.responses + warm.responses));
+  Json& sweep = root.arr("sweep");
 
-  const bool ok = cold.errors == 0 && warm.errors == 0 &&
-                  warm.cached == warm.responses;
+  double baseline_rps = 0.0;  // serve_threads 1, one connection
+  double headline_rps = 0.0;  // serve_threads 4, 64 connections
+  bool ok = true;
+  for (const std::size_t serve_threads : serve_thread_grid) {
+    serve::ServeOptions options;
+    options.serve_threads = serve_threads;
+    options.service_threads = cli.threads;
+    // This bench measures throughput and cache behavior, not shedding:
+    // admission is sized to the offered load (every request must be
+    // admitted).
+    options.admission.max_queue_depth = warm_bodies.size() + 16;
+    options.admission.per_connection_inflight = warm_bodies.size() + 16;
+    serve::NashServer server(options);
+    server.start();
+    std::thread server_thread([&] { server.run(); });
+
+    Json& group = sweep.push();
+    group.set("serve_threads", serve_threads);
+
+    const PhaseResult cold = drive(server.port(), 4, bodies, /*binary=*/false);
+    report_phase(group.obj("cold"), cold);
+    std::printf("serve_threads %zu  cold: %.1f req/s, p95 %.5f s, "
+                "%zu errors\n",
+                serve_threads, cold.rps(), cold.percentile(0.95), cold.errors);
+    ok = ok && cold.errors == 0;
+
+    Json& warm_json = group.arr("warm");
+    for (const std::size_t connections : connection_grid) {
+      const PhaseResult warm =
+          drive(server.port(), connections, warm_bodies, /*binary=*/false);
+      Json& cell = warm_json.push();
+      cell.set("connections", connections);
+      cell.set("framing", "json-lines");
+      report_phase(cell, warm);
+      std::printf("serve_threads %zu  warm x%-2zu conns: %8.1f req/s, "
+                  "p50 %.6f s, p95 %.6f s, p99 %.6f s, %zu/%zu cached\n",
+                  serve_threads, connections, warm.rps(), warm.percentile(0.5),
+                  warm.percentile(0.95), warm.percentile(0.99), warm.cached,
+                  warm.responses);
+      ok = ok && warm.errors == 0 && warm.cached == warm.responses;
+      if (serve_threads == 1 && connections == 1) baseline_rps = warm.rps();
+      if (serve_threads == 4 && connections == 64) headline_rps = warm.rps();
+    }
+
+    // One binary-framing cell against the same warm cache: same bodies, the
+    // length-prefixed framing instead of JSON lines.
+    if (serve_threads == serve_thread_grid.back()) {
+      const PhaseResult warm_bin =
+          drive(server.port(), 8, warm_bodies, /*binary=*/true);
+      Json& cell = warm_json.push();
+      cell.set("connections", std::size_t{8});
+      cell.set("framing", "binary");
+      report_phase(cell, warm_bin);
+      std::printf("serve_threads %zu  warm x8  conns: %8.1f req/s "
+                  "(binary framing), %zu/%zu cached\n",
+                  serve_threads, warm_bin.rps(), warm_bin.cached,
+                  warm_bin.responses);
+      ok = ok && warm_bin.errors == 0 && warm_bin.cached == warm_bin.responses;
+    }
+
+    // Server-side counters, recorded per group.
+    {
+      LineClient probe;
+      std::string stats_line;
+      if (probe.connect_to(server.port()) &&
+          probe.send_line("{\"method\":\"stats\"}") &&
+          probe.recv_line(stats_line)) {
+        const util::Json stats = util::Json::parse(stats_line);
+        const util::Json& cache = stats.at("stats").at("cache");
+        const util::Json& served = stats.at("stats").at("served");
+        Json& cache_json = group.obj("cache");
+        cache_json.set("hits", cache.at("hits").as_number());
+        cache_json.set("misses", cache.at("misses").as_number());
+        cache_json.set("entries", cache.at("entries").as_number());
+        cache_json.set("bytes", cache.at("bytes").as_number());
+        group.set("fair_deferrals", served.at("fair_deferrals").as_number());
+      }
+    }
+
+    server.request_stop();
+    server_thread.join();
+  }
+
+  if (baseline_rps > 0.0 && headline_rps > 0.0)
+    root.set("warm_speedup", headline_rps / baseline_rps);
+  std::printf("warm_speedup (serve_threads 4 x 64 conns over single-threaded "
+              "1-conn baseline): %.2fx\n",
+              baseline_rps > 0.0 ? headline_rps / baseline_rps : 0.0);
+  report.finish(
+      static_cast<double>(2 * (bodies.size() + 3 * warm_bodies.size()) +
+                          warm_bodies.size()));
+
   if (!ok) {
-    std::fprintf(stderr,
-                 "bench_serve_throughput: FAILED (cold errors %zu, warm "
-                 "errors %zu, warm cached %zu/%zu)\n",
-                 cold.errors, warm.errors, warm.cached, warm.responses);
+    std::fprintf(stderr, "bench_serve_throughput: FAILED (errors or warm "
+                 "misses — see counters above)\n");
     return 1;
   }
   return 0;

@@ -14,7 +14,15 @@
 //                      fields and unknown methods — every line must come
 //                      back as a structured {"ok":false,...} error on a
 //                      still-usable connection.
-//   --mode mixed       all three, round-robin by connection index.
+//   --mode frames      N connections abusing the binary framing: broken
+//                      frame headers (wrong version, oversize length) must
+//                      get one structured error frame then EOF — the stream
+//                      is desynchronised and cannot be resumed — while
+//                      well-framed garbage (unknown request type, unparsable
+//                      payload) must get an error frame on a still-usable
+//                      connection.
+//   --mode mixed       the three JSON-lines storms, round-robin by
+//                      connection index.
 //
 //   chaos_client --port P [--host H] [--mode M] [--connections N]
 //
@@ -191,6 +199,91 @@ int run_malformed(const Options& opt) {
   return rc;
 }
 
+// One binary response frame that must be a structured error.
+bool expect_error_frame(cnash::serve::LineClient& c, const char* what) {
+  unsigned char type = 0;
+  std::string body;
+  if (!c.recv_frame(type, body)) {
+    std::fprintf(stderr, "chaos: no frame response for %s\n", what);
+    return false;
+  }
+  if (type != cnash::serve::kFrameError) {
+    std::fprintf(stderr, "chaos: %s got frame type 0x%02x, not an error\n",
+                 what, type);
+    return false;
+  }
+  try {
+    const cnash::util::Json r = cnash::util::Json::parse(body);
+    if (r.at("ok").as_bool() || !r.find("error")) {
+      std::fprintf(stderr, "chaos: malformed %s was accepted: %s\n", what,
+                   body.c_str());
+      return false;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "chaos: unparsable error frame for %s: %s\n", what,
+                 e.what());
+    return false;
+  }
+  return true;
+}
+
+int run_frames(const Options& opt) {
+  int rc = 0;
+  for (std::size_t i = 0; i < opt.connections; ++i) {
+    cnash::serve::LineClient c;
+    if (!c.connect_to(opt.host, opt.port)) {
+      std::fprintf(stderr, "chaos: connect %zu failed: %s\n", i,
+                   std::strerror(errno));
+      return 1;
+    }
+    const bool desync = i % 4 < 2;  // header-level damage: error then close
+    switch (i % 4) {
+      case 0: {  // unsupported frame version
+        const char header[8] = {'\xCE', '\x4E', '\x00', '\x01', 0, 0, 0, 0};
+        if (!c.send_raw(header, sizeof header)) rc = 1;
+        break;
+      }
+      case 1: {  // payload length beyond the server's limit
+        const char header[8] = {'\xCE', '\x4E', '\x01', '\x01',
+                                '\xFF', '\xFF', '\xFF', '\xFF'};
+        if (!c.send_raw(header, sizeof header)) rc = 1;
+        break;
+      }
+      case 2:  // well-framed, unknown request type
+        if (!c.send_frame(0x7F, "{}")) rc = 1;
+        break;
+      default:  // well-framed solve, unparsable payload
+        if (!c.send_frame(cnash::serve::kFrameSolve, "{not json")) rc = 1;
+        break;
+    }
+    if (!expect_error_frame(c, desync ? "broken header" : "garbage frame")) {
+      rc = 1;
+      continue;
+    }
+    unsigned char type = 0;
+    std::string body;
+    if (desync) {
+      // The stream is unrecoverable: the server must close after the error.
+      if (c.recv_frame(type, body)) {
+        std::fprintf(stderr,
+                     "chaos: connection %zu stayed open after a broken "
+                     "frame header\n", i);
+        rc = 1;
+      }
+      continue;
+    }
+    // A frame-level error must not poison the connection: a good status
+    // frame on the same socket still gets served.
+    if (!c.send_frame(cnash::serve::kFrameStatus, "{}") ||
+        !c.recv_frame(type, body) || type != cnash::serve::kFrameFinal) {
+      std::fprintf(stderr, "chaos: connection %zu unusable after frame "
+                   "error\n", i);
+      rc = 1;
+    }
+  }
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -213,7 +306,7 @@ int main(int argc, char** argv) {
     else {
       std::fprintf(stderr,
                    "usage: %s --port P [--host H] [--mode slowloris|"
-                   "disconnect|malformed|mixed] [--connections N]\n",
+                   "disconnect|malformed|frames|mixed] [--connections N]\n",
                    argv[0]);
       return 2;
     }
@@ -226,6 +319,7 @@ int main(int argc, char** argv) {
   if (opt.mode == "slowloris") return run_slowloris(opt);
   if (opt.mode == "disconnect") return run_disconnect(opt);
   if (opt.mode == "malformed") return run_malformed(opt);
+  if (opt.mode == "frames") return run_frames(opt);
   if (opt.mode == "mixed") {
     Options third = opt;
     third.connections = (opt.connections + 2) / 3;

@@ -5,8 +5,16 @@
 //   nash_client [--host H] [--port P] [--backend NAME] [--runs N]
 //               [--iterations N] [--intervals I] [--seed S] [--scale S]
 //               [--tile-rows R] [--tile-cols C] [--repeat K] [--no-cache]
-//               [--max-retries N] [--json] [--status] [--stats]
-//               [--list-backends] [--raw LINE] [game-file ...]
+//               [--deadline S] [--progress] [--binary] [--max-retries N]
+//               [--json] [--status] [--stats] [--list-backends]
+//               [--raw LINE] [game-file ...]
+//
+// --binary speaks the length-prefixed binary framing of protocol.hpp instead
+// of JSON lines (same JSON bodies; --raw stays a verbatim JSON line and
+// ignores it). --deadline S sets the anytime SLO: the server returns its
+// best-so-far report within S seconds plus one work unit, flagged degraded
+// if units were cut. --progress asks for interim best-so-far progress
+// frames, printed as they stream in; they do not count as responses.
 //
 // Batch mode: every game file becomes one request; all are sent up front and
 // answered as the server completes them. --repeat K sends each game K times
@@ -30,6 +38,7 @@
 #include <sstream>
 #include <string>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include "core/report_json.hpp"
@@ -49,6 +58,8 @@ struct Options {
   double scale = 0.0;
   std::size_t tile_rows = 0, tile_cols = 0;
   std::size_t max_retries = 3;
+  double deadline_s = 0.0;
+  bool progress = false, binary = false;
   bool no_cache = false, json = false;
   bool status = false, stats = false, list_backends = false;
   std::string raw;
@@ -61,8 +72,9 @@ void print_usage(const char* argv0) {
       "usage: %s --port P [--host H] [--backend NAME] [--runs N]\n"
       "       [--iterations N] [--intervals I] [--seed S] [--scale S]\n"
       "       [--tile-rows R] [--tile-cols C] [--repeat K] [--no-cache]\n"
-      "       [--max-retries N] [--json] [--status] [--stats]\n"
-      "       [--list-backends] [--raw LINE] [game-file ...]\n",
+      "       [--deadline S] [--progress] [--binary] [--max-retries N]\n"
+      "       [--json] [--status] [--stats] [--list-backends]\n"
+      "       [--raw LINE] [game-file ...]\n",
       argv0);
 }
 
@@ -75,11 +87,16 @@ void print_report_summary(const std::string& label,
   const bool cached = response.at("cached").as_bool();
   const cnash::core::SolveReport report =
       cnash::core::report_from_json(response.at("report"));
+  std::string degraded;
+  if (report.degraded)
+    degraded = "  [degraded " + std::to_string(report.units_completed) + "/" +
+               std::to_string(report.units_total) + " units]";
   std::printf("%s: %s  %zu samples, %zu nash (%zu valid), best %.6g, "
-              "modeled %.4g s%s\n",
+              "modeled %.4g s%s%s\n",
               label.c_str(), report.backend.c_str(), report.runs(),
               report.nash_count, report.valid_count, report.best_objective,
-              report.modeled_time_s, cached ? "  [cached]" : "");
+              report.modeled_time_s, cached ? "  [cached]" : "",
+              degraded.c_str());
   std::map<std::string, std::pair<const cnash::core::SolveSample*, int>>
       distinct;
   for (const auto& s : report.samples) {
@@ -137,6 +154,10 @@ int main(int argc, char** argv) {
       opt.repeat = std::strtoul(next("--repeat"), nullptr, 10);
     else if (!std::strcmp(argv[a], "--max-retries"))
       opt.max_retries = std::strtoul(next("--max-retries"), nullptr, 10);
+    else if (!std::strcmp(argv[a], "--deadline"))
+      opt.deadline_s = std::strtod(next("--deadline"), nullptr);
+    else if (!std::strcmp(argv[a], "--progress")) opt.progress = true;
+    else if (!std::strcmp(argv[a], "--binary")) opt.binary = true;
     else if (!std::strcmp(argv[a], "--no-cache")) opt.no_cache = true;
     else if (!std::strcmp(argv[a], "--json")) opt.json = true;
     else if (!std::strcmp(argv[a], "--status")) opt.status = true;
@@ -170,6 +191,19 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Framing-agnostic transport: --binary sends requests as length-prefixed
+  // frames (the method rides in the frame type) and reads responses as frame
+  // bodies. The JSON bodies are identical in both framings, so everything
+  // downstream of these two helpers parses responses one way.
+  auto send_request = [&](unsigned char type, const std::string& body) {
+    return opt.binary ? client.send_frame(type, body) : client.send_line(body);
+  };
+  auto recv_response = [&](std::string& body) {
+    if (!opt.binary) return client.recv_line(body);
+    unsigned char type = 0;
+    return client.recv_frame(type, body);
+  };
+
   // ---- Single-shot methods --------------------------------------------------
   if (!opt.raw.empty()) {
     std::string line;
@@ -180,14 +214,16 @@ int main(int argc, char** argv) {
     std::printf("%s\n", line.c_str());
     return 0;  // --raw reports the response verbatim; not judged
   }
-  for (const auto& [flag, method] :
-       {std::pair<bool, const char*>{opt.list_backends, "list-backends"},
-        {opt.status, "status"},
-        {opt.stats, "stats"}}) {
+  for (const auto& [flag, method, type] :
+       {std::tuple<bool, const char*, unsigned char>{
+            opt.list_backends, "list-backends",
+            cnash::serve::kFrameListBackends},
+        {opt.status, "status", cnash::serve::kFrameStatus},
+        {opt.stats, "stats", cnash::serve::kFrameStats}}) {
     if (!flag) continue;
     std::string line;
-    if (!client.send_line(std::string("{\"method\":\"") + method + "\"}") ||
-        !client.recv_line(line)) {
+    if (!send_request(type, std::string("{\"method\":\"") + method + "\"}") ||
+        !recv_response(line)) {
       std::fprintf(stderr, "error: connection lost\n");
       return 1;
     }
@@ -239,7 +275,7 @@ int main(int argc, char** argv) {
   const std::size_t window = opt.repeat > 1 ? 1 : 4;
   auto read_one_response = [&]() -> bool {
     std::string line;
-    if (!client.recv_line(line)) {
+    if (!recv_response(line)) {
       std::fprintf(stderr, "error: connection closed with %zu responses "
                    "outstanding\n",
                    submissions.size() - responses.size() - unmatched);
@@ -258,6 +294,28 @@ int main(int argc, char** argv) {
         return true;
       }
       const int rid = static_cast<int>(id_num);
+
+      // Interim anytime frame (--progress): report it and keep waiting for
+      // the final response — it does not settle the request.
+      if (const cnash::util::Json* progress = response.find("progress")) {
+        if (opt.json) {
+          std::printf("%s\n", line.c_str());
+        } else {
+          const auto prog_it = id_to_index.find(rid);
+          const std::string label = prog_it != id_to_index.end()
+                                        ? submissions[prog_it->second].label
+                                        : "id " + std::to_string(rid);
+          const cnash::util::Json& best = progress->at("best_objective");
+          std::printf("%s: progress %.0f/%.0f units, %.0f nash",
+                      label.c_str(),
+                      progress->at("units_completed").as_number(),
+                      progress->at("units_total").as_number(),
+                      progress->at("nash_count").as_number());
+          if (!best.is_null()) std::printf(", best %.6g", best.as_number());
+          std::printf(" (%.3f s)\n", progress->at("elapsed_s").as_number());
+        }
+        return true;
+      }
 
       // Retryable shedding: wait the server's hint (escalated with capped
       // exponential backoff + deterministic jitter), then resend the very
@@ -279,7 +337,7 @@ int main(int argc, char** argv) {
               hint, sub.attempts, static_cast<std::uint64_t>(rid));
           sub.attempts++;
           std::this_thread::sleep_for(std::chrono::duration<double>(wait_s));
-          if (!client.send_line(sub.line)) {
+          if (!send_request(cnash::serve::kFrameSolve, sub.line)) {
             std::fprintf(stderr, "error: connection lost while retrying\n");
             return false;
           }
@@ -322,13 +380,19 @@ int main(int argc, char** argv) {
     if (opt.tile_cols)
       request += ",\"tile_cols\":" + std::to_string(opt.tile_cols);
     if (opt.no_cache) request += ",\"no_cache\":true";
+    if (opt.deadline_s > 0.0) {
+      char buf[40];
+      std::snprintf(buf, sizeof buf, "%.17g", opt.deadline_s);
+      request += ",\"deadline_s\":" + std::string(buf);
+    }
+    if (opt.progress) request += ",\"progress\":true";
 
     for (std::size_t k = 0; k < opt.repeat; ++k) {
       while (submissions.size() - responses.size() - unmatched >= window)
         if (!read_one_response()) return 1;
       const int id = next_id++;
       std::string line = request + ",\"id\":" + std::to_string(id) + "}";
-      if (!client.send_line(line)) {
+      if (!send_request(cnash::serve::kFrameSolve, line)) {
         std::fprintf(stderr, "error: connection lost while submitting\n");
         return 1;
       }

@@ -3,8 +3,11 @@
 // SolverService pool, with a content-addressed solution cache and admission
 // control (see README "Serving").
 //
-//   nash_serve [--port P] [--threads N] [--queue-depth N] [--conn-inflight N]
-//              [--cache-mb MB] [--retry-after S] [--quiet]
+//   nash_serve [--port P] [--threads N] [--serve-threads N] [--queue-depth N]
+//              [--conn-inflight N] [--cache-mb MB] [--retry-after S] [--quiet]
+//
+// --threads sizes the SolverService worker pool; --serve-threads sizes the
+// epoll event-loop pool that connections are sharded across (default 1).
 //
 // --port 0 (default) binds an ephemeral loopback port; the bound port is
 // announced on stdout as "LISTENING <port>" so scripts can pick it up.
@@ -32,9 +35,9 @@ void handle_signal(int) {
 
 void print_usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--port P] [--threads N] [--queue-depth N]\n"
-               "       [--conn-inflight N] [--cache-mb MB] [--retry-after S] "
-               "[--quiet]\n",
+               "usage: %s [--port P] [--threads N] [--serve-threads N]\n"
+               "       [--queue-depth N] [--conn-inflight N] [--cache-mb MB] "
+               "[--retry-after S] [--quiet]\n",
                argv0);
 }
 
@@ -58,6 +61,9 @@ int main(int argc, char** argv) {
           static_cast<std::uint16_t>(std::strtoul(next("--port"), nullptr, 10));
     else if (!std::strcmp(argv[a], "--threads"))
       options.service_threads = std::strtoul(next("--threads"), nullptr, 10);
+    else if (!std::strcmp(argv[a], "--serve-threads"))
+      options.serve_threads =
+          std::strtoul(next("--serve-threads"), nullptr, 10);
     else if (!std::strcmp(argv[a], "--queue-depth"))
       options.admission.max_queue_depth =
           std::strtoul(next("--queue-depth"), nullptr, 10);

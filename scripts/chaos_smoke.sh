@@ -18,7 +18,7 @@ client="$build_dir/nash_client"
 chaos="$build_dir/chaos_client"
 
 echo "--- boot nash_serve ---"
-"$server" --threads 2 --queue-depth 64 \
+"$server" --threads 2 --serve-threads 3 --queue-depth 64 \
   > "$out_dir/serve.stdout" 2> "$out_dir/serve.stderr" &
 server_pid=$!
 port=""
@@ -63,6 +63,10 @@ echo "--- disconnect storm ---"
 echo "--- malformed flood ---"
 "$chaos" --port "$port" --mode malformed --connections 64 \
   || fail "malformed flood"
+
+echo "--- binary malformed-frame storm ---"
+"$chaos" --port "$port" --mode frames --connections 64 \
+  || fail "frames storm"
 
 echo "--- resilient solve: 100% tile faults -> full exact-sa fallback ---"
 resilient_req='{"method":"solve","id":1,"game":{"name":"mp","m":[[1,-1],[-1,1]],"n":[[-1,1],[1,-1]]},"backend":"resilient","primary":"hardware-sa-tiled","runs":4,"iterations":400,"seed":7,"fault":{"seed":11,"tile_rate":1.0}}'

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# End-to-end smoke of the Nash-serving gateway: boots nash_serve on an
-# ephemeral loopback port and drives nash_client through the acceptance
-# scenarios — cold solve, byte-identical cached re-solve, large-game batch,
-# tiled-backend round trip, malformed request → structured error, graceful
-# SIGTERM drain (exit 0). Usage: scripts/serve_smoke.sh <build-dir>
+# End-to-end smoke of the Nash-serving gateway: boots nash_serve with four
+# event-loop threads on an ephemeral loopback port and drives nash_client
+# through the acceptance scenarios — cold solve, byte-identical cached
+# re-solve in both framings (JSON lines and binary), anytime solve streaming
+# progress frames, deadline-degraded solve that is never cached, large-game
+# batch, tiled-backend round trip, malformed request → structured error,
+# graceful SIGTERM drain (exit 0). Usage: scripts/serve_smoke.sh <build-dir>
 set -euo pipefail
 
 build_dir=${1:?usage: serve_smoke.sh <build-dir>}
@@ -16,7 +18,8 @@ server="$build_dir/nash_serve"
 client="$build_dir/nash_client"
 
 echo "--- boot nash_serve ---"
-"$server" --threads 2 > "$out_dir/serve.stdout" 2> "$out_dir/serve.stderr" &
+"$server" --threads 2 --serve-threads 4 \
+  > "$out_dir/serve.stdout" 2> "$out_dir/serve.stderr" &
 server_pid=$!
 port=""
 for _ in $(seq 1 100); do
@@ -59,6 +62,37 @@ sed 's/"cached":[a-z]*/"cached":_/' "$out_dir/warm.json" > "$out_dir/warm.norm"
 cmp -s "$out_dir/cold.norm" "$out_dir/warm.norm" \
   || fail "cached report is not byte-identical to the cold solve"
 
+echo "--- binary cached re-solve (byte-identical across framings) ---"
+"$client" --port "$port" "${solve_flags[@]}" --binary --json \
+  "$games_dir/battle_of_sexes.game" > "$out_dir/warm_bin.json"
+grep -q '"cached":true' "$out_dir/warm_bin.json" \
+  || fail "binary re-solve missed the cache"
+cmp -s "$out_dir/warm.json" "$out_dir/warm_bin.json" \
+  || fail "binary cached reply differs from the JSON-lines reply"
+
+echo "--- anytime solve: progress frames stream before the final ---"
+"$client" --port "$port" --backend exact-sa --runs 24 --iterations 300 \
+  --seed 11 --progress --deadline 30 --json \
+  "$games_dir/stag_hunt.game" > "$out_dir/anytime.json"
+progress_frames=$(grep -c '"progress":' "$out_dir/anytime.json" || true)
+[ "$progress_frames" -ge 1 ] || fail "no progress frames streamed"
+grep -q '"ok":true' "$out_dir/anytime.json" || fail "anytime solve failed"
+if grep -q '"degraded":true' "$out_dir/anytime.json"; then
+  fail "anytime solve with a generous deadline was degraded"
+fi
+
+echo "--- deadline cutoff: degraded report, never cached ---"
+deadline_flags=(--backend exact-sa --runs 32 --iterations 5000 --seed 12
+                --deadline 0.001)
+"$client" --port "$port" "${deadline_flags[@]}" --json \
+  "$games_dir/random_64.game" > "$out_dir/degraded1.json"
+grep -q '"degraded":true' "$out_dir/degraded1.json" \
+  || fail "deadline solve was not degraded (machine too fast? raise runs)"
+"$client" --port "$port" "${deadline_flags[@]}" --json \
+  "$games_dir/random_64.game" > "$out_dir/degraded2.json"
+grep -q '"cached":false' "$out_dir/degraded2.json" \
+  || fail "degraded report was served from the cache"
+
 echo "--- large-game batch (64 and 128 actions) ---"
 "$client" --port "$port" --backend exact-sa --intervals 4 --runs 2 \
   --iterations 300 "$games_dir/random_64.game" "$games_dir/random_128.game" \
@@ -76,7 +110,8 @@ grep -q '"code":"bad_request"' "$out_dir/malformed.json" \
 
 echo "--- stats sanity ---"
 "$client" --port "$port" --stats --json > "$out_dir/stats.json"
-grep -q '"hits":1' "$out_dir/stats.json" || fail "expected exactly one cache hit"
+grep -q '"hits":2' "$out_dir/stats.json" \
+  || fail "expected exactly two cache hits (JSON + binary re-solve)"
 
 echo "--- graceful SIGTERM drain ---"
 kill -TERM "$server_pid"

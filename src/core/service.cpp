@@ -1,6 +1,8 @@
 #include "core/service.hpp"
 
 #include <chrono>
+#include <cmath>
+#include <limits>
 #include <optional>
 #include <stdexcept>
 #include <utility>
@@ -36,6 +38,14 @@ struct SolverService::Job {
 
   std::exception_ptr error;  // first failure; remaining units are skipped
   std::promise<SolveReport> promise;
+  /// Callback-style result delivery (submit_async); when on_complete is set
+  /// the promise is never touched.
+  JobHooks hooks;
+  /// Running best-so-far aggregates for ProgressSnapshot, updated under the
+  /// service mutex as units complete (completion order, not unit order).
+  std::size_t agg_nash = 0;
+  std::size_t agg_valid = 0;
+  double agg_best = std::numeric_limits<double>::quiet_NaN();
   std::chrono::steady_clock::time_point submitted;
 
   // Anytime degradation (request.deadline_s > 0): once `expired` is set by a
@@ -74,26 +84,31 @@ std::shared_ptr<SolverService::Job> SolverService::make_job() {
   return job;
 }
 
-std::future<SolveReport> SolverService::enqueue(std::shared_ptr<Job> job) {
-  std::future<SolveReport> future = job->promise.get_future();
+void SolverService::fail_now(const std::shared_ptr<Job>& job,
+                             std::exception_ptr e) {
+  if (job->hooks.on_complete)
+    job->hooks.on_complete(SolveReport{}, e);
+  else
+    job->promise.set_exception(e);
+}
+
+void SolverService::enqueue(std::shared_ptr<Job> job) {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     if (draining_) {
-      job->promise.set_exception(std::make_exception_ptr(ServiceDrainingError(
-          "SolverService: draining — not accepting new jobs")));
-      return future;
+      fail_now(job, std::make_exception_ptr(ServiceDrainingError(
+                        "SolverService: draining — not accepting new jobs")));
+      return;
     }
     jobs_.push_back(std::move(job));
   }
   cv_.notify_all();
-  return future;
 }
 
-std::future<SolveReport> SolverService::submit(SolveRequest request) {
-  auto job = make_job();
+void SolverService::submit_job(SolveRequest request, std::shared_ptr<Job> job) {
   // Submit-time validation: an unknown backend key or a request that could
-  // only fail later on a worker thread resolves the future immediately with
-  // a clear std::invalid_argument instead.
+  // only fail later on a worker thread resolves the job immediately with a
+  // clear std::invalid_argument instead.
   const SolverBackend* backend = registry_->find(request.backend);
   std::exception_ptr invalid;
   try {
@@ -103,9 +118,8 @@ std::future<SolveReport> SolverService::submit(SolveRequest request) {
     invalid = std::current_exception();
   }
   if (invalid) {
-    std::future<SolveReport> future = job->promise.get_future();
-    job->promise.set_exception(invalid);
-    return future;
+    fail_now(job, invalid);
+    return;
   }
   job->backend = backend;
   if (request.deadline_s > 0.0) {
@@ -116,14 +130,27 @@ std::future<SolveReport> SolverService::submit(SolveRequest request) {
                                              request.deadline_s));
   }
   job->request = std::move(request);
-  return enqueue(std::move(job));
+  enqueue(std::move(job));
+}
+
+std::future<SolveReport> SolverService::submit(SolveRequest request) {
+  auto job = make_job();
+  std::future<SolveReport> future = job->promise.get_future();
+  submit_job(std::move(request), std::move(job));
+  return future;
+}
+
+void SolverService::submit_async(SolveRequest request, JobHooks hooks) {
+  auto job = make_job();
+  job->hooks = std::move(hooks);
+  submit_job(std::move(request), std::move(job));
 }
 
 std::future<SolveReport> SolverService::submit_prepared(
     std::unique_ptr<PreparedJob> prepared) {
   auto job = make_job();
+  std::future<SolveReport> future = job->promise.get_future();
   if (!prepared) {
-    std::future<SolveReport> future = job->promise.get_future();
     job->promise.set_exception(std::make_exception_ptr(
         std::invalid_argument("SolverService: null prepared job")));
     return future;
@@ -134,12 +161,12 @@ std::future<SolveReport> SolverService::submit_prepared(
   job->slots.resize(job->total);
   if (job->total == 0) {
     // Nothing to schedule; resolve inline.
-    std::future<SolveReport> future = job->promise.get_future();
     SolveReport report = assemble_report(*job->prepared, {});
     job->promise.set_value(std::move(report));
     return future;
   }
-  return enqueue(std::move(job));
+  enqueue(std::move(job));
+  return future;
 }
 
 SolveReport SolverService::solve(SolveRequest request) {
@@ -180,7 +207,7 @@ bool SolverService::draining() const {
 
 void SolverService::finish(std::shared_ptr<Job> job) {
   if (job->error) {
-    job->promise.set_exception(job->error);
+    fail_now(job, job->error);
     return;
   }
   SolveReport report = assemble_report(*job->prepared, std::move(job->slots));
@@ -190,7 +217,10 @@ void SolverService::finish(std::shared_ptr<Job> job) {
   report.wall_clock_s = std::chrono::duration<double>(
                             std::chrono::steady_clock::now() - job->submitted)
                             .count();
-  job->promise.set_value(std::move(report));
+  if (job->hooks.on_complete)
+    job->hooks.on_complete(std::move(report), nullptr);
+  else
+    job->promise.set_value(std::move(report));
 }
 
 void SolverService::worker_loop() {
@@ -290,6 +320,16 @@ void SolverService::worker_loop() {
       job->slots.resize(job->total);
       job->request.reset();  // the prepared job owns everything it needs
     } else {
+      // Running best-so-far aggregates for anytime progress snapshots,
+      // folded in completion order (snapshots are a live view; the final
+      // report recomputes them deterministically in unit order).
+      for (const SolveSample& s : samples) {
+        if (s.is_nash) job->agg_nash++;
+        if (!s.valid) continue;
+        job->agg_valid++;
+        if (std::isnan(job->agg_best) || s.objective < job->agg_best)
+          job->agg_best = s.objective;
+      }
       job->slots[unit] = std::move(samples);
       job->done++;
     }
@@ -298,6 +338,19 @@ void SolverService::worker_loop() {
         job->in_flight == 0 &&
         (job->error ||
          (job->prepared && (job->done == job->total || job->expired)));
+    std::optional<ProgressSnapshot> progress;
+    if (!finished && !error && !is_prepare && job->hooks.on_progress) {
+      ProgressSnapshot snap;
+      snap.units_total = job->total;
+      snap.units_completed = job->done;
+      snap.nash_count = job->agg_nash;
+      snap.valid_count = job->agg_valid;
+      snap.best_objective = job->agg_best;
+      snap.elapsed_s = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - job->submitted)
+                           .count();
+      progress = snap;
+    }
     if (finished) {
       for (auto it = jobs_.begin(); it != jobs_.end(); ++it)
         if (it->get() == job.get()) {
@@ -307,6 +360,17 @@ void SolverService::worker_loop() {
       finishing_++;  // drain() must not return before the promise is set
       lock.unlock();
       finish(std::move(job));
+      lock.lock();
+      finishing_--;
+    } else if (progress) {
+      // The callback runs outside the lock; finishing_ keeps drain() from
+      // returning (and the receiver from being torn down) while it runs.
+      // Another worker may complete the job's last unit concurrently, so a
+      // snapshot can reach the receiver after the final report — receivers
+      // correlate by job and drop late snapshots.
+      finishing_++;
+      lock.unlock();
+      job->hooks.on_progress(*progress);
       lock.lock();
       finishing_--;
     }

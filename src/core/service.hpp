@@ -18,6 +18,7 @@
 // remaining units of that job are skipped, other jobs are unaffected.
 
 #include <condition_variable>
+#include <functional>
 #include <future>
 #include <list>
 #include <memory>
@@ -46,6 +47,40 @@ struct ServiceOptions {
   const SolverRegistry* registry = nullptr;
 };
 
+/// Best-so-far snapshot of a running job, emitted to JobHooks::on_progress
+/// after each completed unit (except the one that finishes the job — the
+/// final report follows immediately through on_complete instead). Aggregates
+/// cover the units completed so far in completion order, so consecutive
+/// snapshots are monotone in units_completed but their sample-derived fields
+/// depend on scheduling — snapshots are a live view, not part of the
+/// bit-exactness contract (the final report is).
+struct ProgressSnapshot {
+  std::size_t units_total = 0;
+  std::size_t units_completed = 0;
+  std::size_t nash_count = 0;   // ε-Nash-verified samples so far
+  std::size_t valid_count = 0;  // simplex-valid samples so far
+  /// Minimum backend-native objective over the valid samples so far (NaN
+  /// until the first valid sample lands).
+  double best_objective = 0.0;
+  /// Wall clock since submission.
+  double elapsed_s = 0.0;
+};
+
+/// Asynchronous job observers (submit_async). Both callbacks are invoked on a
+/// service worker thread — or, for a submission that resolves immediately
+/// (draining service, invalid request), inline on the submitting thread — so
+/// they must not block and must not re-enter the service; posting a wakeup to
+/// an event loop is the intended use. No callback is invoked after
+/// on_complete, and drain() does not return while either is still running.
+struct JobHooks {
+  /// Interim best-so-far report (anytime serving). Never invoked for jobs
+  /// whose report is already final (prepare failures, zero-unit jobs).
+  std::function<void(const ProgressSnapshot&)> on_progress;
+  /// Terminal: exactly one of (report, error) is meaningful — error is the
+  /// nullptr-free indicator (report is default-constructed when set).
+  std::function<void(SolveReport&&, std::exception_ptr error)> on_complete;
+};
+
 class SolverService {
  public:
   explicit SolverService(ServiceOptions options = {});
@@ -65,6 +100,12 @@ class SolverService {
   /// deadline never fires — a degraded report's *samples* are still
   /// bit-exact per unit (keyed streams), there are just fewer of them.
   std::future<SolveReport> submit(SolveRequest request);
+
+  /// Callback-style submission (the serve/ gateway's entry point): the job's
+  /// result is delivered through hooks.on_complete instead of a future, and
+  /// hooks.on_progress (optional) streams best-so-far snapshots after each
+  /// non-final unit. Deadline semantics are identical to submit().
+  void submit_async(SolveRequest request, JobHooks hooks);
 
   /// Queue an already-prepared job (the SolverEngine's entry point: its
   /// evaluator factory is not addressable by a registry key).
@@ -108,7 +149,10 @@ class SolverService {
   struct Job;
 
   std::shared_ptr<Job> make_job();
-  std::future<SolveReport> enqueue(std::shared_ptr<Job> job);
+  void submit_job(SolveRequest request, std::shared_ptr<Job> job);
+  void enqueue(std::shared_ptr<Job> job);
+  /// Resolve a job that never reached the queue (validation / draining).
+  static void fail_now(const std::shared_ptr<Job>& job, std::exception_ptr e);
   void worker_loop();
   void finish(std::shared_ptr<Job> job);  // fulfil promise, job already delisted
 

@@ -40,7 +40,8 @@ void SolutionCache::erase(LruList::iterator it) {
   lru_.erase(it);
 }
 
-const core::SolveReport* SolutionCache::lookup(const GameKey& key) {
+std::shared_ptr<const core::SolveReport> SolutionCache::lookup(
+    const GameKey& key) {
   const LruList::iterator it = find(key);
   if (it == lru_.end()) {
     stats_.misses++;
@@ -48,12 +49,13 @@ const core::SolveReport* SolutionCache::lookup(const GameKey& key) {
   }
   stats_.hits++;
   lru_.splice(lru_.begin(), lru_, it);  // bump to most-recently-used
-  return &it->report;
+  return it->report;
 }
 
-void SolutionCache::insert(const GameKey& key, core::SolveReport report) {
+void SolutionCache::insert(const GameKey& key,
+                           std::shared_ptr<const core::SolveReport> report) {
   const std::size_t bytes =
-      report_footprint(report) + key.blob.size() + sizeof(Entry);
+      report_footprint(*report) + key.blob.size() + sizeof(Entry);
   if (bytes > stats_.byte_budget) {
     stats_.oversize_rejects++;
     return;

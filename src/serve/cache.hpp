@@ -11,10 +11,14 @@
 // the whole budget are never admitted. All counters are exposed for the
 // `stats` wire method and the serving bench.
 //
-// Not thread-safe: the gateway touches it from its single poll-loop thread.
+// Not thread-safe by itself: the gateway guards it (together with admission
+// and the coalescing registry) with one "gate" mutex shared by its worker
+// loops. Stored reports are shared_ptr<const ...> so a hit can be rendered
+// after the gate is released — eviction never invalidates a reader.
 
 #include <cstddef>
 #include <list>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -43,20 +47,21 @@ class SolutionCache {
   explicit SolutionCache(std::size_t byte_budget);
 
   /// Hit: bumps the entry to most-recently-used and returns its canonical
-  /// report (owned by the cache; valid until the next insert()). Miss:
-  /// nullptr. Counts hits/misses.
-  const core::SolveReport* lookup(const GameKey& key);
+  /// report (shared ownership — stays valid across later inserts and
+  /// evictions). Miss: nullptr. Counts hits/misses.
+  std::shared_ptr<const core::SolveReport> lookup(const GameKey& key);
 
   /// Insert (or refresh) the canonical report for `key`, then evict from the
   /// LRU tail until the byte budget holds.
-  void insert(const GameKey& key, core::SolveReport report);
+  void insert(const GameKey& key,
+              std::shared_ptr<const core::SolveReport> report);
 
   const CacheStats& stats() const { return stats_; }
 
  private:
   struct Entry {
     GameKey key;
-    core::SolveReport report;
+    std::shared_ptr<const core::SolveReport> report;
     std::size_t bytes = 0;
   };
   using LruList = std::list<Entry>;

@@ -1,7 +1,8 @@
 #pragma once
-// serve::LineClient — a minimal blocking client for the gateway's
-// newline-delimited JSON protocol: connect to a host/port, send one line,
-// receive one line. Shared by examples/nash_client.cpp,
+// serve::LineClient — a minimal blocking client for the gateway, speaking
+// either of its framings: newline-delimited JSON (send one line, receive one
+// line) or the length-prefixed binary frames of protocol.hpp (send_frame /
+// recv_frame). Shared by examples/nash_client.cpp,
 // bench/bench_serve_throughput.cpp and tests/test_serve.cpp so the framing
 // (and its EINTR/partial-send handling) exists exactly once. Header-only —
 // it is client-side convenience, not part of the server.
@@ -17,6 +18,7 @@
 #include <cstdint>
 #include <string>
 
+#include "serve/protocol.hpp"
 #include "util/rng.hpp"
 
 namespace cnash::serve {
@@ -107,6 +109,46 @@ class LineClient {
         line = buffer_.substr(0, nl);
         buffer_.erase(0, nl + 1);
         return true;
+      }
+      char chunk[16384];
+      const ssize_t got = ::recv(fd_, chunk, sizeof chunk, 0);
+      if (got < 0 && errno == EINTR) continue;
+      if (got <= 0) return false;
+      buffer_.append(chunk, static_cast<std::size_t>(got));
+    }
+  }
+
+  // ---- Binary framing (protocol.hpp) ---------------------------------------
+  // The first frame a connection sends switches the server to binary mode;
+  // don't mix send_line and send_frame on one connection.
+
+  /// One request frame: the JSON body (method implied by `type`).
+  bool send_frame(unsigned char type, const std::string& body) {
+    std::string wire;
+    encode_frame(type, body, wire);
+    return send_raw(wire.data(), wire.size());
+  }
+
+  /// One response frame: fills `type` (kFrameFinal / kFrameProgress /
+  /// kFrameError) and the JSON `body`. False on EOF, error or a malformed
+  /// header (a desynchronised stream cannot be resynchronised).
+  bool recv_frame(unsigned char& type, std::string& body) {
+    for (;;) {
+      if (buffer_.size() >= kFrameHeaderSize) {
+        const auto* b = reinterpret_cast<const unsigned char*>(buffer_.data());
+        if (b[0] != kFrameMagic0 || b[1] != kFrameMagic1 ||
+            b[2] != kFrameVersion)
+          return false;
+        const std::uint32_t length = static_cast<std::uint32_t>(b[4]) |
+                                     (static_cast<std::uint32_t>(b[5]) << 8) |
+                                     (static_cast<std::uint32_t>(b[6]) << 16) |
+                                     (static_cast<std::uint32_t>(b[7]) << 24);
+        if (buffer_.size() >= kFrameHeaderSize + length) {
+          type = b[3];
+          body.assign(buffer_, kFrameHeaderSize, length);
+          buffer_.erase(0, kFrameHeaderSize + length);
+          return true;
+        }
       }
       char chunk[16384];
       const ssize_t got = ::recv(fd_, chunk, sizeof chunk, 0);

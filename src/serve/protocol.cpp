@@ -88,7 +88,8 @@ game::BimatrixGame game_from_request(const util::Json& root) {
       "\"game\" {name, m, n}");
 }
 
-core::SolveRequest solve_from_request(const util::Json& root) {
+core::SolveRequest solve_from_request(const util::Json& root,
+                                      ParseSession* session) {
   core::SolveRequest req(game_from_request(root));
   if (const util::Json* b = root.find("backend")) {
     if (!b->is_string()) bad("\"backend\" must be a string");
@@ -158,37 +159,49 @@ core::SolveRequest solve_from_request(const util::Json& root) {
   try {
     // Resolve the backend key up front (at() throws naming the registered
     // keys) so an unknown backend is a bad_request here, not an "internal"
-    // failure after it consumed an admission slot and a solver job.
-    core::SolverRegistry::global().at(req.backend);
+    // failure after it consumed an admission slot and a solver job. A
+    // session memoizes the resolution: a connection's usual backend skips
+    // the registry map on every request after the first.
+    if (!session || !session->backend || session->backend_key != req.backend) {
+      const core::SolverRegistry& registry =
+          (session && session->registry) ? *session->registry
+                                         : core::SolverRegistry::global();
+      const core::SolverBackend* resolved = &registry.at(req.backend);
+      if (session) {
+        session->backend_key = req.backend;
+        session->backend = resolved;
+      }
+    }
     core::validate_request(req);
+  } catch (const ProtocolError&) {
+    throw;
   } catch (const std::exception& e) {
     bad(e.what());
   }
   return req;
 }
 
-}  // namespace
-
-WireRequest parse_request(const std::string& line) {
-  util::Json root;
-  try {
-    root = util::Json::parse(line);
-  } catch (const util::JsonError& e) {
-    bad(e.what());
-  }
-  if (!root.is_object()) bad("request must be a JSON object");
-
+/// Shared tail of both framings: `root` is the parsed request object,
+/// `forced_method` non-null when the method came from a frame type.
+WireRequest request_from_json(const util::Json& root,
+                              const char* forced_method,
+                              ParseSession* session) {
   WireRequest req;
   if (const util::Json* id = root.find("id")) req.id = *id;
   try {
-    const util::Json* method = root.find("method");
-    if (!method || !method->is_string())
-      bad("request needs a string \"method\"");
-    req.method = method->as_string();
+    if (forced_method) {
+      req.method = forced_method;
+    } else {
+      const util::Json* method = root.find("method");
+      if (!method || !method->is_string())
+        bad("request needs a string \"method\"");
+      req.method = method->as_string();
+    }
 
     if (req.method == "solve") {
       req.no_cache = bool_field(root, "no_cache", false);
-      req.solve = solve_from_request(root);
+      req.progress = bool_field(root, "progress", false);
+      req.solve = solve_from_request(root, session);
     } else if (req.method != "status" && req.method != "stats" &&
                req.method != "list-backends") {
       bad("unknown method \"" + req.method +
@@ -201,19 +214,117 @@ WireRequest parse_request(const std::string& line) {
   return req;
 }
 
-std::string render_solve_ok(const util::Json& id, bool cached,
-                            const core::SolveReport& report) {
+}  // namespace
+
+WireRequest parse_request(const std::string& line, ParseSession* session) {
+  util::Json root;
+  try {
+    root = util::Json::parse(line);
+  } catch (const util::JsonError& e) {
+    bad(e.what());
+  }
+  if (!root.is_object()) bad("request must be a JSON object");
+  return request_from_json(root, nullptr, session);
+}
+
+// ---- Binary framing --------------------------------------------------------
+
+std::optional<FrameHeader> peek_frame(const std::string& buf,
+                                      std::size_t max_payload) {
+  if (buf.size() < kFrameHeaderSize) return std::nullopt;
+  const auto* b = reinterpret_cast<const unsigned char*>(buf.data());
+  if (b[0] != kFrameMagic0 || b[1] != kFrameMagic1) bad("bad frame magic");
+  if (b[2] != kFrameVersion)
+    bad("unsupported frame version " + std::to_string(b[2]) + " (expected " +
+        std::to_string(kFrameVersion) + ")");
+  FrameHeader header;
+  header.type = b[3];
+  header.length = static_cast<std::uint32_t>(b[4]) |
+                  (static_cast<std::uint32_t>(b[5]) << 8) |
+                  (static_cast<std::uint32_t>(b[6]) << 16) |
+                  (static_cast<std::uint32_t>(b[7]) << 24);
+  if (header.length > max_payload)
+    bad("frame payload of " + std::to_string(header.length) +
+        " bytes exceeds the " + std::to_string(max_payload) + "-byte limit");
+  return header;
+}
+
+void encode_frame(unsigned char type, std::string_view payload,
+                  std::string& out) {
+  const std::uint32_t n = static_cast<std::uint32_t>(payload.size());
+  const char header[kFrameHeaderSize] = {
+      static_cast<char>(kFrameMagic0),
+      static_cast<char>(kFrameMagic1),
+      static_cast<char>(kFrameVersion),
+      static_cast<char>(type),
+      static_cast<char>(n & 0xFF),
+      static_cast<char>((n >> 8) & 0xFF),
+      static_cast<char>((n >> 16) & 0xFF),
+      static_cast<char>((n >> 24) & 0xFF),
+  };
+  out.append(header, kFrameHeaderSize);
+  out.append(payload.data(), payload.size());
+}
+
+const char* frame_method(unsigned char type) {
+  switch (type) {
+    case kFrameSolve: return "solve";
+    case kFrameStatus: return "status";
+    case kFrameStats: return "stats";
+    case kFrameListBackends: return "list-backends";
+    default: return nullptr;
+  }
+}
+
+WireRequest parse_frame_request(unsigned char type, const std::string& payload,
+                                ParseSession* session) {
+  const char* method = frame_method(type);
+  if (!method)
+    bad("unknown request frame type " + std::to_string(type) +
+        " (expected 0x01 solve, 0x02 status, 0x03 stats, 0x04 list-backends)");
+  util::Json root = util::Json::object();
+  if (!payload.empty()) {
+    try {
+      root = util::Json::parse(payload);
+    } catch (const util::JsonError& e) {
+      bad(e.what());
+    }
+    if (!root.is_object()) bad("frame payload must be a JSON object");
+  }
+  return request_from_json(root, method, session);
+}
+
+void render_solve_ok_body(std::string& body, const util::Json& id, bool cached,
+                          const core::SolveReport& report) {
   util::Json out = util::Json::object();
   out.set("ok", true);
   out.set("id", id);
   out.set("cached", cached);
   out.set("report", core::report_to_json(report));
-  return out.dump() + "\n";
+  body.clear();
+  body += out.dump();
 }
 
-std::string render_error(const util::Json& id, const std::string& code,
-                         const std::string& message,
-                         std::optional<double> retry_after_s) {
+void render_progress_body(std::string& body, const util::Json& id,
+                          const core::ProgressSnapshot& snapshot) {
+  util::Json out = util::Json::object();
+  out.set("ok", true);
+  out.set("id", id);
+  util::Json p = util::Json::object();
+  p.set("units_total", static_cast<double>(snapshot.units_total));
+  p.set("units_completed", static_cast<double>(snapshot.units_completed));
+  p.set("nash_count", static_cast<double>(snapshot.nash_count));
+  p.set("valid_count", static_cast<double>(snapshot.valid_count));
+  p.set("best_objective", snapshot.best_objective);  // NaN dumps as null
+  p.set("elapsed_s", snapshot.elapsed_s);
+  out.set("progress", std::move(p));
+  body.clear();
+  body += out.dump();
+}
+
+void render_error_body(std::string& body, const util::Json& id,
+                       const std::string& code, const std::string& message,
+                       std::optional<double> retry_after_s) {
   util::Json out = util::Json::object();
   out.set("ok", false);
   out.set("id", id);
@@ -222,16 +333,47 @@ std::string render_error(const util::Json& id, const std::string& code,
   err.set("message", message);
   out.set("error", std::move(err));
   if (retry_after_s) out.set("retry_after_s", *retry_after_s);
-  return out.dump() + "\n";
+  body.clear();
+  body += out.dump();
 }
 
-std::string render_ok(const util::Json& id, const std::string& key,
-                      util::Json payload) {
+void render_ok_body(std::string& body, const util::Json& id,
+                    const std::string& key, util::Json payload) {
   util::Json out = util::Json::object();
   out.set("ok", true);
   out.set("id", id);
   out.set(key, std::move(payload));
-  return out.dump() + "\n";
+  body.clear();
+  body += out.dump();
+}
+
+std::string render_solve_ok(const util::Json& id, bool cached,
+                            const core::SolveReport& report) {
+  std::string body;
+  render_solve_ok_body(body, id, cached, report);
+  return body + "\n";
+}
+
+std::string render_progress(const util::Json& id,
+                            const core::ProgressSnapshot& snapshot) {
+  std::string body;
+  render_progress_body(body, id, snapshot);
+  return body + "\n";
+}
+
+std::string render_error(const util::Json& id, const std::string& code,
+                         const std::string& message,
+                         std::optional<double> retry_after_s) {
+  std::string body;
+  render_error_body(body, id, code, message, retry_after_s);
+  return body + "\n";
+}
+
+std::string render_ok(const util::Json& id, const std::string& key,
+                      util::Json payload) {
+  std::string body;
+  render_ok_body(body, id, key, std::move(payload));
+  return body + "\n";
 }
 
 }  // namespace cnash::serve

@@ -22,11 +22,19 @@
 //          overloaded    admission shed; response carries "retry_after_s"
 //          draining      server is shutting down; carries "retry_after_s"
 //          internal      solver-side failure
+//
+// A second, length-prefixed binary framing carries the same JSON bodies with
+// the method lifted into a one-byte frame type (see "Binary framing" below);
+// a solve with "progress":true additionally streams interim progress frames
+// before the final one (anytime serving).
 
+#include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "core/backend.hpp"
+#include "core/service.hpp"
 #include "util/json.hpp"
 
 namespace cnash::serve {
@@ -52,21 +60,123 @@ struct WireRequest {
   std::string method;
   util::Json id;  // echoed verbatim; null when absent
   bool no_cache = false;
+  /// Solve only: client opted into interim best-so-far `progress` frames
+  /// (wire field `"progress":true`). The final frame always follows.
+  bool progress = false;
   /// Present iff method == "solve".
   std::optional<core::SolveRequest> solve;
+};
+
+/// Per-connection parse/render state reused across requests (the QATzip
+/// QzSession pattern): memoized backend resolution — repeat requests for the
+/// connection's usual backend skip the registry lookup — plus a recycled
+/// render buffer, so steady-state request handling allocates for the report,
+/// not the plumbing.
+struct ParseSession {
+  /// Registry to resolve backend keys against; nullptr = global().
+  const core::SolverRegistry* registry = nullptr;
+  /// Backend memo: key and resolution of this connection's last solve.
+  std::string backend_key;
+  const core::SolverBackend* backend = nullptr;
+  /// Scratch for the render_*_body helpers (cleared, then filled).
+  std::string body;
 };
 
 /// Parse + validate one request line. Throws ProtocolError (code
 /// "bad_request") on malformed JSON, schema violations, malformed games or
 /// invalid solve parameters. Solve parameter defaults are sized for an
 /// interactive gateway (32 runs × 2000 iterations), not the paper's batch
-/// sweeps.
-WireRequest parse_request(const std::string& line);
+/// sweeps. `session` (optional) memoizes backend resolution across calls.
+WireRequest parse_request(const std::string& line,
+                          ParseSession* session = nullptr);
 
-// ---- Response rendering (compact single-line JSON + '\n') ------------------
+// ---- Binary framing --------------------------------------------------------
+//
+// 8-byte header, then the payload:
+//
+//   offset  0     1     2         3       4..7
+//           0xCE  0x4E  version   type    payload length (u32 LE)
+//
+// The payload is the same compact JSON body as the JSON-lines framing minus
+// the trailing newline; request frames imply the method by type, so a
+// "method" field in the payload is ignored. Framing is negotiated per
+// connection on the first byte received — 0xCE can never start a JSON-lines
+// request, so existing clients keep working unchanged.
+
+inline constexpr unsigned char kFrameMagic0 = 0xCE;
+inline constexpr unsigned char kFrameMagic1 = 0x4E;  // 'N'
+inline constexpr unsigned char kFrameVersion = 1;
+inline constexpr std::size_t kFrameHeaderSize = 8;
+
+enum FrameType : unsigned char {
+  // Requests (client → server), mirroring the JSON "method" values.
+  kFrameSolve = 0x01,
+  kFrameStatus = 0x02,
+  kFrameStats = 0x03,
+  kFrameListBackends = 0x04,
+  // Responses (server → client); the high bit distinguishes final / interim /
+  // error without parsing the payload.
+  kFrameFinal = 0x81,
+  kFrameProgress = 0x82,
+  kFrameError = 0x83,
+};
+
+/// A connection speaks binary iff its first byte is the frame magic.
+inline bool looks_binary(unsigned char first_byte) {
+  return first_byte == kFrameMagic0;
+}
+
+/// Decoded frame header.
+struct FrameHeader {
+  unsigned char type = 0;
+  std::uint32_t length = 0;  // payload bytes following the header
+};
+
+/// Decode the frame header at the front of `buf`. Returns nullopt when fewer
+/// than kFrameHeaderSize bytes are buffered; throws ProtocolError
+/// ("bad_request") on bad magic, unsupported version, or a payload length
+/// above `max_payload`.
+std::optional<FrameHeader> peek_frame(const std::string& buf,
+                                      std::size_t max_payload);
+
+/// Append one complete frame (header + payload) to `out`.
+void encode_frame(unsigned char type, std::string_view payload,
+                  std::string& out);
+
+/// JSON "method" equivalent of a request frame type; nullptr when `type` is
+/// not a request frame.
+const char* frame_method(unsigned char type);
+
+/// Parse + validate one binary request frame's payload (requests only).
+/// Errors as parse_request; an empty payload is an empty object (the natural
+/// encoding for status/stats/list-backends).
+WireRequest parse_frame_request(unsigned char type, const std::string& payload,
+                                ParseSession* session = nullptr);
+
+// ---- Response rendering ----------------------------------------------------
+//
+// The *_body variants render the compact JSON body with no trailing newline
+// into `body` (cleared first), so a connection reuses one buffer and wraps it
+// in its negotiated framing: JSON-lines appends '\n', binary wraps it in a
+// frame. The string-returning forms are JSON-lines convenience wrappers.
+
+void render_solve_ok_body(std::string& body, const util::Json& id, bool cached,
+                          const core::SolveReport& report);
+/// Interim anytime frame: {"ok":true,"id":...,"progress":{units_total,
+/// units_completed, nash_count, valid_count, best_objective, elapsed_s}}.
+/// best_objective is null until the first valid sample.
+void render_progress_body(std::string& body, const util::Json& id,
+                          const core::ProgressSnapshot& snapshot);
+void render_error_body(std::string& body, const util::Json& id,
+                       const std::string& code, const std::string& message,
+                       std::optional<double> retry_after_s = std::nullopt);
+void render_ok_body(std::string& body, const util::Json& id,
+                    const std::string& key, util::Json payload);
 
 std::string render_solve_ok(const util::Json& id, bool cached,
                             const core::SolveReport& report);
+std::string render_progress(const util::Json& id,
+                            const core::ProgressSnapshot& snapshot);
 std::string render_error(const util::Json& id, const std::string& code,
                          const std::string& message,
                          std::optional<double> retry_after_s = std::nullopt);

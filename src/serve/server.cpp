@@ -5,13 +5,21 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <deque>
+#include <optional>
 #include <stdexcept>
+#include <thread>
+#include <unordered_map>
 #include <utility>
 
 namespace cnash::serve {
@@ -29,18 +37,140 @@ void set_nonblocking(int fd) {
     sys_fail("fcntl(O_NONBLOCK)");
 }
 
+/// Is a complete (or detectably malformed / oversize — both of which the
+/// extractor reports as an error the moment it sees them) binary frame
+/// buffered? Used for the fairness-backlog decision, so it must never say
+/// "yes" for a frame that is merely still arriving.
+bool frame_actionable(const std::string& in, std::size_t max_payload) {
+  if (in.size() < kFrameHeaderSize) return false;
+  const auto* b = reinterpret_cast<const unsigned char*>(in.data());
+  if (b[0] != kFrameMagic0 || b[1] != kFrameMagic1 || b[2] != kFrameVersion)
+    return true;  // malformed header: actionable (produces an error)
+  const std::uint32_t length = static_cast<std::uint32_t>(b[4]) |
+                               (static_cast<std::uint32_t>(b[5]) << 8) |
+                               (static_cast<std::uint32_t>(b[6]) << 16) |
+                               (static_cast<std::uint32_t>(b[7]) << 24);
+  if (length > max_payload) return true;  // oversize: actionable error
+  return in.size() >= kFrameHeaderSize + length;
+}
+
 }  // namespace
+
+// ---- Per-connection and cross-thread structures ----------------------------
+
+struct NashServer::Connection {
+  int fd = -1;
+  std::uint64_t id = 0;  // process-wide (fault-roll index base)
+  std::string in;   // unparsed request bytes (reused across requests)
+  std::string out;  // unflushed response bytes (reused across responses)
+  std::string scratch;  // current request line / frame payload (reused)
+  ParseSession session;  // backend memo + render buffer (reused)
+  std::size_t inflight = 0;  // solve responses owed (queued + coalesced)
+  std::uint64_t write_seq = 0;  // flush attempts (fault-roll index)
+  enum Framing { kUndecided, kJsonLines, kBinary };
+  Framing framing = kUndecided;  // negotiated on the first byte received
+  bool want_write = false;  // epoll interest currently includes EPOLLOUT
+  bool close_after_flush = false;
+  /// Hard-dead (injected disconnect or output overflow): buffered I/O is
+  /// dropped and the loop reaps the fd without waiting on inflight.
+  bool aborted = false;
+};
+
+/// A cross-thread handoff into an event loop: a freshly accepted connection
+/// from the accept thread, or a solve outcome from a service callback.
+struct NashServer::Delivery {
+  enum Kind { kNewConn, kFinal, kError, kProgress };
+  Kind kind = kNewConn;
+  std::uint64_t conn_id = 0;
+  int fd = -1;  // kNewConn
+  // kFinal: the canonical report (shared with the cache when stored).
+  std::shared_ptr<const core::SolveReport> report;
+  ReportMapping mapping;
+  // kError
+  std::string code;
+  std::string message;
+  std::optional<double> retry_after_s;
+  // kProgress
+  core::ProgressSnapshot snapshot;
+  util::Json id;  // response correlation id (kFinal/kError/kProgress)
+};
+
+/// One event loop: an epoll instance plus the connections sharded onto it.
+/// Everything except `inbox` is touched only by the owning thread; the inbox
+/// is the single cross-thread entry point (push under inbox_mutex, then wake
+/// the eventfd).
+struct NashServer::Loop {
+  NashServer* server = nullptr;
+  int epoll_fd = -1;
+  int event_fd = -1;
+  std::thread thread;
+  std::unordered_map<std::uint64_t, Connection> conns;
+  /// Connections with complete requests still buffered past the fairness
+  /// bound; resumed next round without waiting for new socket data.
+  std::deque<std::uint64_t> backlog;
+
+  std::mutex inbox_mutex;
+  std::vector<Delivery> inbox;
+
+  ~Loop() {
+    for (auto& [id, conn] : conns)
+      if (conn.fd >= 0) ::close(conn.fd);
+    if (event_fd >= 0) ::close(event_fd);
+    if (epoll_fd >= 0) ::close(epoll_fd);
+  }
+
+  void open() {
+    epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epoll_fd < 0) sys_fail("epoll_create1");
+    event_fd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (event_fd < 0) sys_fail("eventfd");
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = 0;  // 0 = the eventfd (connection ids start at 1)
+    if (::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, event_fd, &ev) < 0)
+      sys_fail("epoll_ctl(eventfd)");
+  }
+
+  void wake() {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = ::write(event_fd, &one, sizeof one);
+  }
+
+  /// Keep EPOLLOUT interest in sync with buffered output.
+  void update_interest(Connection& conn) {
+    const bool want = !conn.out.empty() && !conn.aborted;
+    if (want == conn.want_write) return;
+    conn.want_write = want;
+    epoll_event ev{};
+    ev.events = EPOLLIN | (want ? EPOLLOUT : 0);
+    ev.data.u64 = conn.id;
+    ::epoll_ctl(epoll_fd, EPOLL_CTL_MOD, conn.fd, &ev);
+  }
+
+  void flush(Connection& conn);
+  void send_body(Connection& conn, unsigned char frame_type, bool is_error);
+  void read_ready(std::uint64_t conn_id);
+  void process_input(std::uint64_t conn_id);
+  void process_inbox();
+  void process_backlog();
+  void reap();
+  void close_connection(std::uint64_t conn_id);
+  void run();
+  void final_flush_and_close();
+};
+
+// ---- Construction / listen -------------------------------------------------
 
 NashServer::NashServer(ServeOptions options)
     : options_(options),
-      service_(core::ServiceOptions{options.service_threads, nullptr}),
       cache_(options.cache_bytes),
-      admission_(options.admission) {}
+      admission_(options.admission),
+      service_(core::ServiceOptions{options.service_threads, nullptr}) {}
 
 NashServer::~NashServer() {
-  for (auto& [id, conn] : conns_)
-    if (conn.fd >= 0) ::close(conn.fd);
   if (listen_fd_ >= 0) ::close(listen_fd_);
+  // loops_ destructor closes any remaining fds; service_ (declared last) is
+  // destroyed before either, draining its callbacks first.
 }
 
 void NashServer::start() {
@@ -57,7 +187,7 @@ void NashServer::start() {
   if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
              sizeof addr) < 0)
     sys_fail("bind");
-  if (::listen(listen_fd_, 64) < 0) sys_fail("listen");
+  if (::listen(listen_fd_, 256) < 0) sys_fail("listen");
   set_nonblocking(listen_fd_);
 
   sockaddr_in bound{};
@@ -72,7 +202,9 @@ void NashServer::start() {
   }
 }
 
-void NashServer::accept_ready() {
+// ---- Accept thread ----------------------------------------------------------
+
+void NashServer::accept_ready(std::size_t& next_loop) {
   for (;;) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
@@ -80,7 +212,7 @@ void NashServer::accept_ready() {
       if (errno == EMFILE || errno == ENFILE) {
         // fd exhaustion: the pending connection stays queued and the
         // listener stays readable, so back off briefly instead of letting
-        // the poll loop busy-spin on a failure that cannot clear itself.
+        // the accept loop busy-spin on a failure that cannot clear itself.
         ::poll(nullptr, 0, 50);
         return;
       }
@@ -89,16 +221,190 @@ void NashServer::accept_ready() {
     set_nonblocking(fd);
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-    Connection conn;
-    conn.fd = fd;
-    conn.id = next_conn_id_;
-    conns_.emplace(next_conn_id_++, std::move(conn));
+    Delivery d;
+    d.kind = Delivery::kNewConn;
+    d.fd = fd;
+    d.conn_id = next_conn_id_++;
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    Loop& loop = *loops_[next_loop++ % loops_.size()];
+    post(loop, std::move(d));
   }
 }
 
-void NashServer::read_ready(std::uint64_t conn_id) {
-  auto it = conns_.find(conn_id);
-  if (it == conns_.end()) return;
+void NashServer::post(Loop& loop, Delivery delivery) {
+  {
+    std::lock_guard<std::mutex> lock(loop.inbox_mutex);
+    loop.inbox.push_back(std::move(delivery));
+  }
+  loop.wake();
+}
+
+void NashServer::begin_drain() {
+  draining_.store(true, std::memory_order_relaxed);
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+bool NashServer::pending_empty() {
+  std::lock_guard<std::mutex> lock(gate_);
+  return pending_.empty();
+}
+
+void NashServer::shutdown_loops() {
+  loops_stop_.store(true, std::memory_order_release);
+  for (auto& loop : loops_)
+    if (loop->thread.joinable()) loop->wake();
+  for (auto& loop : loops_)
+    if (loop->thread.joinable()) loop->thread.join();
+}
+
+void NashServer::run() {
+  if (listen_fd_ < 0 && !draining_.load(std::memory_order_relaxed))
+    throw std::runtime_error("serve: run() before start()");
+
+  loops_.clear();
+  loops_stop_.store(false, std::memory_order_relaxed);
+  const std::size_t n_loops = std::max<std::size_t>(1, options_.serve_threads);
+  for (std::size_t i = 0; i < n_loops; ++i) {
+    auto loop = std::make_unique<Loop>();
+    loop->server = this;
+    loop->open();
+    loops_.push_back(std::move(loop));
+  }
+  for (auto& loop : loops_)
+    loop->thread = std::thread([l = loop.get()] { l->run(); });
+
+  try {
+    std::size_t next_loop = 0;
+    for (;;) {
+      if (stop_requested_.load(std::memory_order_relaxed) &&
+          !draining_.load(std::memory_order_relaxed))
+        begin_drain();
+      // Exit once draining and every in-flight solve has resolved. Its
+      // callback posted all deliveries under the gate before removing the
+      // registry entry, so observing an empty registry here means every
+      // final frame is already in a loop inbox — the loops' shutdown path
+      // writes and flushes them before closing.
+      if (draining_.load(std::memory_order_relaxed) && pending_empty()) break;
+
+      if (listen_fd_ >= 0) {
+        pollfd pfd{listen_fd_, POLLIN, 0};
+        const int ready = ::poll(&pfd, 1, 50);
+        if (ready < 0 && errno != EINTR) sys_fail("poll(listen)");
+        if (ready > 0) accept_ready(next_loop);
+      } else {
+        ::poll(nullptr, 0, 5);  // draining: just watch the registry
+      }
+    }
+  } catch (...) {
+    shutdown_loops();
+    throw;
+  }
+
+  shutdown_loops();
+  service_.drain();
+}
+
+// ---- Event loop -------------------------------------------------------------
+
+void NashServer::Loop::run() {
+  std::vector<epoll_event> events(64);
+  while (!server->loops_stop_.load(std::memory_order_acquire)) {
+    const int timeout_ms = backlog.empty() ? 200 : 0;
+    const int n =
+        ::epoll_wait(epoll_fd, events.data(), static_cast<int>(events.size()),
+                     timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // unrecoverable epoll failure; shut this loop down
+    }
+    for (int i = 0; i < n; ++i) {
+      if (events[i].data.u64 == 0) {
+        std::uint64_t drained;
+        while (::read(event_fd, &drained, sizeof drained) > 0) {
+        }
+        process_inbox();
+        continue;
+      }
+      const std::uint64_t conn_id = events[i].data.u64;
+      if (events[i].events & (EPOLLIN | EPOLLHUP | EPOLLERR))
+        read_ready(conn_id);
+      const auto it = conns.find(conn_id);
+      if (it != conns.end() && (events[i].events & EPOLLOUT)) {
+        flush(it->second);
+        update_interest(it->second);
+      }
+    }
+    process_backlog();
+    reap();
+  }
+  final_flush_and_close();
+}
+
+void NashServer::Loop::process_inbox() {
+  std::vector<Delivery> batch;
+  {
+    std::lock_guard<std::mutex> lock(inbox_mutex);
+    batch.swap(inbox);
+  }
+  for (Delivery& d : batch) {
+    if (d.kind == Delivery::kNewConn) {
+      Connection conn;
+      conn.fd = d.fd;
+      conn.id = d.conn_id;
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.u64 = d.conn_id;
+      if (::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, d.fd, &ev) < 0) {
+        ::close(d.fd);
+        server->connections_.fetch_sub(1, std::memory_order_relaxed);
+        continue;
+      }
+      conns.emplace(d.conn_id, std::move(conn));
+      continue;
+    }
+
+    const auto it = conns.find(d.conn_id);
+    // Solve bookkeeping mirrors a client that went away: the owed-response
+    // count is irrelevant once the connection is gone, and the response is
+    // dropped exactly like a genuine mid-request disconnect.
+    if (d.kind == Delivery::kFinal || d.kind == Delivery::kError) {
+      if (it != conns.end() && it->second.inflight > 0) it->second.inflight--;
+    }
+    if (it == conns.end()) continue;
+    Connection& conn = it->second;
+
+    switch (d.kind) {
+      case Delivery::kFinal:
+        server->counters_.solves_ok.fetch_add(1, std::memory_order_relaxed);
+        render_solve_ok_body(conn.session.body, d.id, /*cached=*/false,
+                             map_to_original(d.mapping, *d.report));
+        send_body(conn, kFrameFinal, /*is_error=*/false);
+        break;
+      case Delivery::kError:
+        render_error_body(conn.session.body, d.id, d.code, d.message,
+                          d.retry_after_s);
+        send_body(conn, kFrameError, /*is_error=*/true);
+        break;
+      case Delivery::kProgress:
+        if (!conn.aborted) {
+          server->counters_.progress_frames.fetch_add(
+              1, std::memory_order_relaxed);
+          render_progress_body(conn.session.body, d.id, d.snapshot);
+          send_body(conn, kFrameProgress, /*is_error=*/false);
+        }
+        break;
+      case Delivery::kNewConn:
+        break;  // handled above
+    }
+  }
+}
+
+void NashServer::Loop::read_ready(std::uint64_t conn_id) {
+  const auto it = conns.find(conn_id);
+  if (it == conns.end()) return;
   Connection& conn = it->second;
   char buf[16384];
   for (;;) {
@@ -114,63 +420,260 @@ void NashServer::read_ready(std::uint64_t conn_id) {
     conn.close_after_flush = true;
     break;
   }
+  process_input(conn_id);
+}
 
-  std::size_t start = 0;
+void NashServer::Loop::process_input(std::uint64_t conn_id) {
+  auto it = conns.find(conn_id);
+  if (it == conns.end()) return;
+  Connection& conn = it->second;
+
+  if (conn.framing == Connection::kUndecided && !conn.in.empty())
+    conn.framing =
+        looks_binary(static_cast<unsigned char>(conn.in.front()))
+            ? Connection::kBinary
+            : Connection::kJsonLines;
+
+  const std::size_t cap = std::max<std::size_t>(
+      1, server->options_.max_requests_per_wakeup);
+  std::size_t handled = 0;
+  while (handled < cap && !conn.aborted && !conn.close_after_flush) {
+    if (conn.framing == Connection::kBinary) {
+      std::optional<FrameHeader> header;
+      try {
+        header = peek_frame(conn.in, server->options_.max_line_bytes);
+      } catch (const ProtocolError& e) {
+        // A broken frame header desynchronises the stream — answer and close.
+        server->counters_.lines.fetch_add(1, std::memory_order_relaxed);
+        render_error_body(conn.session.body, util::Json(), e.code(), e.what());
+        send_body(conn, kFrameError, /*is_error=*/true);
+        conn.in.clear();
+        conn.close_after_flush = true;
+        break;
+      }
+      if (!header || conn.in.size() < kFrameHeaderSize + header->length) break;
+      conn.scratch.assign(conn.in, kFrameHeaderSize, header->length);
+      conn.in.erase(0, kFrameHeaderSize + header->length);
+      handled++;
+      server->counters_.lines.fetch_add(1, std::memory_order_relaxed);
+      WireRequest request;
+      try {
+        request = parse_frame_request(header->type, conn.scratch,
+                                      &conn.session);
+      } catch (const ProtocolError& e) {
+        render_error_body(conn.session.body, e.id(), e.code(), e.what());
+        send_body(conn, kFrameError, /*is_error=*/true);
+        continue;
+      } catch (const std::exception& e) {
+        render_error_body(conn.session.body, util::Json(), "internal",
+                          e.what());
+        send_body(conn, kFrameError, /*is_error=*/true);
+        continue;
+      }
+      try {
+        server->handle_request(*this, conn, std::move(request));
+      } catch (const std::exception& e) {
+        // Defensive: nothing may escape the event loop.
+        render_error_body(conn.session.body, util::Json(), "internal",
+                          e.what());
+        send_body(conn, kFrameError, /*is_error=*/true);
+      }
+    } else {
+      const std::size_t nl = conn.in.find('\n');
+      if (nl == std::string::npos) break;
+      conn.scratch.assign(conn.in, 0, nl);
+      conn.in.erase(0, nl + 1);
+      if (!conn.scratch.empty() && conn.scratch.back() == '\r')
+        conn.scratch.pop_back();
+      if (conn.scratch.empty()) continue;
+      handled++;
+      server->counters_.lines.fetch_add(1, std::memory_order_relaxed);
+      WireRequest request;
+      try {
+        request = parse_request(conn.scratch, &conn.session);
+      } catch (const ProtocolError& e) {
+        render_error_body(conn.session.body, e.id(), e.code(), e.what());
+        send_body(conn, kFrameError, /*is_error=*/true);
+        continue;
+      } catch (const std::exception& e) {
+        // Defensive: nothing may escape the event loop.
+        render_error_body(conn.session.body, util::Json(), "internal",
+                          e.what());
+        send_body(conn, kFrameError, /*is_error=*/true);
+        continue;
+      }
+      try {
+        server->handle_request(*this, conn, std::move(request));
+      } catch (const std::exception& e) {
+        render_error_body(conn.session.body, util::Json(), "internal",
+                          e.what());
+        send_body(conn, kFrameError, /*is_error=*/true);
+      }
+    }
+  }
+  if (conn.aborted) return;
+
+  // Protocol-abuse guard: an unterminated request longer than the limit.
+  if (conn.framing != Connection::kBinary &&
+      conn.in.size() > server->options_.max_line_bytes) {
+    render_error_body(conn.session.body, util::Json(), "bad_request",
+                      "request line exceeds " +
+                          std::to_string(server->options_.max_line_bytes) +
+                          " bytes");
+    send_body(conn, kFrameError, /*is_error=*/true);
+    conn.in.clear();
+    conn.close_after_flush = true;
+    return;
+  }
+
+  // Fairness: a pipelined batch beyond the per-wakeup bound is resumed from
+  // the backlog next round instead of here, so the loop's other connections
+  // get a turn first.
+  const bool more =
+      !conn.close_after_flush &&
+      (conn.framing == Connection::kBinary
+           ? frame_actionable(conn.in, server->options_.max_line_bytes)
+           : conn.in.find('\n') != std::string::npos);
+  if (more) {
+    backlog.push_back(conn_id);
+    server->counters_.fair_deferrals.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void NashServer::Loop::process_backlog() {
+  // One pass over the connections queued at entry; process_input re-queues
+  // any that still exceed the bound, for the next round.
+  std::size_t n = backlog.size();
+  while (n-- > 0) {
+    const std::uint64_t conn_id = backlog.front();
+    backlog.pop_front();
+    process_input(conn_id);
+  }
+}
+
+void NashServer::Loop::reap() {
+  // Connections that are done: aborted (injected disconnect / output
+  // overflow — no goodbyes owed), or flushed + flagged with nothing owed.
+  // An aborted connection's pending deliveries resolve against a missing
+  // conn id and are dropped, exactly like a genuine mid-request disconnect.
+  std::vector<std::uint64_t> dead;
+  for (const auto& [id, conn] : conns)
+    if (conn.aborted ||
+        (conn.close_after_flush && conn.out.empty() && conn.inflight == 0))
+      dead.push_back(id);
+  for (const std::uint64_t id : dead) close_connection(id);
+}
+
+void NashServer::Loop::close_connection(std::uint64_t conn_id) {
+  const auto it = conns.find(conn_id);
+  if (it == conns.end()) return;
+  ::epoll_ctl(epoll_fd, EPOLL_CTL_DEL, it->second.fd, nullptr);
+  ::close(it->second.fd);
+  conns.erase(it);
+  server->connections_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void NashServer::Loop::final_flush_and_close() {
+  // The in-flight registry was empty before loops_stop_ was set, so every
+  // final delivery is already in the inbox: write those responses, then give
+  // sockets a bounded grace period to take the last bytes.
+  process_inbox();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
   for (;;) {
-    const std::size_t nl = conn.in.find('\n', start);
-    if (nl == std::string::npos) break;
-    std::string line = conn.in.substr(start, nl - start);
-    start = nl + 1;
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    if (line.empty()) continue;
-    handle_line(conn_id, line);
-    // handle_line may have closed the connection.
-    it = conns_.find(conn_id);
-    if (it == conns_.end()) return;
+    bool outstanding = false;
+    for (auto& [id, conn] : conns) {
+      flush(conn);
+      if (!conn.aborted && !conn.out.empty()) outstanding = true;
+    }
+    if (!outstanding || std::chrono::steady_clock::now() > deadline) break;
+    ::poll(nullptr, 0, 10);
   }
-  Connection& c = it->second;
-  c.in.erase(0, start);
-  if (c.in.size() > options_.max_line_bytes) {
-    respond(conn_id,
-            render_error(util::Json(), "bad_request",
-                         "request line exceeds " +
-                             std::to_string(options_.max_line_bytes) +
-                             " bytes"),
-            /*is_error=*/true);
-    c.in.clear();
-    c.close_after_flush = true;
+  std::vector<std::uint64_t> all;
+  for (const auto& [id, conn] : conns) all.push_back(id);
+  for (const std::uint64_t id : all) close_connection(id);
+}
+
+// ---- Response writing -------------------------------------------------------
+
+void NashServer::Loop::send_body(Connection& conn, unsigned char frame_type,
+                                 bool is_error) {
+  if (is_error)
+    server->counters_.errors.fetch_add(1, std::memory_order_relaxed);
+  if (conn.aborted) return;
+  if (conn.framing == Connection::kBinary) {
+    encode_frame(frame_type, conn.session.body, conn.out);
+  } else {
+    conn.out += conn.session.body;
+    conn.out += '\n';
+  }
+  // Slow-reader guard: a peer that stops draining responses while issuing
+  // more requests cannot grow `out` past the cap — the connection is
+  // aborted instead (buffered output dropped, fd reaped by the loop).
+  if (conn.out.size() > server->options_.max_output_bytes) {
+    conn.out.clear();
+    conn.aborted = true;
+    server->counters_.overflow_closed.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  flush(conn);
+  update_interest(conn);
+}
+
+void NashServer::Loop::flush(Connection& conn) {
+  if (conn.aborted) return;
+  // Injected transport faults, rolled per flush attempt: a disconnect aborts
+  // the connection mid-response; a write stall delivers at most one byte and
+  // leaves the rest buffered for EPOLLOUT — downstream of both, the server
+  // must behave exactly as it does for a genuinely broken or slow peer.
+  const util::FaultPlan& fault = server->options_.fault;
+  if (!conn.out.empty() && fault.server_faults()) {
+    using Scope = util::FaultPlan::Scope;
+    const std::uint64_t roll_index = (conn.id << 20) ^ conn.write_seq++;
+    if (fault.roll(Scope::kDisconnect, roll_index, fault.disconnect_rate)) {
+      conn.out.clear();
+      conn.aborted = true;
+      server->counters_.injected_disconnects.fetch_add(
+          1, std::memory_order_relaxed);
+      return;
+    }
+    if (fault.roll(Scope::kWriteStall, roll_index, fault.write_stall_rate)) {
+      const ssize_t sent = ::send(conn.fd, conn.out.data(), 1, MSG_NOSIGNAL);
+      if (sent > 0) conn.out.erase(0, static_cast<std::size_t>(sent));
+      server->counters_.write_stalls.fetch_add(1, std::memory_order_relaxed);
+      return;  // rest stays buffered; EPOLLOUT resumes it
+    }
+  }
+  while (!conn.out.empty()) {
+    const ssize_t sent =
+        ::send(conn.fd, conn.out.data(), conn.out.size(), MSG_NOSIGNAL);
+    if (sent > 0) {
+      // Short writes are normal under O_NONBLOCK: loop until EAGAIN, the
+      // remainder stays in `out` and epoll watches EPOLLOUT.
+      conn.out.erase(0, static_cast<std::size_t>(sent));
+      continue;
+    }
+    if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    if (sent < 0 && errno == EINTR) continue;
+    conn.out.clear();  // broken pipe: drop buffered output, close on reap
+    conn.close_after_flush = true;
+    return;
   }
 }
 
-void NashServer::handle_line(std::uint64_t conn_id, const std::string& line) {
-  served_.lines++;
-  WireRequest request;
-  try {
-    request = parse_request(line);
-  } catch (const ProtocolError& e) {
-    respond(conn_id, render_error(e.id(), e.code(), e.what()), true);
-    return;
-  } catch (const std::exception& e) {
-    // Defensive: nothing may escape the poll loop.
-    respond(conn_id, render_error(util::Json(), "internal", e.what()), true);
-    return;
-  }
+// ---- Request handling -------------------------------------------------------
 
-  try {
-    dispatch(conn_id, std::move(request));
-  } catch (const std::exception& e) {
-    respond(conn_id, render_error(util::Json(), "internal", e.what()), true);
-  }
-}
-
-void NashServer::dispatch(std::uint64_t conn_id, WireRequest request) {
+void NashServer::handle_request(Loop& loop, Connection& conn,
+                                WireRequest request) {
   if (request.method == "solve") {
-    handle_solve(conn_id, std::move(request));
+    handle_solve(loop, conn, std::move(request));
   } else if (request.method == "status") {
-    respond(conn_id, render_ok(request.id, "status", status_payload()), false);
+    render_ok_body(conn.session.body, request.id, "status", status_payload());
+    loop.send_body(conn, kFrameFinal, /*is_error=*/false);
   } else if (request.method == "stats") {
-    respond(conn_id, render_ok(request.id, "stats", stats_payload()), false);
-  } else {  // list-backends (parse_request rejected everything else)
+    render_ok_body(conn.session.body, request.id, "stats", stats_payload());
+    loop.send_body(conn, kFrameFinal, /*is_error=*/false);
+  } else {  // list-backends (the parser rejected everything else)
     util::Json backends = util::Json::array();
     const core::SolverRegistry& registry = core::SolverRegistry::global();
     for (const std::string& name : registry.names()) {
@@ -178,107 +681,165 @@ void NashServer::dispatch(std::uint64_t conn_id, WireRequest request) {
       b.set("name", name);
       b.set("description", registry.at(name).describe());
     }
-    respond(conn_id, render_ok(request.id, "backends", std::move(backends)),
-            false);
+    render_ok_body(conn.session.body, request.id, "backends",
+                   std::move(backends));
+    loop.send_body(conn, kFrameFinal, /*is_error=*/false);
   }
 }
 
-void NashServer::handle_solve(std::uint64_t conn_id, WireRequest request) {
-  if (draining_) {
-    respond(conn_id,
-            render_error(request.id, "draining",
-                         "server is draining and accepts no new solves",
-                         admission_.options().retry_after_s),
-            true);
+void NashServer::handle_solve(Loop& loop, Connection& conn,
+                              WireRequest request) {
+  if (draining_.load(std::memory_order_relaxed)) {
+    render_error_body(conn.session.body, request.id, "draining",
+                      "server is draining and accepts no new solves",
+                      admission_.options().retry_after_s);
+    loop.send_body(conn, kFrameError, /*is_error=*/true);
     return;
   }
 
   CanonicalRequest canonical = canonicalize(std::move(*request.solve));
 
-  // Layer 1: the content-addressed cache. Replay is deterministic — the
-  // stored canonical report (modeled timing included) is mapped back to the
-  // caller's action order; for an identical request that mapping is the
-  // identity and the response is byte-identical to the first one.
-  if (!request.no_cache) {
-    if (const core::SolveReport* hit = cache_.lookup(canonical.key)) {
-      served_.solves_ok++;
-      served_.cache_hits++;
-      respond(conn_id,
-              render_solve_ok(request.id, /*cached=*/true,
-                              map_to_original(canonical.mapping, *hit)),
-              false);
-      return;
-    }
-
-    // Layer 1b: coalesce onto an identical in-flight solve — the duplicate
-    // costs a waiter slot, not a solver job. Waiters hold a response slot
-    // and buffered output, so they still count against the connection's
-    // in-flight cap (only the global job watermark does not apply).
-    for (PendingSolve& pending : pending_) {
-      if (pending.store_in_cache && pending.key == canonical.key) {
-        Connection& conn = conns_.at(conn_id);
-        if (admission_.admit(/*global_in_flight=*/0, conn.inflight) !=
-            AdmissionController::Verdict::kAdmit) {
-          respond(conn_id,
-                  render_error(request.id, "overloaded",
-                               "connection in-flight cap reached",
-                               admission_.retry_after_s(pending_.size())),
-                  true);
-          return;
+  // Everything the loops share sits behind the gate: cache, coalescing
+  // registry and admission. The verdict is computed under the lock; the
+  // response (and the submit) happens after it is released — rendering a
+  // report or running the solver under the gate would serialise the loops.
+  enum class Outcome { kHit, kCoalesced, kShed, kSubmit };
+  Outcome outcome;
+  std::shared_ptr<const core::SolveReport> hit;
+  std::string shed_message;
+  double shed_retry = 0.0;
+  InFlight* entry = nullptr;
+  bool want_progress = request.progress;
+  {
+    std::lock_guard<std::mutex> lock(gate_);
+    outcome = Outcome::kSubmit;
+    if (!request.no_cache) {
+      // Layer 1: the content-addressed cache. Replay is deterministic — the
+      // stored canonical report (modeled timing included) is mapped back to
+      // the caller's action order; for an identical request that mapping is
+      // the identity and the response is byte-identical to the first one.
+      if ((hit = cache_.lookup(canonical.key))) {
+        counters_.solves_ok.fetch_add(1, std::memory_order_relaxed);
+        counters_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+        outcome = Outcome::kHit;
+      } else {
+        // Layer 1b: coalesce onto an identical in-flight solve — the
+        // duplicate costs a waiter slot, not a solver job. Waiters hold a
+        // response slot and buffered output, so they still count against the
+        // connection's in-flight cap (only the global watermark does not).
+        for (auto& pending : pending_) {
+          if (!pending->store_in_cache || !(pending->key == canonical.key))
+            continue;
+          if (admission_.admit(/*global_in_flight=*/0, conn.inflight) !=
+              AdmissionController::Verdict::kAdmit) {
+            outcome = Outcome::kShed;
+            shed_message = "connection in-flight cap reached";
+            shed_retry = admission_.retry_after_s(pending_.size());
+          } else {
+            admission_.note_coalesced();
+            counters_.coalesced.fetch_add(1, std::memory_order_relaxed);
+            conn.inflight++;
+            pending->waiters.push_back({&loop, conn.id, request.id,
+                                        std::move(canonical.mapping),
+                                        request.progress});
+            outcome = Outcome::kCoalesced;
+          }
+          break;
         }
-        admission_.note_coalesced();
-        served_.coalesced++;
+      }
+    }
+    if (outcome == Outcome::kSubmit) {
+      // Layer 2: admission control.
+      const AdmissionController::Verdict verdict =
+          admission_.admit(pending_.size(), conn.inflight);
+      if (verdict != AdmissionController::Verdict::kAdmit) {
+        outcome = Outcome::kShed;
+        shed_message =
+            verdict == AdmissionController::Verdict::kShedQueueFull
+                ? "solve queue is at its watermark"
+                : "connection in-flight cap reached";
+        shed_retry = admission_.retry_after_s(pending_.size());
+      } else {
+        // Layer 3: the solver pool (submitted below, outside the gate).
+        auto owned = std::make_unique<InFlight>();
+        entry = owned.get();
+        entry->key = std::move(canonical.key);
+        entry->store_in_cache = !request.no_cache;
+        entry->waiters.push_back({&loop, conn.id, request.id,
+                                  std::move(canonical.mapping),
+                                  request.progress});
+        pending_.push_back(std::move(owned));
         conn.inflight++;
-        pending.waiters.push_back(
-            {conn_id, request.id, std::move(canonical.mapping)});
-        return;
+        counters_.jobs_submitted.fetch_add(1, std::memory_order_relaxed);
       }
     }
   }
 
-  // Layer 2: admission control.
-  Connection& conn = conns_.at(conn_id);
-  const AdmissionController::Verdict verdict =
-      admission_.admit(pending_.size(), conn.inflight);
-  if (verdict != AdmissionController::Verdict::kAdmit) {
-    const bool queue_full =
-        verdict == AdmissionController::Verdict::kShedQueueFull;
-    respond(conn_id,
-            render_error(request.id, "overloaded",
-                         queue_full
-                             ? "solve queue is at its watermark"
-                             : "connection in-flight cap reached",
-                         admission_.retry_after_s(pending_.size())),
-            true);
-    return;
+  switch (outcome) {
+    case Outcome::kHit:
+      render_solve_ok_body(conn.session.body, request.id, /*cached=*/true,
+                           map_to_original(canonical.mapping, *hit));
+      loop.send_body(conn, kFrameFinal, /*is_error=*/false);
+      return;
+    case Outcome::kCoalesced:
+      return;  // the in-flight job's completion answers this waiter
+    case Outcome::kShed:
+      render_error_body(conn.session.body, request.id, "overloaded",
+                        shed_message, shed_retry);
+      loop.send_body(conn, kFrameError, /*is_error=*/true);
+      return;
+    case Outcome::kSubmit:
+      break;
   }
 
-  // Layer 3: the solver pool.
-  PendingSolve pending;
-  pending.key = std::move(canonical.key);
-  pending.store_in_cache = !request.no_cache;
-  pending.future = service_.submit(std::move(canonical.request));
-  served_.jobs_submitted++;
-  conn.inflight++;
-  pending.waiters.push_back(
-      {conn_id, request.id, std::move(canonical.mapping)});
-  pending_.push_back(std::move(pending));
+  // Submit outside the gate: an immediately-resolved submission (service
+  // draining) runs on_complete inline on this thread, and on_complete takes
+  // the gate. Progress streaming is wired iff the submitting request asked
+  // for it — a later coalescer onto a job without the hook gets the final
+  // frame only.
+  core::JobHooks hooks;
+  if (want_progress)
+    hooks.on_progress = [this, entry](const core::ProgressSnapshot& snapshot) {
+      deliver_progress(entry, snapshot);
+    };
+  hooks.on_complete = [this, entry](core::SolveReport&& report,
+                                    std::exception_ptr error) {
+    complete_solve(entry, std::move(report), error);
+  };
+  service_.submit_async(std::move(canonical.request), std::move(hooks));
 }
 
-void NashServer::poll_pending() {
-  for (std::size_t i = 0; i < pending_.size();) {
-    PendingSolve& pending = pending_[i];
-    if (pending.future.wait_for(std::chrono::seconds(0)) !=
-        std::future_status::ready) {
-      ++i;
-      continue;
-    }
+// ---- Solve callbacks (service worker threads) -------------------------------
 
-    core::SolveReport report;
-    std::string failure;
-    bool service_draining = false;
+void NashServer::deliver_progress(InFlight* entry,
+                                  const core::ProgressSnapshot& snapshot) {
+  std::lock_guard<std::mutex> lock(gate_);
+  // Only deliver while the job is still registered: a snapshot racing the
+  // final report (posted when the entry is removed) is dropped, so a waiter
+  // never sees progress after its final frame. The pointer is compared, not
+  // dereferenced, until the entry is known live.
+  const auto it = std::find_if(
+      pending_.begin(), pending_.end(),
+      [entry](const std::unique_ptr<InFlight>& p) { return p.get() == entry; });
+  if (it == pending_.end()) return;
+  for (const InFlight::Waiter& waiter : entry->waiters) {
+    if (!waiter.progress) continue;
+    Delivery d;
+    d.kind = Delivery::kProgress;
+    d.conn_id = waiter.conn_id;
+    d.id = waiter.id;
+    d.snapshot = snapshot;
+    post(*waiter.loop, std::move(d));
+  }
+}
+
+void NashServer::complete_solve(InFlight* entry, core::SolveReport&& report,
+                                std::exception_ptr error) {
+  std::string failure;
+  bool service_draining = false;
+  if (error) {
     try {
-      report = pending.future.get();
+      std::rethrow_exception(error);
     } catch (const core::ServiceDrainingError& e) {
       // The submit raced the solver pool's drain (admitted before the drain,
       // enqueued after): a retryable condition, not a server bug.
@@ -287,50 +848,81 @@ void NashServer::poll_pending() {
     } catch (const std::exception& e) {
       failure = e.what();
     }
+  }
+  std::shared_ptr<const core::SolveReport> shared;
+  if (!error)
+    shared = std::make_shared<const core::SolveReport>(std::move(report));
 
-    for (PendingSolve::Waiter& waiter : pending.waiters) {
-      const auto conn = conns_.find(waiter.conn_id);
-      if (conn != conns_.end() && conn->second.inflight > 0)
-        conn->second.inflight--;
-      if (conn == conns_.end()) continue;  // client went away; drop response
-      if (!failure.empty()) {
-        if (service_draining) {
-          respond(waiter.conn_id,
-                  render_error(waiter.id, "draining", failure,
-                               admission_.options().retry_after_s),
-                  true);
-        } else {
-          respond(waiter.conn_id,
-                  render_error(waiter.id, "internal", failure), true);
-        }
-      } else {
-        served_.solves_ok++;
-        respond(waiter.conn_id,
-                render_solve_ok(waiter.id, /*cached=*/false,
-                                map_to_original(waiter.mapping, report)),
-                false);
-      }
-    }
+  std::lock_guard<std::mutex> lock(gate_);
+  const auto it = std::find_if(
+      pending_.begin(), pending_.end(),
+      [entry](const std::unique_ptr<InFlight>& p) { return p.get() == entry; });
+  std::vector<InFlight::Waiter> waiters = std::move(entry->waiters);
+  const bool store_in_cache = entry->store_in_cache;
+  GameKey key = std::move(entry->key);
+  pending_.erase(it);  // frees the entry; `entry` is dead past this line
+
+  if (!error && store_in_cache) {
     // Degraded (deadline-truncated) and fallback-containing reports are
-    // deliberately never cached: they are request-circumstance artefacts, and
-    // a later identical request deserves the full-quality answer.
-    if (failure.empty() && pending.store_in_cache) {
-      if (!report.degraded && report.fallback_count == 0)
-        cache_.insert(pending.key, std::move(report));
-      else
-        served_.uncached_reports++;
-    }
+    // deliberately never cached: they are request-circumstance artefacts,
+    // and a later identical request deserves the full-quality answer.
+    if (!shared->degraded && shared->fallback_count == 0)
+      cache_.insert(key, shared);
+    else
+      counters_.uncached_reports.fetch_add(1, std::memory_order_relaxed);
+  }
 
-    if (i + 1 != pending_.size()) pending_[i] = std::move(pending_.back());
-    pending_.pop_back();
+  for (InFlight::Waiter& waiter : waiters) {
+    Delivery d;
+    d.conn_id = waiter.conn_id;
+    d.id = std::move(waiter.id);
+    if (error) {
+      d.kind = Delivery::kError;
+      d.code = service_draining ? "draining" : "internal";
+      d.message = failure;
+      if (service_draining) d.retry_after_s = admission_.options().retry_after_s;
+    } else {
+      d.kind = Delivery::kFinal;
+      d.report = shared;
+      d.mapping = std::move(waiter.mapping);
+    }
+    post(*waiter.loop, std::move(d));
   }
 }
 
-util::Json NashServer::status_payload() const {
+// ---- Introspection ----------------------------------------------------------
+
+ServedStats NashServer::served_stats() const {
+  ServedStats s;
+  s.lines = counters_.lines.load(std::memory_order_relaxed);
+  s.solves_ok = counters_.solves_ok.load(std::memory_order_relaxed);
+  s.cache_hits = counters_.cache_hits.load(std::memory_order_relaxed);
+  s.coalesced = counters_.coalesced.load(std::memory_order_relaxed);
+  s.errors = counters_.errors.load(std::memory_order_relaxed);
+  s.jobs_submitted = counters_.jobs_submitted.load(std::memory_order_relaxed);
+  s.progress_frames =
+      counters_.progress_frames.load(std::memory_order_relaxed);
+  s.fair_deferrals = counters_.fair_deferrals.load(std::memory_order_relaxed);
+  s.write_stalls = counters_.write_stalls.load(std::memory_order_relaxed);
+  s.injected_disconnects =
+      counters_.injected_disconnects.load(std::memory_order_relaxed);
+  s.overflow_closed =
+      counters_.overflow_closed.load(std::memory_order_relaxed);
+  s.uncached_reports =
+      counters_.uncached_reports.load(std::memory_order_relaxed);
+  return s;
+}
+
+util::Json NashServer::status_payload() {
   util::Json status = util::Json::object();
-  status.set("draining", draining_);
-  status.set("connections", conns_.size());
-  status.set("pending_solves", pending_.size());
+  status.set("draining", draining_.load(std::memory_order_relaxed));
+  status.set("connections",
+             connections_.load(std::memory_order_relaxed));
+  {
+    std::lock_guard<std::mutex> lock(gate_);
+    status.set("pending_solves", pending_.size());
+  }
+  status.set("serve_threads", loops_.size());
   status.set("queue_limit", admission_.options().max_queue_depth);
   status.set("per_connection_inflight",
              admission_.options().per_connection_inflight);
@@ -344,194 +936,48 @@ util::Json NashServer::status_payload() const {
   return status;
 }
 
-util::Json NashServer::stats_payload() const {
+util::Json NashServer::stats_payload() {
   util::Json stats = util::Json::object();
 
-  util::Json cache = util::Json::object();
-  const CacheStats& cs = cache_.stats();
-  cache.set("hits", cs.hits);
-  cache.set("misses", cs.misses);
-  cache.set("insertions", cs.insertions);
-  cache.set("evictions", cs.evictions);
-  cache.set("oversize_rejects", cs.oversize_rejects);
-  cache.set("entries", cs.entries);
-  cache.set("bytes", cs.bytes);
-  cache.set("byte_budget", cs.byte_budget);
-  stats.set("cache", std::move(cache));
+  {
+    std::lock_guard<std::mutex> lock(gate_);
+    util::Json cache = util::Json::object();
+    const CacheStats& cs = cache_.stats();
+    cache.set("hits", cs.hits);
+    cache.set("misses", cs.misses);
+    cache.set("insertions", cs.insertions);
+    cache.set("evictions", cs.evictions);
+    cache.set("oversize_rejects", cs.oversize_rejects);
+    cache.set("entries", cs.entries);
+    cache.set("bytes", cs.bytes);
+    cache.set("byte_budget", cs.byte_budget);
+    stats.set("cache", std::move(cache));
 
-  util::Json admission = util::Json::object();
-  const AdmissionStats& as = admission_.stats();
-  admission.set("admitted", as.admitted);
-  admission.set("shed_queue_full", as.shed_queue_full);
-  admission.set("shed_connection_cap", as.shed_connection_cap);
-  admission.set("coalesced", as.coalesced);
-  stats.set("admission", std::move(admission));
+    util::Json admission = util::Json::object();
+    const AdmissionStats& as = admission_.stats();
+    admission.set("admitted", as.admitted);
+    admission.set("shed_queue_full", as.shed_queue_full);
+    admission.set("shed_connection_cap", as.shed_connection_cap);
+    admission.set("coalesced", as.coalesced);
+    stats.set("admission", std::move(admission));
+  }
 
+  const ServedStats ss = served_stats();
   util::Json served = util::Json::object();
-  served.set("lines", served_.lines);
-  served.set("solves_ok", served_.solves_ok);
-  served.set("cache_hits", served_.cache_hits);
-  served.set("coalesced", served_.coalesced);
-  served.set("errors", served_.errors);
-  served.set("jobs_submitted", served_.jobs_submitted);
-  served.set("write_stalls", served_.write_stalls);
-  served.set("injected_disconnects", served_.injected_disconnects);
-  served.set("overflow_closed", served_.overflow_closed);
-  served.set("uncached_reports", served_.uncached_reports);
+  served.set("lines", ss.lines);
+  served.set("solves_ok", ss.solves_ok);
+  served.set("cache_hits", ss.cache_hits);
+  served.set("coalesced", ss.coalesced);
+  served.set("errors", ss.errors);
+  served.set("jobs_submitted", ss.jobs_submitted);
+  served.set("progress_frames", ss.progress_frames);
+  served.set("fair_deferrals", ss.fair_deferrals);
+  served.set("write_stalls", ss.write_stalls);
+  served.set("injected_disconnects", ss.injected_disconnects);
+  served.set("overflow_closed", ss.overflow_closed);
+  served.set("uncached_reports", ss.uncached_reports);
   stats.set("served", std::move(served));
   return stats;
-}
-
-void NashServer::respond(std::uint64_t conn_id, std::string text,
-                         bool is_error) {
-  if (is_error) served_.errors++;
-  const auto it = conns_.find(conn_id);
-  if (it == conns_.end() || it->second.aborted) return;
-  it->second.out += text;
-  // Slow-reader guard: a peer that stops draining responses while issuing
-  // more requests cannot grow `out` past the cap — the connection is
-  // aborted instead (buffered output dropped, fd reaped by the poll loop).
-  if (it->second.out.size() > options_.max_output_bytes) {
-    it->second.out.clear();
-    it->second.aborted = true;
-    served_.overflow_closed++;
-    return;
-  }
-  flush(it->second);
-}
-
-void NashServer::flush(Connection& conn) {
-  if (conn.aborted) return;
-  // Injected transport faults, rolled per flush attempt: a disconnect aborts
-  // the connection mid-response; a write stall delivers at most one byte and
-  // leaves the rest buffered for POLLOUT — downstream of both, the server
-  // must behave exactly as it does for a genuinely broken or slow peer.
-  if (!conn.out.empty() && options_.fault.server_faults()) {
-    using Scope = util::FaultPlan::Scope;
-    const std::uint64_t roll_index = (conn.id << 20) ^ conn.write_seq++;
-    if (options_.fault.roll(Scope::kDisconnect, roll_index,
-                            options_.fault.disconnect_rate)) {
-      conn.out.clear();
-      conn.aborted = true;
-      served_.injected_disconnects++;
-      return;
-    }
-    if (options_.fault.roll(Scope::kWriteStall, roll_index,
-                            options_.fault.write_stall_rate)) {
-      const ssize_t sent = ::send(conn.fd, conn.out.data(), 1, MSG_NOSIGNAL);
-      if (sent > 0) conn.out.erase(0, static_cast<std::size_t>(sent));
-      served_.write_stalls++;
-      return;  // rest stays buffered; POLLOUT resumes it
-    }
-  }
-  while (!conn.out.empty()) {
-    const ssize_t sent =
-        ::send(conn.fd, conn.out.data(), conn.out.size(), MSG_NOSIGNAL);
-    if (sent > 0) {
-      // Short writes are normal under O_NONBLOCK: loop until EAGAIN, the
-      // remainder stays in `out` and poll() watches POLLOUT.
-      conn.out.erase(0, static_cast<std::size_t>(sent));
-      continue;
-    }
-    if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
-    if (sent < 0 && errno == EINTR) continue;
-    conn.out.clear();  // broken pipe: drop buffered output, close below
-    conn.close_after_flush = true;
-    return;
-  }
-}
-
-void NashServer::close_connection(std::uint64_t conn_id) {
-  const auto it = conns_.find(conn_id);
-  if (it == conns_.end()) return;
-  ::close(it->second.fd);
-  conns_.erase(it);
-}
-
-void NashServer::begin_drain() {
-  draining_ = true;
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
-}
-
-void NashServer::run() {
-  if (listen_fd_ < 0 && !draining_)
-    throw std::runtime_error("serve: run() before start()");
-
-  std::vector<pollfd> fds;
-  std::vector<std::uint64_t> fd_conn;  // conn id per pollfd (0 = listener)
-
-  for (;;) {
-    if (stop_requested_.load(std::memory_order_relaxed) && !draining_)
-      begin_drain();
-    if (draining_ && pending_.empty()) break;
-
-    fds.clear();
-    fd_conn.clear();
-    if (listen_fd_ >= 0) {
-      fds.push_back({listen_fd_, POLLIN, 0});
-      fd_conn.push_back(0);
-    }
-    for (const auto& [id, conn] : conns_) {
-      short events = POLLIN;
-      if (!conn.out.empty()) events |= POLLOUT;
-      fds.push_back({conn.fd, events, 0});
-      fd_conn.push_back(id);
-    }
-
-    const int timeout_ms = pending_.empty() ? 200 : 2;
-    const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
-    if (ready < 0 && errno != EINTR) sys_fail("poll");
-
-    if (ready > 0) {
-      for (std::size_t i = 0; i < fds.size(); ++i) {
-        if (fds[i].revents == 0) continue;
-        if (fd_conn[i] == 0) {
-          accept_ready();
-          continue;
-        }
-        const std::uint64_t conn_id = fd_conn[i];
-        if (fds[i].revents & (POLLIN | POLLHUP | POLLERR))
-          read_ready(conn_id);
-        const auto it = conns_.find(conn_id);
-        if (it != conns_.end() && (fds[i].revents & POLLOUT))
-          flush(it->second);
-      }
-    }
-
-    poll_pending();
-
-    // Reap connections that are done: aborted (injected disconnect / output
-    // overflow — no goodbyes owed), or flushed + flagged with nothing owed.
-    // An aborted connection's pending waiters resolve against a missing conn
-    // id and are dropped, exactly like a genuine mid-request disconnect.
-    std::vector<std::uint64_t> dead;
-    for (const auto& [id, conn] : conns_)
-      if (conn.aborted ||
-          (conn.close_after_flush && conn.out.empty() && conn.inflight == 0))
-        dead.push_back(id);
-    for (const std::uint64_t id : dead) close_connection(id);
-  }
-
-  // Drained: give sockets a bounded grace period to take the final bytes.
-  const auto deadline =
-      std::chrono::steady_clock::now() + std::chrono::seconds(5);
-  for (;;) {
-    bool outstanding = false;
-    for (auto& [id, conn] : conns_) {
-      flush(conn);
-      if (!conn.out.empty()) outstanding = true;
-    }
-    if (!outstanding || std::chrono::steady_clock::now() > deadline) break;
-    ::poll(nullptr, 0, 10);
-  }
-  std::vector<std::uint64_t> all;
-  for (const auto& [id, conn] : conns_) all.push_back(id);
-  for (const std::uint64_t id : all) close_connection(id);
-
-  service_.drain();
 }
 
 }  // namespace cnash::serve

@@ -1,7 +1,8 @@
 #pragma once
-// serve::NashServer — the Nash-serving gateway: a single-threaded, poll-based
-// TCP front end (newline-delimited JSON, see protocol.hpp) multiplexing many
-// client connections onto one SolverService worker pool. Three layers:
+// serve::NashServer — the Nash-serving gateway: an epoll-based, multi-threaded
+// TCP front end (JSON-lines or length-prefixed binary framing, negotiated per
+// connection — see protocol.hpp) multiplexing many client connections onto
+// one SolverService worker pool. Three layers per solve:
 //
 //   canonicalize → cache → admit → solve
 //
@@ -14,19 +15,30 @@
 //     per-connection in-flight cap) and sheds the rest with a structured
 //     "overloaded" response carrying a retry_after_s hint.
 //
-// The poll loop owns every data structure — no locks; concurrency lives in
-// the SolverService pool behind std::future. request_stop() (async-signal-
-// safe; the nash_serve binary calls it from its SIGTERM/SIGINT handler)
-// triggers a graceful drain: stop accepting connections, answer new solves
-// with "draining", finish every in-flight job, flush, then drain the solver
-// pool and return from run().
+// Threading model: the run() thread accepts and shards connections
+// round-robin across `serve_threads` event loops. Each loop owns an epoll
+// instance, an eventfd, and its connections' buffers and parse sessions —
+// connection state is touched only by its owning loop thread. The loops share
+// exactly one mutex (the "gate") guarding the cache, the admission controller
+// and the in-flight solve registry; solves run on the SolverService pool and
+// complete through callbacks that post a delivery to the owning loop's inbox
+// and wake its eventfd — no blocking futures, no polling.
+//
+// Anytime serving: a solve with "progress":true streams interim best-so-far
+// progress frames (one per completed work unit) before its final frame; with
+// deadline_s set the final frame arrives within the deadline plus one unit
+// (the service stops scheduling units at the deadline and reports degraded).
+//
+// request_stop() (async-signal-safe; the nash_serve binary calls it from its
+// SIGTERM/SIGINT handler) triggers a graceful drain: stop accepting
+// connections, answer new solves with "draining", finish every in-flight job
+// across all loops, flush, then drain the solver pool and return from run().
 
 #include <atomic>
-#include <chrono>
 #include <cstdint>
-#include <future>
+#include <memory>
+#include <mutex>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "core/service.hpp"
@@ -42,17 +54,25 @@ struct ServeOptions {
   std::string host = "127.0.0.1";
   /// 0 = ephemeral (read the bound port back via port()).
   std::uint16_t port = 0;
+  /// Event-loop (gateway) threads; connections are sharded across them.
+  /// 0 is treated as 1.
+  std::size_t serve_threads = 1;
   /// SolverService pool size (0 = one worker per hardware thread).
   std::size_t service_threads = 0;
   AdmissionOptions admission;
   std::size_t cache_bytes = 64u << 20;
-  /// A connection whose buffered request line exceeds this is answered with
-  /// an error and closed (protocol-abuse guard).
+  /// A connection whose buffered request (line or frame payload) exceeds this
+  /// is answered with an error and closed (protocol-abuse guard).
   std::size_t max_line_bytes = 8u << 20;
   /// A connection whose buffered (unflushed) output exceeds this is aborted —
   /// the slow-reader guard: a peer that never drains its responses cannot
   /// grow the server's memory without bound.
   std::size_t max_output_bytes = 16u << 20;
+  /// Fairness bound: requests one connection may dequeue per readiness
+  /// wakeup. A pipelined batch beyond this is deferred to the loop's backlog
+  /// (counted in ServedStats::fair_deferrals), so one connection cannot
+  /// starve its loop's other connections.
+  std::size_t max_requests_per_wakeup = 16;
   /// Server-side fault injection (write_stall_rate / disconnect_rate / seed;
   /// nash_serve populates it from CNASH_FAULT_* env vars). Disabled by
   /// default; solver-side fields are ignored here — they ride in on
@@ -65,12 +85,14 @@ struct ServeOptions {
 
 /// Counters for the `stats` wire method.
 struct ServedStats {
-  std::size_t lines = 0;          // request lines parsed (incl. malformed)
+  std::size_t lines = 0;          // requests parsed, both framings (incl. malformed)
   std::size_t solves_ok = 0;      // successful solve responses (all paths)
   std::size_t cache_hits = 0;     // ... of which answered from the cache
   std::size_t coalesced = 0;      // ... of which attached to an in-flight job
   std::size_t errors = 0;         // error responses of any code
   std::size_t jobs_submitted = 0; // jobs actually handed to the SolverService
+  std::size_t progress_frames = 0;  // interim anytime frames written
+  std::size_t fair_deferrals = 0;   // pipelined batches cut off at the fairness bound
   std::size_t write_stalls = 0;   // injected short writes (fault plan)
   std::size_t injected_disconnects = 0;  // injected mid-response aborts
   std::size_t overflow_closed = 0;  // connections aborted at max_output_bytes
@@ -89,75 +111,97 @@ class NashServer {
   /// Bound port; valid after start().
   std::uint16_t port() const { return port_; }
 
-  /// Blocking poll loop; returns once a requested stop has fully drained.
-  /// Call start() first.
+  /// Blocking accept loop; spawns the event loops and returns once a
+  /// requested stop has fully drained. Call start() first.
   void run();
 
   /// Async-signal-safe drain trigger (callable from a signal handler or
   /// another thread).
   void request_stop() { stop_requested_.store(true, std::memory_order_relaxed); }
 
-  // Post-run introspection for tests and benches. NOT synchronised with a
-  // concurrently running poll loop — read these only before run() starts or
-  // after it returns (while running, use the `stats` wire method).
+  // Post-run introspection for tests and benches. cache_stats() and
+  // admission_stats() are NOT synchronised with running loops — read them
+  // only before run() starts or after it returns; served_stats() is a
+  // consistent-enough atomic snapshot at any time (the `stats` wire method
+  // uses it).
   const CacheStats& cache_stats() const { return cache_.stats(); }
   const AdmissionStats& admission_stats() const { return admission_.stats(); }
-  const ServedStats& served_stats() const { return served_; }
+  ServedStats served_stats() const;
 
  private:
-  struct Connection {
-    int fd = -1;
-    std::uint64_t id = 0;  // the conns_ key (fault-roll index base)
-    std::string in;   // unparsed request bytes
-    std::string out;  // unflushed response bytes
-    std::size_t inflight = 0;  // solve responses owed (queued + coalesced)
-    std::uint64_t write_seq = 0;  // flush attempts (fault-roll index)
-    bool close_after_flush = false;
-    /// Hard-dead (injected disconnect or output overflow): buffered I/O is
-    /// dropped and the poll loop reaps the fd without waiting on inflight.
-    bool aborted = false;
-  };
+  struct Loop;
+  struct Connection;
+  struct Delivery;
 
-  /// One job on the solver pool plus every response waiting on it.
-  struct PendingSolve {
-    std::future<core::SolveReport> future;
+  /// One job on the solver pool plus every response waiting on it. Guarded by
+  /// gate_; the raw pointer is captured by the job's service callbacks (its
+  /// address is stable and outlives the job: the entry is only freed by
+  /// complete_solve, which runs exactly once).
+  struct InFlight {
     GameKey key;
     bool store_in_cache = true;
     struct Waiter {
+      Loop* loop;
       std::uint64_t conn_id;
       util::Json id;
       ReportMapping mapping;  // slim: perms + name, not the payoff matrices
+      bool progress = false;  // wants interim frames
     };
     std::vector<Waiter> waiters;
   };
 
-  void accept_ready();
-  void read_ready(std::uint64_t conn_id);
-  void handle_line(std::uint64_t conn_id, const std::string& line);
-  void dispatch(std::uint64_t conn_id, WireRequest request);
-  void handle_solve(std::uint64_t conn_id, WireRequest request);
-  void poll_pending();
-  util::Json status_payload() const;
-  util::Json stats_payload() const;
-  void respond(std::uint64_t conn_id, std::string text, bool is_error);
-  void flush(Connection& conn);
-  void close_connection(std::uint64_t conn_id);
+  /// All ServedStats counters as relaxed atomics — bumped from loop threads
+  /// and service callbacks alike; served_stats() snapshots them.
+  struct Counters {
+    std::atomic<std::size_t> lines{0}, solves_ok{0}, cache_hits{0},
+        coalesced{0}, errors{0}, jobs_submitted{0}, progress_frames{0},
+        fair_deferrals{0}, write_stalls{0}, injected_disconnects{0},
+        overflow_closed{0}, uncached_reports{0};
+  };
+
+  void accept_ready(std::size_t& next_loop);
   void begin_drain();
+  bool pending_empty();
+  void shutdown_loops();
+  util::Json status_payload();
+  util::Json stats_payload();
+
+  // Request handling (called on a loop thread, for that loop's connection).
+  void handle_request(Loop& loop, Connection& conn, WireRequest request);
+  void handle_solve(Loop& loop, Connection& conn, WireRequest request);
+  // Solve callbacks (called on a service worker thread — or inline on a loop
+  // thread for a submission that resolves immediately).
+  void complete_solve(InFlight* entry, core::SolveReport&& report,
+                      std::exception_ptr error);
+  void deliver_progress(InFlight* entry,
+                        const core::ProgressSnapshot& snapshot);
+  /// Push a delivery onto `loop`'s inbox and wake its eventfd. Lock order:
+  /// gate_ (optional, caller's) → inbox mutex.
+  static void post(Loop& loop, Delivery delivery);
 
   ServeOptions options_;
-  core::SolverService service_;
-  SolutionCache cache_;
-  AdmissionController admission_;
-  ServedStats served_;
+  mutable SolutionCache cache_;        // guarded by gate_
+  mutable AdmissionController admission_;  // guarded by gate_
+  std::vector<std::unique_ptr<InFlight>> pending_;  // guarded by gate_
+  /// The one cross-loop mutex: cache + admission + in-flight registry.
+  std::mutex gate_;
+  Counters counters_;
 
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
-  std::uint64_t next_conn_id_ = 1;
-  std::unordered_map<std::uint64_t, Connection> conns_;
-  std::vector<PendingSolve> pending_;
+  std::uint64_t next_conn_id_ = 1;  // accept thread only
+  std::vector<std::unique_ptr<Loop>> loops_;
+  std::atomic<std::size_t> connections_{0};
 
   std::atomic<bool> stop_requested_{false};
-  bool draining_ = false;
+  std::atomic<bool> draining_{false};
+  /// Tells the event loops to finish up (drain inbox, flush, close, exit);
+  /// set only after the in-flight registry is empty.
+  std::atomic<bool> loops_stop_{false};
+
+  /// Declared last: destroyed (and therefore drained) first, so no service
+  /// callback can touch the gate, cache or loops during teardown.
+  core::SolverService service_;
 };
 
 }  // namespace cnash::serve

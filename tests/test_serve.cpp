@@ -16,7 +16,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstring>
+#include <memory>
 #include <numeric>
 #include <string>
 #include <thread>
@@ -225,7 +227,7 @@ GameKey fake_key(char tag) {
   return key;
 }
 
-core::SolveReport small_report(char tag) {
+std::shared_ptr<const core::SolveReport> small_report(char tag) {
   core::SolveReport report;
   report.backend = "test";
   report.game_name = std::string(1, tag);
@@ -233,7 +235,7 @@ core::SolveReport small_report(char tag) {
   s.p = {1.0, 0.0};
   s.q = {0.0, 1.0};
   report.samples = {s};
-  return report;
+  return std::make_shared<const core::SolveReport>(std::move(report));
 }
 
 TEST(SolutionCache, LruEvictionOrderUnderByteBudget) {
@@ -282,9 +284,10 @@ TEST(SolutionCache, CachedReportIsBitIdenticalToAFreshSolveWithTheSameSeed) {
   const core::SolveReport first =
       core::SolverRegistry::global().at("hardware-sa").solve(canonical.request);
   SolutionCache cache(1u << 20);
-  cache.insert(canonical.key, first);
+  cache.insert(canonical.key, std::make_shared<const core::SolveReport>(first));
 
-  const core::SolveReport* replay = cache.lookup(canonical.key);
+  const std::shared_ptr<const core::SolveReport> replay =
+      cache.lookup(canonical.key);
   ASSERT_NE(replay, nullptr);
   const core::SolveReport fresh =
       core::SolverRegistry::global().at("hardware-sa").solve(canonical.request);
@@ -627,6 +630,285 @@ TEST(ServeEndToEnd, IdenticalInFlightSolvesAreCoalescedOntoOneJob) {
             1.0);
   EXPECT_EQ(stats.at("stats").at("admission").at("coalesced").as_number(),
             1.0);
+}
+
+// ---- threaded gateway (epoll event loops) -----------------------------------
+
+TEST(ServeThreaded, ConcurrentSolvesAcrossConnectionsAllSucceed) {
+  ServeOptions options;
+  options.serve_threads = 4;
+  ServerFixture fixture(options);
+
+  constexpr int kClients = 8;
+  constexpr int kSolvesEach = 4;
+  std::atomic<int> ok_count{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c)
+    clients.emplace_back([&, c] {
+      LineClient client;
+      if (!client.connect_to(fixture.port())) return;
+      const game::BimatrixGame g = game::battle_of_sexes();
+      for (int r = 0; r < kSolvesEach; ++r) {
+        // Distinct seeds: every solve is a genuine job, no cache/coalesce.
+        if (!client.send_line(solve_line(g, r, "exact-sa", 4, 300,
+                                         1000 + c * 100 + r)))
+          return;
+        std::string response;
+        if (!client.recv_line(response)) return;
+        if (util::Json::parse(response).at("ok").as_bool()) ok_count++;
+      }
+    });
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(ok_count.load(), kClients * kSolvesEach);
+
+  fixture.stop();
+  EXPECT_EQ(fixture.server().served_stats().solves_ok,
+            static_cast<std::size_t>(kClients * kSolvesEach));
+  EXPECT_EQ(fixture.server().served_stats().errors, 0u);
+}
+
+TEST(ServeThreaded, IdenticalSolvesCoalesceAcrossWorkerLoops) {
+  // Connections are sharded round-robin, so three clients land on three
+  // different event loops; their identical in-flight solves must still
+  // coalesce onto one SolverService job through the shared gate.
+  ServeOptions options;
+  options.serve_threads = 4;
+  options.service_threads = 1;
+  ServerFixture fixture(options);
+
+  util::Rng rng(23);
+  const game::BimatrixGame big = game::random_integer_game(10, 10, rng);
+  const std::string line = solve_line(big, 1, "hardware-sa", 6, 20000);
+
+  TestClient first;
+  first.connect_to(fixture.port());
+  first.send_line(line);
+  // The solve is committed once status (same connection, ordered) shows it.
+  for (;;) {
+    if (first.request("{\"method\":\"status\"}")
+            .at("status")
+            .at("pending_solves")
+            .as_number() == 1.0)
+      break;
+  }
+
+  // Send both duplicates before waiting on either — a blocking request()
+  // would only let the second one leave after the job completed (and hit the
+  // cache instead of coalescing).
+  TestClient second, third;
+  second.connect_to(fixture.port());
+  third.connect_to(fixture.port());
+  second.send_line(line);
+  third.send_line(line);
+  std::string response;
+  ASSERT_TRUE(second.recv_line(response));
+  const util::Json r2 = util::Json::parse(response);
+  ASSERT_TRUE(third.recv_line(response));
+  const util::Json r3 = util::Json::parse(response);
+  ASSERT_TRUE(first.recv_line(response));
+  const util::Json r1 = util::Json::parse(response);
+
+  ASSERT_TRUE(r1.at("ok").as_bool()) << response;
+  ASSERT_TRUE(r2.at("ok").as_bool()) << r2.dump();
+  ASSERT_TRUE(r3.at("ok").as_bool()) << r3.dump();
+  EXPECT_EQ(r1.at("report").dump(), r2.at("report").dump());
+  EXPECT_EQ(r1.at("report").dump(), r3.at("report").dump());
+
+  fixture.stop();
+  EXPECT_EQ(fixture.server().served_stats().jobs_submitted, 1u);
+  EXPECT_EQ(fixture.server().served_stats().coalesced, 2u);
+}
+
+TEST(ServeThreaded, DrainFinishesInFlightWorkOnEveryLoop) {
+  ServeOptions options;
+  options.serve_threads = 3;
+  options.service_threads = 2;
+  ServerFixture fixture(options);
+
+  // One client per event loop (round-robin sharding), each with its own
+  // slow solve in flight (distinct seeds — no coalescing).
+  util::Rng rng(29);
+  const game::BimatrixGame big = game::random_integer_game(8, 8, rng);
+  TestClient clients[3];
+  for (int c = 0; c < 3; ++c) {
+    clients[c].connect_to(fixture.port());
+    clients[c].send_line(
+        solve_line(big, c, "hardware-sa", 4, 8000, 9000 + c));
+  }
+  for (;;) {
+    if (clients[0]
+            .request("{\"method\":\"status\"}")
+            .at("status")
+            .at("pending_solves")
+            .as_number() == 3.0)
+      break;
+  }
+
+  fixture.server().request_stop();
+  // Every loop delivers its connection's final report, then closes.
+  for (int c = 0; c < 3; ++c) {
+    std::string response;
+    ASSERT_TRUE(clients[c].recv_line(response)) << "loop " << c
+                                                << " closed early";
+    const util::Json j = util::Json::parse(response);
+    EXPECT_TRUE(j.at("ok").as_bool()) << response;
+    EXPECT_EQ(j.at("id").as_number(), static_cast<double>(c));
+    EXPECT_FALSE(clients[c].recv_line(response)) << "expected EOF after drain";
+  }
+  fixture.stop();
+  EXPECT_EQ(fixture.server().served_stats().solves_ok, 3u);
+}
+
+// ---- binary framing ---------------------------------------------------------
+
+TEST(ServeFraming, BinaryAndJsonRoundTripByteIdenticalReports) {
+  ServeOptions options;
+  options.serve_threads = 2;
+  ServerFixture fixture(options);
+  const game::BimatrixGame g = game::bird_game();
+
+  TestClient json_client;
+  json_client.connect_to(fixture.port());
+  LineClient binary;
+  ASSERT_TRUE(binary.connect_to(fixture.port())) << std::strerror(errno);
+
+  // JSON cold solve, then the identical solve over binary framing: answered
+  // from the cache with the byte-for-bytes same report JSON.
+  const util::Json cold =
+      json_client.request(solve_line(g, 1, "hardware-sa", 4, 400, 77));
+  ASSERT_TRUE(cold.at("ok").as_bool()) << cold.dump();
+  ASSERT_TRUE(binary.send_frame(kFrameSolve,
+                                solve_line(g, 2, "hardware-sa", 4, 400, 77)));
+  unsigned char type = 0;
+  std::string payload;
+  ASSERT_TRUE(binary.recv_frame(type, payload));
+  EXPECT_EQ(type, kFrameFinal);
+  const util::Json warm = util::Json::parse(payload);
+  ASSERT_TRUE(warm.at("ok").as_bool()) << payload;
+  EXPECT_TRUE(warm.at("cached").as_bool());
+  EXPECT_EQ(warm.at("report").dump(), cold.at("report").dump());
+
+  // The reverse direction: binary cold solve, JSON cached replay.
+  ASSERT_TRUE(binary.send_frame(kFrameSolve,
+                                solve_line(g, 3, "hardware-sa", 4, 400, 78)));
+  ASSERT_TRUE(binary.recv_frame(type, payload));
+  ASSERT_EQ(type, kFrameFinal);
+  const util::Json cold2 = util::Json::parse(payload);
+  ASSERT_TRUE(cold2.at("ok").as_bool()) << payload;
+  EXPECT_FALSE(cold2.at("cached").as_bool());
+  const util::Json warm2 =
+      json_client.request(solve_line(g, 4, "hardware-sa", 4, 400, 78));
+  ASSERT_TRUE(warm2.at("ok").as_bool());
+  EXPECT_TRUE(warm2.at("cached").as_bool());
+  EXPECT_EQ(warm2.at("report").dump(), cold2.at("report").dump());
+
+  // Non-solve methods ride the frame type with an empty payload.
+  ASSERT_TRUE(binary.send_frame(kFrameStatus, ""));
+  ASSERT_TRUE(binary.recv_frame(type, payload));
+  EXPECT_EQ(type, kFrameFinal);
+  EXPECT_TRUE(util::Json::parse(payload).at("ok").as_bool());
+  ASSERT_TRUE(binary.send_frame(kFrameListBackends, ""));
+  ASSERT_TRUE(binary.recv_frame(type, payload));
+  EXPECT_FALSE(util::Json::parse(payload).at("backends").size() == 0);
+}
+
+TEST(ServeFraming, MalformedFrameHeaderGetsStructuredErrorThenClose) {
+  ServerFixture fixture;
+  LineClient client;
+  ASSERT_TRUE(client.connect_to(fixture.port())) << std::strerror(errno);
+
+  // The magic's first byte negotiates binary framing; the second is wrong, so
+  // the stream can never resynchronise — expect one structured error frame,
+  // then a close.
+  const char junk[8] = {static_cast<char>(0xCE), 0x00, 0x01, 0x01, 0, 0, 0, 0};
+  ASSERT_TRUE(client.send_raw(junk, sizeof junk));
+  unsigned char type = 0;
+  std::string payload;
+  ASSERT_TRUE(client.recv_frame(type, payload));
+  EXPECT_EQ(type, kFrameError);
+  const util::Json j = util::Json::parse(payload);
+  EXPECT_FALSE(j.at("ok").as_bool());
+  EXPECT_EQ(j.at("error").at("code").as_string(), "bad_request");
+  EXPECT_FALSE(client.recv_frame(type, payload)) << "expected close";
+}
+
+// ---- anytime progress streaming ---------------------------------------------
+
+TEST(ServeAnytime, ProgressFramesStreamBeforeTheFinalReport) {
+  // One service worker + one-lane batches make the unit schedule serial:
+  // 4 runs → 4 units → exactly one interim frame per non-final unit.
+  ServeOptions options;
+  options.service_threads = 1;
+  ServerFixture fixture(options);
+  TestClient client;
+  client.connect_to(fixture.port());
+
+  const game::BimatrixGame g = game::bird_game();
+  client.send_line(solve_line(g, 1, "exact-sa", 4, 300, 555,
+                              ",\"progress\":true,\"batch_lanes\":1"));
+
+  int progress_seen = 0;
+  double last_completed = 0.0;
+  for (;;) {
+    std::string response;
+    ASSERT_TRUE(client.recv_line(response));
+    const util::Json j = util::Json::parse(response);
+    ASSERT_TRUE(j.at("ok").as_bool()) << response;
+    EXPECT_EQ(j.at("id").as_number(), 1.0);
+    if (const util::Json* p = j.find("progress")) {
+      progress_seen++;
+      EXPECT_EQ(p->at("units_total").as_number(), 4.0);
+      EXPECT_GT(p->at("units_completed").as_number(), last_completed)
+          << "interim frames must be monotone in units_completed";
+      last_completed = p->at("units_completed").as_number();
+      EXPECT_GE(p->at("elapsed_s").as_number(), 0.0);
+      continue;
+    }
+    // The final frame always follows the interim ones.
+    EXPECT_FALSE(j.at("cached").as_bool());
+    const core::SolveReport report =
+        core::report_from_json(j.at("report"));
+    EXPECT_EQ(report.samples.size(), 4u);
+    EXPECT_FALSE(report.degraded);
+    break;
+  }
+  EXPECT_EQ(progress_seen, 3);
+
+  // A plain solve (no "progress") streams nothing extra — the cached replay
+  // is its immediate, single response.
+  const util::Json replay =
+      client.request(solve_line(g, 2, "exact-sa", 4, 300, 555,
+                                ",\"batch_lanes\":1"));
+  EXPECT_TRUE(replay.at("cached").as_bool());
+
+  fixture.stop();
+  EXPECT_EQ(fixture.server().served_stats().progress_frames, 3u);
+}
+
+// ---- pipelining fairness ----------------------------------------------------
+
+TEST(ServeFairness, PipelinedBurstIsBoundedPerWakeup) {
+  ServeOptions options;
+  options.max_requests_per_wakeup = 2;
+  ServerFixture fixture(options);
+  LineClient client;
+  ASSERT_TRUE(client.connect_to(fixture.port())) << std::strerror(errno);
+
+  // One 8-request burst in a single segment: the loop may dequeue at most two
+  // per wakeup, deferring the rest to its backlog — every response still
+  // arrives, and the deferral counter proves the bound engaged.
+  std::string burst;
+  for (int i = 0; i < 8; ++i)
+    burst += "{\"method\":\"status\",\"id\":" + std::to_string(i) + "}\n";
+  ASSERT_TRUE(client.send_raw(burst.data(), burst.size()));
+  for (int i = 0; i < 8; ++i) {
+    std::string line;
+    ASSERT_TRUE(client.recv_line(line)) << "response " << i;
+    EXPECT_TRUE(util::Json::parse(line).at("ok").as_bool());
+  }
+  fixture.stop();
+  EXPECT_EQ(fixture.server().served_stats().lines, 8u);
+  EXPECT_GE(fixture.server().served_stats().fair_deferrals, 1u);
 }
 
 }  // namespace
