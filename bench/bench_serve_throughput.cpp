@@ -295,10 +295,24 @@ int main(int argc, char** argv) {
         const util::Json& cache = stats.at("stats").at("cache");
         const util::Json& served = stats.at("stats").at("served");
         Json& cache_json = group.obj("cache");
-        cache_json.set("hits", cache.at("hits").as_number());
-        cache_json.set("misses", cache.at("misses").as_number());
-        cache_json.set("entries", cache.at("entries").as_number());
-        cache_json.set("bytes", cache.at("bytes").as_number());
+        for (const char* key :
+             {"hits", "misses", "insertions", "evictions", "oversize_rejects",
+              "entries", "bytes", "byte_budget"})
+          cache_json.set(key, cache.at(key).as_number());
+        // The tier-2 store block rides along verbatim (all-zero with
+        // enabled=false here — this bench runs RAM-only — but the schema
+        // matches a gateway booted with --store-dir).
+        const util::Json& store = stats.at("stats").at("store");
+        Json& store_json = group.obj("store");
+        store_json.set("enabled", store.at("enabled").as_bool());
+        for (const char* key :
+             {"hits", "misses", "appends", "tombstones", "evictions",
+              "oversize_rejects", "compactions", "entries", "segments",
+              "live_raw_bytes", "live_value_bytes", "live_stored_bytes",
+              "dead_stored_bytes", "compressed_records", "stored_records",
+              "corrupt_records_skipped", "torn_tail_truncations",
+              "byte_budget", "compression_ratio"})
+          store_json.set(key, store.at(key).as_number());
         group.set("fair_deferrals", served.at("fair_deferrals").as_number());
       }
     }

@@ -4,10 +4,17 @@
 // control (see README "Serving").
 //
 //   nash_serve [--port P] [--threads N] [--serve-threads N] [--queue-depth N]
-//              [--conn-inflight N] [--cache-mb MB] [--retry-after S] [--quiet]
+//              [--conn-inflight N] [--cache-mb MB] [--store-dir DIR]
+//              [--store-budget-mb MB] [--retry-after S] [--quiet]
 //
 // --threads sizes the SolverService worker pool; --serve-threads sizes the
 // epoll event-loop pool that connections are sharded across (default 1).
+//
+// --store-dir enables the tier-2 persistent solution store (README
+// "Persistence"): solved reports are written through to an append-only log
+// in DIR and survive restarts — pointing a fresh gateway at a populated DIR
+// serves previously solved requests byte-identically with zero solver jobs.
+// --store-budget-mb bounds the live bytes on disk (default 256).
 //
 // --port 0 (default) binds an ephemeral loopback port; the bound port is
 // announced on stdout as "LISTENING <port>" so scripts can pick it up.
@@ -36,7 +43,8 @@ void handle_signal(int) {
 void print_usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--port P] [--threads N] [--serve-threads N]\n"
-               "       [--queue-depth N] [--conn-inflight N] [--cache-mb MB] "
+               "       [--queue-depth N] [--conn-inflight N] [--cache-mb MB]\n"
+               "       [--store-dir DIR] [--store-budget-mb MB] "
                "[--retry-after S] [--quiet]\n",
                argv0);
 }
@@ -73,6 +81,11 @@ int main(int argc, char** argv) {
     else if (!std::strcmp(argv[a], "--cache-mb"))
       options.cache_bytes =
           std::strtoul(next("--cache-mb"), nullptr, 10) << 20;
+    else if (!std::strcmp(argv[a], "--store-dir"))
+      options.store_dir = next("--store-dir");
+    else if (!std::strcmp(argv[a], "--store-budget-mb"))
+      options.store_budget_bytes =
+          std::strtoul(next("--store-budget-mb"), nullptr, 10) << 20;
     else if (!std::strcmp(argv[a], "--retry-after"))
       options.admission.retry_after_s =
           std::strtod(next("--retry-after"), nullptr);
@@ -99,6 +112,14 @@ int main(int argc, char** argv) {
                  "%zu coalesced), %zu errors, %zu jobs submitted\n",
                  served.solves_ok, cache.hits, served.coalesced, served.errors,
                  served.jobs_submitted);
+    if (const cnash::store::SolutionStore* store = server.store()) {
+      const cnash::store::StoreStats sts = store->stats();
+      std::fprintf(stderr,
+                   "nash_serve: store — %zu entries in %zu segments, "
+                   "%zu hits / %zu appends, %.2fx compression\n",
+                   sts.entries, sts.segments, sts.hits, sts.appends,
+                   sts.compression_ratio());
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "nash_serve: fatal: %s\n", e.what());
     return 1;

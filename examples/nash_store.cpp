@@ -1,0 +1,176 @@
+// nash_store — offline inspection of a tier-2 solution store directory
+// (src/store/, README "Persistence"):
+//
+//   nash_store fsck <dir> [--json]      read-only integrity scan; repairs
+//                                       nothing. Exit 0 when clean, 2 when
+//                                       torn tails / corrupt records / bad
+//                                       segment headers were found.
+//   nash_store stats <dir> [--json]     open the store (this RECOVERS it:
+//                                       torn tails are truncated exactly as
+//                                       the gateway would on boot) and print
+//                                       its counters.
+//   nash_store compact <dir> [--budget-mb N] [--json]
+//                                       open, rewrite live records into
+//                                       fresh segments, drop the dead bytes.
+//
+// fsck is safe to run against a directory a live gateway is serving from:
+// it opens the segments read-only and scans whatever has been written so
+// far. stats/compact take ownership of the log for their run — use them on
+// idle directories.
+
+#include <cstdio>
+#include <cstring>
+#include <cstdlib>
+#include <string>
+
+#include "store/store.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using cnash::store::FsckReport;
+using cnash::store::SolutionStore;
+using cnash::store::StoreOptions;
+using cnash::store::StoreStats;
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <fsck|stats|compact> <store-dir> "
+               "[--budget-mb N] [--json]\n",
+               argv0);
+  return 2;
+}
+
+cnash::util::Json stats_json(const StoreStats& s) {
+  cnash::util::Json j = cnash::util::Json::object();
+  j.set("hits", s.hits);
+  j.set("misses", s.misses);
+  j.set("appends", s.appends);
+  j.set("tombstones", s.tombstones);
+  j.set("evictions", s.evictions);
+  j.set("oversize_rejects", s.oversize_rejects);
+  j.set("compactions", s.compactions);
+  j.set("entries", s.entries);
+  j.set("segments", s.segments);
+  j.set("live_raw_bytes", s.live_raw_bytes);
+  j.set("live_value_bytes", s.live_value_bytes);
+  j.set("live_stored_bytes", s.live_stored_bytes);
+  j.set("dead_stored_bytes", s.dead_stored_bytes);
+  j.set("compressed_records", s.compressed_records);
+  j.set("stored_records", s.stored_records);
+  j.set("corrupt_records_skipped", s.corrupt_records_skipped);
+  j.set("torn_tail_truncations", s.torn_tail_truncations);
+  j.set("byte_budget", s.byte_budget);
+  j.set("compression_ratio", s.compression_ratio());
+  return j;
+}
+
+void print_stats(const StoreStats& s) {
+  std::printf("entries            %zu\n", s.entries);
+  std::printf("segments           %zu\n", s.segments);
+  std::printf("live_raw_bytes     %zu\n", s.live_raw_bytes);
+  std::printf("live_value_bytes   %zu\n", s.live_value_bytes);
+  std::printf("live_stored_bytes  %zu\n", s.live_stored_bytes);
+  std::printf("dead_stored_bytes  %zu\n", s.dead_stored_bytes);
+  std::printf("compression_ratio  %.3f\n", s.compression_ratio());
+  std::printf("compressed/stored  %zu/%zu\n", s.compressed_records,
+              s.stored_records);
+  std::printf("torn_truncations   %zu\n", s.torn_tail_truncations);
+  std::printf("corrupt_skipped    %zu\n", s.corrupt_records_skipped);
+  std::printf("byte_budget        %zu\n", s.byte_budget);
+}
+
+int run_fsck(const std::string& dir, bool json) {
+  const FsckReport report = SolutionStore::fsck(dir);
+  if (json) {
+    cnash::util::Json j = cnash::util::Json::object();
+    j.set("clean", report.clean());
+    j.set("live_entries", report.live_entries);
+    j.set("records", report.records);
+    j.set("torn_segments", report.torn_segments);
+    j.set("corrupt_records", report.corrupt_records);
+    cnash::util::Json segs = cnash::util::Json::array();
+    for (const FsckReport::Segment& s : report.segments) {
+      cnash::util::Json& seg = segs.push();
+      seg.set("file", s.file);
+      seg.set("header_ok", s.header_ok);
+      seg.set("file_bytes", s.file_bytes);
+      seg.set("records", s.records);
+      seg.set("torn_bytes", s.torn_bytes);
+      seg.set("corrupt_bytes", s.corrupt_bytes);
+      seg.set("corrupt_records", s.corrupt_records);
+    }
+    j.set("segments", std::move(segs));
+    std::printf("%s\n", j.dump().c_str());
+  } else {
+    for (const FsckReport::Segment& s : report.segments) {
+      std::printf("%s: %zu bytes, %zu records", s.file.c_str(), s.file_bytes,
+                  s.records);
+      if (!s.header_ok) std::printf(", BAD SEGMENT HEADER");
+      if (s.torn_bytes > 0) std::printf(", torn tail (%zu bytes)", s.torn_bytes);
+      if (s.corrupt_records > 0)
+        std::printf(", %zu corrupt records (%zu bytes skipped)",
+                    s.corrupt_records, s.corrupt_bytes);
+      std::printf("\n");
+    }
+    std::printf("%zu live entries, %zu records total\n", report.live_entries,
+                report.records);
+    std::printf(report.clean() ? "clean\n" : "ISSUES FOUND\n");
+  }
+  return report.clean() ? 0 : 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage(argv[0]);
+  const std::string command = argv[1];
+  const std::string dir = argv[2];
+  bool json = false;
+  StoreOptions options;
+  for (int a = 3; a < argc; ++a) {
+    if (!std::strcmp(argv[a], "--json")) {
+      json = true;
+    } else if (!std::strcmp(argv[a], "--budget-mb") && a + 1 < argc) {
+      options.byte_budget =
+          static_cast<std::size_t>(std::strtoul(argv[++a], nullptr, 10)) << 20;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  try {
+    if (command == "fsck") return run_fsck(dir, json);
+    if (command == "stats") {
+      SolutionStore store(dir, options);
+      if (json)
+        std::printf("%s\n", stats_json(store.stats()).dump().c_str());
+      else
+        print_stats(store.stats());
+      return 0;
+    }
+    if (command == "compact") {
+      SolutionStore store(dir, options);
+      const StoreStats before = store.stats();
+      store.compact();
+      const StoreStats after = store.stats();
+      if (json) {
+        cnash::util::Json j = cnash::util::Json::object();
+        j.set("reclaimed_bytes", before.dead_stored_bytes);
+        j.set("segments_before", before.segments);
+        j.set("segments_after", after.segments);
+        j.set("stats", stats_json(after));
+        std::printf("%s\n", j.dump().c_str());
+      } else {
+        std::printf("compacted: reclaimed %zu dead bytes, %zu -> %zu segments\n",
+                    before.dead_stored_bytes, before.segments, after.segments);
+        print_stats(after);
+      }
+      return 0;
+    }
+    return usage(argv[0]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "nash_store: %s\n", e.what());
+    return 1;
+  }
+}

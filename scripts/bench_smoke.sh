@@ -25,6 +25,7 @@ run "$build_dir/bench_scaling" $runs --threads $threads --json "$out_dir/"
 run "$build_dir/bench_tiled_scaling" 1 --threads $threads --json "$out_dir/"
 run "$build_dir/bench_service_throughput" 6 --threads $threads --json "$out_dir/"
 run "$build_dir/bench_serve_throughput" 3 --threads $threads --json "$out_dir/"
+run "$build_dir/bench_store" 8 --json "$out_dir/"
 run "$build_dir/bench_fig2_fefet_idvg"
 run "$build_dir/bench_fig5_wta_cell"
 run "$build_dir/bench_fig7a_crossbar_linearity"

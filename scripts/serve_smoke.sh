@@ -5,7 +5,12 @@
 # re-solve in both framings (JSON lines and binary), anytime solve streaming
 # progress frames, deadline-degraded solve that is never cached, large-game
 # batch, tiled-backend round trip, malformed request → structured error,
-# graceful SIGTERM drain (exit 0). Usage: scripts/serve_smoke.sh <build-dir>
+# graceful SIGTERM drain (exit 0) — then the persistence scenarios: a gateway
+# restarted against the same --store-dir answers a previously solved request
+# byte-identically with zero solver jobs, nash_store fsck is safe on a live
+# directory, and a deliberately truncated segment (simulated crash) is
+# reported by fsck and repaired by the next boot.
+# Usage: scripts/serve_smoke.sh <build-dir>
 set -euo pipefail
 
 build_dir=${1:?usage: serve_smoke.sh <build-dir>}
@@ -119,5 +124,90 @@ server_rc=0
 wait "$server_pid" || server_rc=$?
 [ "$server_rc" -eq 0 ] || fail "server exited $server_rc after SIGTERM"
 grep -q 'drained' "$out_dir/serve.stderr" || fail "server did not report a drain"
+
+# ---- persistence: the tier-2 store across restarts --------------------------
+
+nash_store="$build_dir/nash_store"
+store_dir="$out_dir/store"
+
+# Boot a gateway against $store_dir; sets server_pid and port.
+boot_with_store() {
+  local log="$1"
+  "$server" --threads 2 --serve-threads 2 --store-dir "$store_dir" \
+    > "$out_dir/$log.stdout" 2> "$out_dir/$log.stderr" &
+  server_pid=$!
+  port=""
+  for _ in $(seq 1 100); do
+    port=$(awk '/^LISTENING /{print $2}' "$out_dir/$log.stdout" 2>/dev/null || true)
+    [ -n "$port" ] && break
+    sleep 0.1
+  done
+  [ -n "$port" ] || fail "store-backed server ($log) did not announce a port"
+}
+
+drain() {
+  kill -TERM "$server_pid"
+  local rc=0
+  wait "$server_pid" || rc=$?
+  [ "$rc" -eq 0 ] || fail "store-backed server exited $rc after SIGTERM"
+}
+
+echo "--- store: cold solves against --store-dir ---"
+boot_with_store persist1
+"$client" --port "$port" "${solve_flags[@]}" --json \
+  "$games_dir/battle_of_sexes.game" > "$out_dir/persist_cold.json"
+grep -q '"cached":false' "$out_dir/persist_cold.json" \
+  || fail "first store-backed solve was cached?"
+"$client" --port "$port" --backend exact-sa --runs 4 --iterations 300 \
+  --seed 21 --json "$games_dir/stag_hunt.game" > /dev/null
+
+echo "--- store: fsck is safe on a live directory ---"
+"$nash_store" fsck "$store_dir" > "$out_dir/fsck_live.txt" \
+  || fail "fsck on the live store dir found issues"
+drain
+
+echo "--- store: fsck + stats after a clean drain ---"
+"$nash_store" fsck "$store_dir" | tee "$out_dir/fsck_drained.txt"
+grep -q '^clean$' "$out_dir/fsck_drained.txt" || fail "drained store not clean"
+"$nash_store" stats "$store_dir" --json > "$out_dir/store_stats.json"
+grep -q '"entries":2' "$out_dir/store_stats.json" \
+  || fail "expected 2 persisted entries, got: $(cat "$out_dir/store_stats.json")"
+
+echo "--- store: restart serves the warm hit byte-identically, zero jobs ---"
+boot_with_store persist2
+"$client" --port "$port" "${solve_flags[@]}" --json \
+  "$games_dir/battle_of_sexes.game" > "$out_dir/persist_warm.json"
+grep -q '"cached":true' "$out_dir/persist_warm.json" \
+  || fail "restarted gateway missed the disk tier"
+sed 's/"cached":[a-z]*/"cached":_/' "$out_dir/persist_cold.json" \
+  > "$out_dir/persist_cold.norm"
+sed 's/"cached":[a-z]*/"cached":_/' "$out_dir/persist_warm.json" \
+  > "$out_dir/persist_warm.norm"
+cmp -s "$out_dir/persist_cold.norm" "$out_dir/persist_warm.norm" \
+  || fail "disk-tier replay is not byte-identical to the pre-restart solve"
+"$client" --port "$port" --stats --json > "$out_dir/persist_stats.json"
+grep -q '"jobs_submitted":0' "$out_dir/persist_stats.json" \
+  || fail "warm hit reached the solver pool"
+grep -q '"enabled":true' "$out_dir/persist_stats.json" \
+  || fail "stats does not report the store as enabled"
+drain
+
+echo "--- store: truncated segment is reported by fsck, repaired on boot ---"
+segment=$(ls "$store_dir"/segment-*.log | sort | tail -1)
+truncate -s -3 "$segment"
+fsck_rc=0
+"$nash_store" fsck "$store_dir" > "$out_dir/fsck_torn.txt" 2>&1 || fsck_rc=$?
+[ "$fsck_rc" -eq 2 ] || fail "fsck exited $fsck_rc on a torn segment (want 2)"
+grep -q 'torn tail' "$out_dir/fsck_torn.txt" \
+  || fail "fsck did not name the torn tail"
+
+boot_with_store persist3   # recovery truncates the torn record
+"$client" --port "$port" "${solve_flags[@]}" --json \
+  "$games_dir/battle_of_sexes.game" > "$out_dir/persist_recovered.json"
+grep -q '"cached":true' "$out_dir/persist_recovered.json" \
+  || fail "surviving record was lost by torn-tail recovery"
+drain
+"$nash_store" fsck "$store_dir" > "$out_dir/fsck_repaired.txt" \
+  || fail "store not clean after torn-tail recovery"
 
 echo "serve smoke OK"

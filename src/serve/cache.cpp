@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <utility>
 
+#include "core/report_json.hpp"
+#include "store/store.hpp"
+#include "util/json.hpp"
+
 namespace cnash::serve {
 
 std::size_t report_footprint(const core::SolveReport& report) {
@@ -43,17 +47,41 @@ void SolutionCache::erase(LruList::iterator it) {
 std::shared_ptr<const core::SolveReport> SolutionCache::lookup(
     const GameKey& key) {
   const LruList::iterator it = find(key);
-  if (it == lru_.end()) {
-    stats_.misses++;
+  if (it != lru_.end()) {
+    stats_.hits++;
+    lru_.splice(lru_.begin(), lru_, it);  // bump to most-recently-used
+    return it->report;
+  }
+  stats_.misses++;
+  if (!store_) return nullptr;
+
+  // Tier 2: the persistent store holds the canonical report JSON. A hit is
+  // decoded and promoted into the RAM tier so the next lookup is a RAM hit.
+  const auto bytes = store_->get(key.digest, key.blob);
+  if (!bytes) return nullptr;
+  std::shared_ptr<const core::SolveReport> report;
+  try {
+    report = std::make_shared<const core::SolveReport>(
+        core::report_from_json(util::Json::parse(*bytes)));
+  } catch (const std::exception&) {
+    // CRC-intact bytes that do not parse back into a report mean a writer
+    // bug, not a reader problem; serve a miss instead of an exception.
     return nullptr;
   }
-  stats_.hits++;
-  lru_.splice(lru_.begin(), lru_, it);  // bump to most-recently-used
-  return it->report;
+  insert_local(key, report);
+  return report;
 }
 
 void SolutionCache::insert(const GameKey& key,
                            std::shared_ptr<const core::SolveReport> report) {
+  if (store_)
+    store_->put(key.digest, key.blob,
+                core::report_to_json(*report).dump());
+  insert_local(key, std::move(report));
+}
+
+void SolutionCache::insert_local(
+    const GameKey& key, std::shared_ptr<const core::SolveReport> report) {
   const std::size_t bytes =
       report_footprint(*report) + key.blob.size() + sizeof(Entry);
   if (bytes > stats_.byte_budget) {

@@ -15,6 +15,15 @@
 // and the coalescing registry) with one "gate" mutex shared by its worker
 // loops. Stored reports are shared_ptr<const ...> so a hit can be rendered
 // after the gate is released — eviction never invalidates a reader.
+//
+// Tier 2 (optional, attach_store): a persistent store::SolutionStore under
+// the RAM tier. insert() writes the canonical report JSON through to disk
+// (the round-trip is lossless, so a disk hit replays byte-identically); a
+// RAM miss consults the store and a disk hit is promoted back into the LRU.
+// RAM eviction does NOT touch the store — evicted entries live on on disk,
+// which is the point of the tier. The caller decides what is persistable:
+// the gateway never insert()s degraded or fallback reports, so the
+// never-cache rule extends to never-persist for free.
 
 #include <cstddef>
 #include <list>
@@ -24,6 +33,10 @@
 
 #include "core/backend.hpp"
 #include "serve/canonical.hpp"
+
+namespace cnash::store {
+class SolutionStore;
+}
 
 namespace cnash::serve {
 
@@ -46,13 +59,24 @@ class SolutionCache {
  public:
   explicit SolutionCache(std::size_t byte_budget);
 
-  /// Hit: bumps the entry to most-recently-used and returns its canonical
-  /// report (shared ownership — stays valid across later inserts and
-  /// evictions). Miss: nullptr. Counts hits/misses.
+  /// Attach the persistent tier-2 store (non-owning; must outlive the
+  /// cache). From then on insert() writes through and lookup() falls back to
+  /// disk on a RAM miss.
+  void attach_store(store::SolutionStore* store) { store_ = store; }
+
+  /// RAM hit: bumps the entry to most-recently-used and returns its
+  /// canonical report (shared ownership — stays valid across later inserts
+  /// and evictions). RAM miss with a tier-2 store attached: the store is
+  /// consulted (full-key compare) and a disk hit is decoded and promoted
+  /// into the LRU. Miss everywhere: nullptr. CacheStats counts the RAM tier
+  /// only (misses includes disk hits — they did miss RAM); the store keeps
+  /// its own counters, so tier-1 vs tier-2 hit rates stay distinguishable.
   std::shared_ptr<const core::SolveReport> lookup(const GameKey& key);
 
   /// Insert (or refresh) the canonical report for `key`, then evict from the
-  /// LRU tail until the byte budget holds.
+  /// LRU tail until the byte budget holds. With a tier-2 store attached the
+  /// report is also serialised and written through — even when it is too
+  /// large for the RAM budget (the disk budget is the store's own affair).
   void insert(const GameKey& key,
               std::shared_ptr<const core::SolveReport> report);
 
@@ -68,7 +92,12 @@ class SolutionCache {
 
   LruList::iterator find(const GameKey& key);
   void erase(LruList::iterator it);
+  /// The RAM-tier insert (no write-through): shared by insert() and the
+  /// promote-on-disk-hit path.
+  void insert_local(const GameKey& key,
+                    std::shared_ptr<const core::SolveReport> report);
 
+  store::SolutionStore* store_ = nullptr;  // tier 2, optional
   LruList lru_;  // front = most recently used
   /// digest → entries with that digest (collisions resolved by blob compare).
   std::unordered_map<std::uint64_t, std::vector<LruList::iterator>> index_;

@@ -13,7 +13,16 @@
 //       matrices. Every parameter except the game is optional.
 //     → {"ok":true,"id":1,"cached":false,"report":{...}}   (report_json.hpp)
 //   {"method":"status"}       → queue depths, drain flag, connection count
-//   {"method":"stats"}        → cache / admission / served counters
+//   {"method":"stats"}        → cache / admission / store / served counters
+//     — "cache" is the RAM tier (hits/misses/insertions/evictions/
+//       oversize_rejects/entries/bytes/byte_budget), "store" the persistent
+//       tier-2 disk store (enabled, hits/misses/appends/tombstones/
+//       evictions/oversize_rejects/compactions, entries/segments,
+//       live_raw_bytes/live_stored_bytes/dead_stored_bytes, codec split,
+//       recovery counters, byte_budget, compression_ratio; all-zero with
+//       "enabled":false when the gateway runs without --store-dir). A RAM
+//       miss that the store answers counts as cache.misses + store.hits, so
+//       tier-1 vs tier-2 hit ratios are directly observable.
 //   {"method":"list-backends"}→ registered backend keys + descriptions
 //
 // Errors are structured, never a closed connection:

@@ -165,7 +165,15 @@ NashServer::NashServer(ServeOptions options)
     : options_(options),
       cache_(options.cache_bytes),
       admission_(options.admission),
-      service_(core::ServiceOptions{options.service_threads, nullptr}) {}
+      service_(core::ServiceOptions{options.service_threads, nullptr}) {
+  if (!options_.store_dir.empty()) {
+    store::StoreOptions store_options;
+    store_options.byte_budget = options_.store_budget_bytes;
+    store_ = std::make_unique<store::SolutionStore>(options_.store_dir,
+                                                    store_options);
+    cache_.attach_store(store_.get());
+  }
+}
 
 NashServer::~NashServer() {
   if (listen_fd_ >= 0) ::close(listen_fd_);
@@ -305,6 +313,9 @@ void NashServer::run() {
 
   shutdown_loops();
   service_.drain();
+  // Make the drain a durability point: every report persisted during this
+  // run is on stable storage before run() returns.
+  if (store_) store_->sync();
 }
 
 // ---- Event loop -------------------------------------------------------------
@@ -961,6 +972,33 @@ util::Json NashServer::stats_payload() {
     admission.set("coalesced", as.coalesced);
     stats.set("admission", std::move(admission));
   }
+
+  // The tier-2 store keeps its own mutex, so its snapshot is taken outside
+  // the gate. The object is always present (all-zero when disabled) so
+  // dashboards can rely on the schema.
+  util::Json store = util::Json::object();
+  store.set("enabled", store_ != nullptr);
+  const store::StoreStats sts = store_ ? store_->stats() : store::StoreStats{};
+  store.set("hits", sts.hits);
+  store.set("misses", sts.misses);
+  store.set("appends", sts.appends);
+  store.set("tombstones", sts.tombstones);
+  store.set("evictions", sts.evictions);
+  store.set("oversize_rejects", sts.oversize_rejects);
+  store.set("compactions", sts.compactions);
+  store.set("entries", sts.entries);
+  store.set("segments", sts.segments);
+  store.set("live_raw_bytes", sts.live_raw_bytes);
+  store.set("live_value_bytes", sts.live_value_bytes);
+  store.set("live_stored_bytes", sts.live_stored_bytes);
+  store.set("dead_stored_bytes", sts.dead_stored_bytes);
+  store.set("compressed_records", sts.compressed_records);
+  store.set("stored_records", sts.stored_records);
+  store.set("corrupt_records_skipped", sts.corrupt_records_skipped);
+  store.set("torn_tail_truncations", sts.torn_tail_truncations);
+  store.set("byte_budget", sts.byte_budget);
+  store.set("compression_ratio", sts.compression_ratio());
+  stats.set("store", std::move(store));
 
   const ServedStats ss = served_stats();
   util::Json served = util::Json::object();

@@ -45,6 +45,7 @@
 #include "serve/admission.hpp"
 #include "serve/cache.hpp"
 #include "serve/protocol.hpp"
+#include "store/store.hpp"
 #include "util/fault.hpp"
 
 namespace cnash::serve {
@@ -61,6 +62,14 @@ struct ServeOptions {
   std::size_t service_threads = 0;
   AdmissionOptions admission;
   std::size_t cache_bytes = 64u << 20;
+  /// Tier-2 persistent solution store directory (created on demand). Empty =
+  /// RAM cache only. Solved reports are written through to disk and survive
+  /// restarts: a warm hit after a restart replays byte-identically with zero
+  /// solver jobs. Degraded/fallback reports are never persisted (they are
+  /// never cache-inserted in the first place).
+  std::string store_dir;
+  /// Byte budget of the live records in the tier-2 store.
+  std::size_t store_budget_bytes = 256u << 20;
   /// A connection whose buffered request (line or frame payload) exceeds this
   /// is answered with an error and closed (protocol-abuse guard).
   std::size_t max_line_bytes = 8u << 20;
@@ -127,6 +136,9 @@ class NashServer {
   const CacheStats& cache_stats() const { return cache_.stats(); }
   const AdmissionStats& admission_stats() const { return admission_.stats(); }
   ServedStats served_stats() const;
+  /// Tier-2 store (nullptr when store_dir was empty). The store is
+  /// internally synchronised — its stats() are safe at any time.
+  const store::SolutionStore* store() const { return store_.get(); }
 
  private:
   struct Loop;
@@ -180,6 +192,9 @@ class NashServer {
   static void post(Loop& loop, Delivery delivery);
 
   ServeOptions options_;
+  /// Tier-2 persistent store; declared before cache_ (which holds a raw
+  /// pointer into it) so it is destroyed after.
+  std::unique_ptr<store::SolutionStore> store_;
   mutable SolutionCache cache_;        // guarded by gate_
   mutable AdmissionController admission_;  // guarded by gate_
   std::vector<std::unique_ptr<InFlight>> pending_;  // guarded by gate_

@@ -1,0 +1,198 @@
+#include "store/log.hpp"
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+
+namespace cnash::store {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    table[i] = c;
+  }
+  return table;
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+  out.push_back(static_cast<char>((v >> 16) & 0xFF));
+  out.push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v & 0xFFFFFFFFu));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint32_t get_u32(const unsigned char* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t get_u64(const unsigned char* p) {
+  return static_cast<std::uint64_t>(get_u32(p)) |
+         (static_cast<std::uint64_t>(get_u32(p + 4)) << 32);
+}
+
+/// Sanity bound on record payloads: a single solve report or key blob past
+/// this is not something this store ever writes, so a larger length field is
+/// corruption, not data (it also keeps a bit-flipped length from making the
+/// scan read gigabytes).
+constexpr std::uint32_t kMaxFieldLen = 1u << 30;
+
+/// Find the next occurrence of the record magic at or after `from`.
+std::size_t find_magic(std::string_view bytes, std::size_t from) {
+  unsigned char magic[4];
+  magic[0] = kRecordMagic & 0xFF;
+  magic[1] = (kRecordMagic >> 8) & 0xFF;
+  magic[2] = (kRecordMagic >> 16) & 0xFF;
+  magic[3] = (kRecordMagic >> 24) & 0xFF;
+  const std::string_view needle(reinterpret_cast<const char*>(magic), 4);
+  return bytes.find(needle, from);
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) c = table[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+void encode_record(const RecordHeader& header, std::string_view key,
+                   std::string_view value, std::string& out) {
+  const std::size_t start = out.size();
+  put_u32(out, kRecordMagic);
+  put_u32(out, 0);  // crc placeholder
+  out.push_back(static_cast<char>(header.flags));
+  out.push_back(static_cast<char>(header.codec));
+  put_u32(out, static_cast<std::uint32_t>(key.size()));
+  put_u32(out, static_cast<std::uint32_t>(value.size()));
+  put_u32(out, header.raw_len);
+  put_u64(out, header.digest);
+  out.append(key.data(), key.size());
+  out.append(value.data(), value.size());
+
+  const std::uint32_t crc =
+      crc32(out.data() + start + 8, out.size() - start - 8);
+  out[start + 4] = static_cast<char>(crc & 0xFF);
+  out[start + 5] = static_cast<char>((crc >> 8) & 0xFF);
+  out[start + 6] = static_cast<char>((crc >> 16) & 0xFF);
+  out[start + 7] = static_cast<char>((crc >> 24) & 0xFF);
+}
+
+SegmentScan scan_segment(std::string_view bytes) {
+  SegmentScan scan;
+  if (bytes.size() < kSegmentHeaderSize ||
+      std::memcmp(bytes.data(), kSegmentHeader, kSegmentHeaderSize) != 0)
+    return scan;  // header_ok == false: not one of ours
+  scan.header_ok = true;
+
+  const auto* base = reinterpret_cast<const unsigned char*>(bytes.data());
+  std::size_t pos = kSegmentHeaderSize;
+  while (pos < bytes.size()) {
+    if (bytes.size() - pos < kRecordHeaderSize) {
+      // Too short even for a header: a crash mid-append. Torn tail.
+      scan.torn_bytes = bytes.size() - pos;
+      break;
+    }
+    const unsigned char* p = base + pos;
+    if (get_u32(p) != kRecordMagic) {
+      // Garbage where a record should start: resynchronise on the next
+      // magic. No further magic means the rest of the file is noise.
+      const std::size_t next = find_magic(bytes, pos + 1);
+      const std::size_t skip_to =
+          next == std::string_view::npos ? bytes.size() : next;
+      scan.corrupt_bytes += skip_to - pos;
+      scan.corrupt_records++;
+      pos = skip_to;
+      continue;
+    }
+    RecordHeader header;
+    const std::uint32_t crc_stored = get_u32(p + 4);
+    header.flags = p[8];
+    header.codec = p[9];
+    header.key_len = get_u32(p + 10);
+    header.value_len = get_u32(p + 14);
+    header.raw_len = get_u32(p + 18);
+    header.digest = get_u64(p + 22);
+    if (header.key_len > kMaxFieldLen || header.value_len > kMaxFieldLen) {
+      // A length no writer produces: corrupt header, resynchronise.
+      const std::size_t next = find_magic(bytes, pos + 1);
+      const std::size_t skip_to =
+          next == std::string_view::npos ? bytes.size() : next;
+      scan.corrupt_bytes += skip_to - pos;
+      scan.corrupt_records++;
+      pos = skip_to;
+      continue;
+    }
+    const std::size_t total =
+        kRecordHeaderSize + header.key_len + header.value_len;
+    if (pos + total > bytes.size()) {
+      // The payload runs past EOF. With no later record magic this is the
+      // classic crash mid-append (torn tail, repaired by truncation); if a
+      // magic does follow, the length field itself was corrupted and the
+      // records after it are still salvageable — resynchronise instead.
+      const std::size_t next = find_magic(bytes, pos + 4);
+      if (next == std::string_view::npos) {
+        scan.torn_bytes = bytes.size() - pos;
+        break;
+      }
+      scan.corrupt_bytes += next - pos;
+      scan.corrupt_records++;
+      pos = next;
+      continue;
+    }
+    if (crc32(p + 8, total - 8) != crc_stored) {
+      const std::size_t next = find_magic(bytes, pos + 4);
+      const std::size_t skip_to =
+          next == std::string_view::npos ? bytes.size() : next;
+      scan.corrupt_bytes += skip_to - pos;
+      scan.corrupt_records++;
+      pos = skip_to;
+      continue;
+    }
+    scan.records.push_back({header, pos});
+    pos += total;
+  }
+  return scan;
+}
+
+std::string segment_file_name(std::uint64_t id) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "segment-%06llu.log",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
+bool parse_segment_file_name(const std::string& name, std::uint64_t& id) {
+  // segment-NNNNNN.log, at least six digits.
+  constexpr char kPrefix[] = "segment-";
+  constexpr char kSuffix[] = ".log";
+  if (name.size() < sizeof(kPrefix) - 1 + 6 + sizeof(kSuffix) - 1) return false;
+  if (name.compare(0, sizeof(kPrefix) - 1, kPrefix) != 0) return false;
+  if (name.compare(name.size() - (sizeof(kSuffix) - 1), sizeof(kSuffix) - 1,
+                   kSuffix) != 0)
+    return false;
+  std::uint64_t v = 0;
+  const std::size_t digits_end = name.size() - (sizeof(kSuffix) - 1);
+  for (std::size_t i = sizeof(kPrefix) - 1; i < digits_end; ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+    v = v * 10 + static_cast<std::uint64_t>(name[i] - '0');
+  }
+  id = v;
+  return true;
+}
+
+}  // namespace cnash::store

@@ -1,0 +1,97 @@
+#pragma once
+// store — the on-disk log format shared by the SolutionStore, its recovery
+// scan and the offline fsck. One segment file is:
+//
+//   +--------------------------------+
+//   | segment header  "CNSG1\n\0\0"  |  8 bytes
+//   +--------------------------------+
+//   | record | record | record | ... |  appended, never rewritten in place
+//   +--------------------------------+
+//
+// and one record is:
+//
+//   offset  size  field
+//        0     4  record magic 0x4C4E5343 ("CSNL", little-endian)
+//        4     4  crc32 (IEEE) over bytes [8, 30 + key_len + value_len)
+//        8     1  flags: 1 = put, 2 = tombstone
+//        9     1  codec tag: 0 = stored, 1 = lz (see codec.hpp)
+//       10     4  key_len    (bytes of GameKey blob)
+//       14     4  value_len  (bytes as stored on disk, post-codec)
+//       18     4  raw_len    (bytes after decoding; == value_len when stored)
+//       22     8  key digest (FNV-1a 64 of the key blob — the index address)
+//       30     *  key bytes, then value bytes
+//
+// All integers are little-endian, written explicitly (the format is a file,
+// not a struct dump). The CRC covers everything after itself, so a torn or
+// bit-flipped record can never replay: recovery truncates an incomplete
+// record at the tail (a crash mid-append) and resynchronises on the record
+// magic past a CRC failure mid-file, keeping every intact record after it.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cnash::store {
+
+/// Plain table-driven CRC32 (IEEE 802.3 polynomial, the zlib/ethernet one).
+std::uint32_t crc32(const void* data, std::size_t size);
+
+inline constexpr std::uint32_t kRecordMagic = 0x4C4E5343u;  // "CSNL"
+inline constexpr std::size_t kSegmentHeaderSize = 8;
+inline constexpr std::size_t kRecordHeaderSize = 30;
+inline constexpr unsigned char kSegmentHeader[kSegmentHeaderSize] = {
+    'C', 'N', 'S', 'G', '1', '\n', '\0', '\0'};
+
+enum RecordFlags : unsigned char {
+  kRecordPut = 1,
+  /// Budget eviction: key only, value_len == raw_len == 0. On replay the key
+  /// is removed from the index (a put is always older than its tombstone, so
+  /// compaction may delete segments oldest-first without resurrecting keys).
+  kRecordTombstone = 2,
+};
+
+struct RecordHeader {
+  unsigned char flags = kRecordPut;
+  unsigned char codec = 0;
+  std::uint32_t key_len = 0;
+  std::uint32_t value_len = 0;
+  std::uint32_t raw_len = 0;
+  std::uint64_t digest = 0;
+};
+
+/// Append one framed record (magic + crc computed here) to `out`.
+void encode_record(const RecordHeader& header, std::string_view key,
+                   std::string_view value, std::string& out);
+
+/// One intact record found by scan_segment; offsets are into the segment
+/// file, so key bytes start at offset + kRecordHeaderSize.
+struct ScannedRecord {
+  RecordHeader header;
+  std::size_t offset = 0;
+};
+
+struct SegmentScan {
+  bool header_ok = false;  // false: not a segment file, nothing salvaged
+  std::vector<ScannedRecord> records;
+  /// Bytes of an incomplete record at EOF (crash mid-append). Repair is
+  /// truncation to file_size - torn_bytes.
+  std::size_t torn_bytes = 0;
+  /// Bytes skipped mid-file to resynchronise past CRC failures or garbage.
+  /// Not repaired in place — compaction rewrites the survivors.
+  std::size_t corrupt_bytes = 0;
+  /// Records dropped to corruption (CRC mismatches detected).
+  std::size_t corrupt_records = 0;
+};
+
+/// Scan one whole segment image. Never throws: every anomaly is reported in
+/// the result so the caller (recovery or fsck) decides what to do with it.
+SegmentScan scan_segment(std::string_view bytes);
+
+/// Segment file name for an id: "segment-000042.log".
+std::string segment_file_name(std::uint64_t id);
+/// Inverse; returns false unless `name` matches the pattern exactly.
+bool parse_segment_file_name(const std::string& name, std::uint64_t& id);
+
+}  // namespace cnash::store
