@@ -315,6 +315,31 @@ int main(int argc, char** argv) {
           store_json.set(key, store.at(key).as_number());
         group.set("fair_deferrals", served.at("fair_deferrals").as_number());
       }
+
+      // Server-side per-stage latency quantiles (the metrics registry's
+      // always-on histograms), recorded beside the client-side latencies:
+      // parse vs cache-lookup cost straight from the server's own clocks.
+      std::string metrics_line;
+      if (probe.send_line("{\"method\":\"metrics\"}") &&
+          probe.recv_line(metrics_line)) {
+        const util::Json metrics =
+            util::Json::parse(metrics_line).at("metrics");
+        const util::Json& histograms = metrics.at("histograms");
+        Json& stages = group.obj("server_stages");
+        for (const char* name :
+             {"cnash_stage_parse_seconds", "cnash_stage_canonicalize_seconds",
+              "cnash_stage_cache_lookup_seconds", "cnash_stage_admit_seconds",
+              "cnash_stage_render_seconds", "cnash_stage_flush_seconds",
+              "cnash_request_handle_seconds", "cnash_stage_prepare_seconds",
+              "cnash_stage_unit_seconds", "cnash_stage_queue_wait_seconds",
+              "cnash_solve_wall_seconds"}) {
+          const util::Json* h = histograms.find(name);
+          if (!h) continue;
+          Json& stage = stages.obj(name);
+          for (const char* field : {"count", "sum", "p50", "p95", "p99"})
+            stage.set(field, h->at(field).as_number());
+        }
+      }
     }
 
     server.request_stop();

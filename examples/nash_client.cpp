@@ -6,8 +6,13 @@
 //               [--iterations N] [--intervals I] [--seed S] [--scale S]
 //               [--tile-rows R] [--tile-cols C] [--repeat K] [--no-cache]
 //               [--deadline S] [--progress] [--binary] [--max-retries N]
-//               [--json] [--status] [--stats] [--list-backends]
-//               [--raw LINE] [game-file ...]
+//               [--json] [--status] [--stats] [--metrics] [--metrics-text]
+//               [--list-backends] [--raw LINE] [game-file ...]
+//
+// --metrics scrapes the server's instrument registry (counters, gauges,
+// per-stage latency quantiles) as JSON; --metrics-text fetches the
+// Prometheus-style text exposition instead, printed verbatim for piping
+// into scrape tooling. Both are safe against a server mid-solve.
 //
 // --binary speaks the length-prefixed binary framing of protocol.hpp instead
 // of JSON lines (same JSON bodies; --raw stays a verbatim JSON line and
@@ -62,6 +67,7 @@ struct Options {
   bool progress = false, binary = false;
   bool no_cache = false, json = false;
   bool status = false, stats = false, list_backends = false;
+  bool metrics = false, metrics_text = false;
   std::string raw;
   std::vector<std::string> files;
 };
@@ -73,8 +79,8 @@ void print_usage(const char* argv0) {
       "       [--iterations N] [--intervals I] [--seed S] [--scale S]\n"
       "       [--tile-rows R] [--tile-cols C] [--repeat K] [--no-cache]\n"
       "       [--deadline S] [--progress] [--binary] [--max-retries N]\n"
-      "       [--json] [--status] [--stats] [--list-backends]\n"
-      "       [--raw LINE] [game-file ...]\n",
+      "       [--json] [--status] [--stats] [--metrics] [--metrics-text]\n"
+      "       [--list-backends] [--raw LINE] [game-file ...]\n",
       argv0);
 }
 
@@ -163,6 +169,8 @@ int main(int argc, char** argv) {
     else if (!std::strcmp(argv[a], "--status")) opt.status = true;
     else if (!std::strcmp(argv[a], "--stats")) opt.stats = true;
     else if (!std::strcmp(argv[a], "--list-backends")) opt.list_backends = true;
+    else if (!std::strcmp(argv[a], "--metrics")) opt.metrics = true;
+    else if (!std::strcmp(argv[a], "--metrics-text")) opt.metrics_text = true;
     else if (!std::strcmp(argv[a], "--raw")) opt.raw = next("--raw");
     else if (argv[a][0] == '-') {
       std::fprintf(stderr, "unknown flag %s\n", argv[a]);
@@ -179,7 +187,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (opt.files.empty() && opt.raw.empty() && !opt.status && !opt.stats &&
-      !opt.list_backends) {
+      !opt.metrics && !opt.metrics_text && !opt.list_backends) {
     print_usage(argv[0]);
     return 2;
   }
@@ -219,11 +227,18 @@ int main(int argc, char** argv) {
             opt.list_backends, "list-backends",
             cnash::serve::kFrameListBackends},
         {opt.status, "status", cnash::serve::kFrameStatus},
-        {opt.stats, "stats", cnash::serve::kFrameStats}}) {
+        {opt.stats, "stats", cnash::serve::kFrameStats},
+        {opt.metrics, "metrics", cnash::serve::kFrameMetrics},
+        {opt.metrics_text, "metrics-text", cnash::serve::kFrameMetrics}}) {
     if (!flag) continue;
+    // "metrics-text" is the metrics method with the text-exposition format
+    // selector, not a wire method of its own.
+    const bool exposition = std::strcmp(method, "metrics-text") == 0;
+    const std::string body =
+        exposition ? "{\"method\":\"metrics\",\"format\":\"text\"}"
+                   : std::string("{\"method\":\"") + method + "\"}";
     std::string line;
-    if (!send_request(type, std::string("{\"method\":\"") + method + "\"}") ||
-        !recv_response(line)) {
+    if (!send_request(type, body) || !recv_response(line)) {
       std::fprintf(stderr, "error: connection lost\n");
       return 1;
     }
@@ -241,9 +256,13 @@ int main(int argc, char** argv) {
         for (const auto& kv : response.at("backends").members())
           std::printf("%-18s %s\n", kv.second.at("name").as_string().c_str(),
                       kv.second.at("description").as_string().c_str());
+      } else if (exposition) {
+        // Verbatim Prometheus text — pipe straight into scrape tooling.
+        std::fputs(response.at("metrics_text").as_string().c_str(), stdout);
       } else {
-        const char* key = std::strcmp(method, "status") == 0 ? "status"
-                                                             : "stats";
+        const char* key = std::strcmp(method, "status") == 0   ? "status"
+                          : std::strcmp(method, "stats") == 0 ? "stats"
+                                                              : "metrics";
         std::printf("%s\n", response.at(key).pretty().c_str());
       }
     } catch (const std::exception& e) {

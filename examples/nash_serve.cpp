@@ -5,10 +5,16 @@
 //
 //   nash_serve [--port P] [--threads N] [--serve-threads N] [--queue-depth N]
 //              [--conn-inflight N] [--cache-mb MB] [--store-dir DIR]
-//              [--store-budget-mb MB] [--retry-after S] [--quiet]
+//              [--store-budget-mb MB] [--retry-after S] [--trace-out FILE]
+//              [--quiet]
 //
 // --threads sizes the SolverService worker pool; --serve-threads sizes the
 // epoll event-loop pool that connections are sharded across (default 1).
+//
+// --trace-out FILE enables per-request pipeline tracing (README
+// "Observability") and writes the run's spans as Chrome trace-event JSON to
+// FILE on graceful shutdown — load it in Perfetto (ui.perfetto.dev) or
+// chrome://tracing. Tracing is off (and near-free) without the flag.
 //
 // --store-dir enables the tier-2 persistent solution store (README
 // "Persistence"): solved reports are written through to an append-only log
@@ -45,7 +51,8 @@ void print_usage(const char* argv0) {
                "usage: %s [--port P] [--threads N] [--serve-threads N]\n"
                "       [--queue-depth N] [--conn-inflight N] [--cache-mb MB]\n"
                "       [--store-dir DIR] [--store-budget-mb MB] "
-               "[--retry-after S] [--quiet]\n",
+               "[--retry-after S]\n"
+               "       [--trace-out FILE] [--quiet]\n",
                argv0);
 }
 
@@ -89,6 +96,8 @@ int main(int argc, char** argv) {
     else if (!std::strcmp(argv[a], "--retry-after"))
       options.admission.retry_after_s =
           std::strtod(next("--retry-after"), nullptr);
+    else if (!std::strcmp(argv[a], "--trace-out"))
+      options.trace_out = next("--trace-out");
     else if (!std::strcmp(argv[a], "--quiet"))
       options.announce = false;
     else {
@@ -119,6 +128,14 @@ int main(int argc, char** argv) {
                    "%zu hits / %zu appends, %.2fx compression\n",
                    sts.entries, sts.segments, sts.hits, sts.appends,
                    sts.compression_ratio());
+    }
+    if (!options.trace_out.empty()) {
+      const cnash::obs::TraceRecorder& trace = server.trace_recorder();
+      std::fprintf(stderr,
+                   "nash_serve: trace — %zu spans written to %s"
+                   " (%zu dropped)\n",
+                   trace.event_count(), options.trace_out.c_str(),
+                   trace.dropped());
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "nash_serve: fatal: %s\n", e.what());

@@ -4,7 +4,10 @@
 # disconnect storm, malformed floods — then exercises the robustness surface
 # end to end: a 100% tile-fault resilient solve (fallback_count == runs), a
 # deadline-bounded degraded solve, an FD-leak check against the pre-storm
-# baseline, and a clean SIGTERM drain (exit 0).
+# baseline, and a clean SIGTERM drain (exit 0). The robustness counters must
+# also surface in the `metrics` exposition: fallback samples and degraded
+# reports on the main server, and injected write stalls on a second server
+# booted with CNASH_FAULT_WRITE_STALL=1.0.
 # Usage: scripts/chaos_smoke.sh <build-dir> [connections]
 set -euo pipefail
 
@@ -87,6 +90,18 @@ echo "--- degraded/fallback reports are not cached ---"
 grep -q '"uncached_reports":2' "$out_dir/stats.json" \
   || fail "expected both robustness reports to be excluded from the cache"
 
+echo "--- fault/fallback counters surface in metrics ---"
+"$client" --port "$port" --metrics-text > "$out_dir/metrics.txt"
+grep -q '^cnash_fallback_samples_total 4$' "$out_dir/metrics.txt" \
+  || fail "metrics is missing the 4 fallback samples of the resilient solve"
+grep -q '^cnash_degraded_reports_total 1$' "$out_dir/metrics.txt" \
+  || fail "metrics is missing the degraded deadline report"
+# Socket-fault counters must be exposed even when no faults are injected.
+grep -q '^cnash_served_write_stalls_total 0$' "$out_dir/metrics.txt" \
+  || fail "metrics is missing the write-stall counter"
+grep -q '^cnash_served_injected_disconnects_total 0$' "$out_dir/metrics.txt" \
+  || fail "metrics is missing the injected-disconnect counter"
+
 echo "--- fd leak check ---"
 fd_after=$fd_baseline
 for _ in $(seq 1 50); do
@@ -103,5 +118,34 @@ server_rc=0
 wait "$server_pid" || server_rc=$?
 [ "$server_rc" -eq 0 ] || fail "server exited $server_rc after SIGTERM"
 grep -q 'drained' "$out_dir/serve.stderr" || fail "server did not report a drain"
+
+echo "--- injected write stalls surface in metrics ---"
+# A stalled flush still completes (one byte per attempt, rest via EPOLLOUT),
+# so responses survive a 100% stall rate and the counter is deterministic.
+CNASH_FAULT_SEED=42 CNASH_FAULT_WRITE_STALL=1.0 \
+  "$server" --threads 1 --serve-threads 1 \
+  > "$out_dir/fault.stdout" 2> "$out_dir/fault.stderr" &
+fault_pid=$!
+fault_port=""
+for _ in $(seq 1 100); do
+  fault_port=$(awk '/^LISTENING /{print $2}' "$out_dir/fault.stdout" 2>/dev/null || true)
+  [ -n "$fault_port" ] && break
+  sleep 0.1
+done
+[ -n "$fault_port" ] || {
+  kill "$fault_pid" 2>/dev/null || true
+  fail "fault-injected server did not announce a port"
+}
+"$client" --port "$fault_port" --status --json > /dev/null \
+  || { kill "$fault_pid" 2>/dev/null || true; fail "status under write stalls"; }
+"$client" --port "$fault_port" --metrics-text > "$out_dir/fault_metrics.txt" \
+  || { kill "$fault_pid" 2>/dev/null || true; fail "metrics under write stalls"; }
+grep -Eq '^cnash_served_write_stalls_total [1-9]' "$out_dir/fault_metrics.txt" \
+  || { kill "$fault_pid" 2>/dev/null || true; \
+       fail "write stalls were injected but did not surface in metrics"; }
+kill -TERM "$fault_pid"
+fault_rc=0
+wait "$fault_pid" || fault_rc=$?
+[ "$fault_rc" -eq 0 ] || fail "fault-injected server exited $fault_rc"
 
 echo "chaos smoke OK"

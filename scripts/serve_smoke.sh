@@ -10,6 +10,13 @@
 # byte-identically with zero solver jobs, nash_store fsck is safe on a live
 # directory, and a deliberately truncated segment (simulated crash) is
 # reported by fsck and repaired by the next boot.
+#
+# Observability: the main server boots with --trace-out; the smoke scrapes
+# the `metrics` method (JSON and Prometheus text, validating the required
+# instrument names) and, after the drain, validates the written Chrome trace
+# covers every pipeline stage. Set CNASH_TRACE_ARTIFACT to a path to keep
+# the trace file (CI uploads it as an artifact); otherwise it dies with the
+# temp dir.
 # Usage: scripts/serve_smoke.sh <build-dir>
 set -euo pipefail
 
@@ -22,8 +29,10 @@ trap 'rm -rf "$out_dir"' EXIT
 server="$build_dir/nash_serve"
 client="$build_dir/nash_client"
 
+trace_out=${CNASH_TRACE_ARTIFACT:-$out_dir/trace.json}
+
 echo "--- boot nash_serve ---"
-"$server" --threads 2 --serve-threads 4 \
+"$server" --threads 2 --serve-threads 4 --trace-out "$trace_out" \
   > "$out_dir/serve.stdout" 2> "$out_dir/serve.stderr" &
 server_pid=$!
 port=""
@@ -118,12 +127,57 @@ echo "--- stats sanity ---"
 grep -q '"hits":2' "$out_dir/stats.json" \
   || fail "expected exactly two cache hits (JSON + binary re-solve)"
 
+echo "--- metrics scrape: text exposition carries every instrument family ---"
+"$client" --port "$port" --metrics-text > "$out_dir/metrics.txt"
+for name in \
+    cnash_cache_hits_total cnash_cache_misses_total \
+    cnash_admission_admitted_total cnash_store_hits_total \
+    cnash_requests_total cnash_served_solves_ok_total \
+    cnash_re_swap_proposals_total cnash_fallback_samples_total \
+    cnash_degraded_reports_total cnash_service_threads \
+    cnash_connections cnash_uptime_seconds \
+    cnash_stage_parse_seconds cnash_stage_cache_lookup_seconds \
+    cnash_stage_unit_seconds cnash_solve_wall_seconds; do
+  grep -q "^$name" "$out_dir/metrics.txt" \
+    || fail "metrics text exposition is missing $name"
+done
+grep -q '^cnash_solve_jobs_total{backend="' "$out_dir/metrics.txt" \
+  || fail "metrics is missing the per-backend solve counter"
+grep -q '^cnash_stage_parse_seconds{quantile="0.99"}' "$out_dir/metrics.txt" \
+  || fail "stage histograms do not expose quantiles"
+# Cross-check one mirrored counter against the stats method.
+grep -q '^cnash_cache_hits_total 2$' "$out_dir/metrics.txt" \
+  || fail "metrics cache-hit mirror disagrees with stats"
+# Both degraded deadline solves must be visible.
+grep -q '^cnash_degraded_reports_total 2$' "$out_dir/metrics.txt" \
+  || fail "degraded reports did not surface in metrics"
+
+echo "--- metrics scrape: JSON form ---"
+"$client" --port "$port" --metrics --json > "$out_dir/metrics.json"
+grep -q '"ok":true' "$out_dir/metrics.json" || fail "metrics method errored"
+for key in '"counters"' '"gauges"' '"histograms"' \
+    '"cnash_request_handle_seconds"' '"p99"'; do
+  grep -q "$key" "$out_dir/metrics.json" \
+    || fail "JSON metrics is missing $key"
+done
+
 echo "--- graceful SIGTERM drain ---"
 kill -TERM "$server_pid"
 server_rc=0
 wait "$server_pid" || server_rc=$?
 [ "$server_rc" -eq 0 ] || fail "server exited $server_rc after SIGTERM"
 grep -q 'drained' "$out_dir/serve.stderr" || fail "server did not report a drain"
+
+echo "--- trace: written on drain, covers every pipeline stage ---"
+[ -s "$trace_out" ] || fail "--trace-out produced no file"
+grep -q '"traceEvents"' "$trace_out" || fail "trace is not Chrome trace JSON"
+for span in request parse canonicalize cache admit queue-wait prepare unit \
+    render flush read; do
+  grep -q "\"name\":\"$span\"" "$trace_out" \
+    || fail "trace is missing the $span span"
+done
+grep -q 'trace —' "$out_dir/serve.stderr" \
+  || fail "server did not report the trace write"
 
 # ---- persistence: the tier-2 store across restarts --------------------------
 

@@ -252,6 +252,8 @@ std::vector<SaRunResult> simulated_annealing_replica_exchange(
         sa_draw_initial(batch.lane(l).game(), intervals, opts, lane_rngs[l])));
 
   double base_t = sched.t_max;
+  std::size_t swap_proposals = 0;
+  std::size_t swap_accepts = 0;
   for (std::size_t it = 0; it < opts.iterations;
        ++it, base_t *= sched.decay) {
     for (std::size_t l = 0; l < r; ++l)
@@ -272,7 +274,9 @@ std::vector<SaRunResult> simulated_annealing_replica_exchange(
         const double arg = (1.0 / t_cold - 1.0 / t_hot) *
                            (lanes[a].res.final_objective -
                             lanes[b].res.final_objective);
+        ++swap_proposals;
         if (arg >= 0.0 || u < std::exp(arg)) {
+          ++swap_accepts;
           at[pos] = b;
           at[pos + 1] = a;
           pos_of[a] = pos + 1;
@@ -284,7 +288,11 @@ std::vector<SaRunResult> simulated_annealing_replica_exchange(
 
   std::vector<SaRunResult> out;
   out.reserve(r);
-  for (SaLane& lane : lanes) out.push_back(std::move(lane.res));
+  for (SaLane& lane : lanes) {
+    lane.res.swap_proposals = swap_proposals;
+    lane.res.swap_accepts = swap_accepts;
+    out.push_back(std::move(lane.res));
+  }
   return out;
 }
 

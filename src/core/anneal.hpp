@@ -72,6 +72,13 @@ struct SaRunResult {
   std::size_t accepted = 0;
   std::size_t iterations = 0;
   std::size_t evaluations = 0;
+  /// Replica-exchange only (zero otherwise): temperature-swap proposals this
+  /// run took part in and how many were accepted. The ensemble totals are
+  /// attributed to EVERY replica's result identically (a swap involves two
+  /// replicas; per-ensemble rates are what ladder_ratio tuning needs), so
+  /// the caller reads them off whichever replica wins.
+  std::size_t swap_proposals = 0;
+  std::size_t swap_accepts = 0;
 };
 
 /// One annealing run from a random initial profile.

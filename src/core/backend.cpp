@@ -95,10 +95,14 @@ void summarize(SolveReport& report) {
   report.nash_count = 0;
   report.valid_count = 0;
   report.fallback_count = 0;
+  report.re_swap_proposals = 0;
+  report.re_swap_accepts = 0;
   double best = std::numeric_limits<double>::quiet_NaN();
   for (const SolveSample& s : report.samples) {
     if (s.is_nash) ++report.nash_count;
     if (s.fallback) ++report.fallback_count;
+    report.re_swap_proposals += s.swap_proposals;
+    report.re_swap_accepts += s.swap_accepts;
     if (!s.valid) continue;
     ++report.valid_count;
     if (std::isnan(best) || s.objective < best) best = s.objective;
@@ -176,6 +180,10 @@ SolveSample sa_sample(const SaRunResult& res, bool report_best) {
   s.q = chosen.q.to_distribution();
   s.objective = report_best ? res.best_objective : res.final_objective;
   s.profile = chosen;
+  // Zero for independent-mode runs; replica exchange stamps the ensemble
+  // totals on every replica, so the winner carries them.
+  s.swap_proposals = res.swap_proposals;
+  s.swap_accepts = res.swap_accepts;
   return s;
 }
 

@@ -110,6 +110,13 @@ struct SolveReport {
   /// after a primary hardware failure (0 for every other backend). Reports
   /// with fallbacks are never cached either.
   std::size_t fallback_count = 0;
+  /// Replica-exchange telemetry, summed over the report's ensembles (0 for
+  /// independent-mode SA and every non-SA backend): temperature-swap
+  /// proposals and accepts. accepts/proposals is the observable Earl & Deem
+  /// tune ladder spacing against; the gateway mirrors the totals into its
+  /// metrics registry.
+  std::size_t re_swap_proposals = 0;
+  std::size_t re_swap_accepts = 0;
 
   std::size_t runs() const { return samples.size(); }
   double nash_rate() const;

@@ -61,6 +61,10 @@ util::Json sample_to_json(const SolveSample& s) {
   // Emitted only when set: fallback samples exist only on the "resilient"
   // backend's contingency path, and the common case stays compact.
   if (s.fallback) j.set("fallback", true);
+  // Replica-exchange provenance, same convention — independent-mode samples
+  // stay byte-identical to pre-telemetry builds.
+  if (s.swap_proposals) j.set("swap_proposals", s.swap_proposals);
+  if (s.swap_accepts) j.set("swap_accepts", s.swap_accepts);
   if (s.profile) {
     util::Json p = util::Json::object();
     p.set("intervals", static_cast<std::size_t>(s.profile->p.intervals()));
@@ -80,6 +84,10 @@ SolveSample sample_from_json(const util::Json& json) {
   s.is_nash = json.at("is_nash").as_bool();
   s.regret = json.at("regret").as_number();
   if (const util::Json* fb = json.find("fallback")) s.fallback = fb->as_bool();
+  if (const util::Json* sp = json.find("swap_proposals"))
+    s.swap_proposals = static_cast<std::size_t>(sp->as_number());
+  if (const util::Json* sa = json.find("swap_accepts"))
+    s.swap_accepts = static_cast<std::size_t>(sa->as_number());
   if (const util::Json* profile = json.find("profile")) {
     const double raw = profile->at("intervals").as_number();
     const auto intervals = static_cast<std::uint32_t>(raw);
@@ -107,6 +115,11 @@ util::Json report_to_json(const SolveReport& report) {
   j.set("units_total", report.units_total);
   j.set("units_completed", report.units_completed);
   j.set("fallback_count", report.fallback_count);
+  // Conditional for byte-compatibility with pre-telemetry serializations
+  // (goldens, persisted store segments, the cache replay contract).
+  if (report.re_swap_proposals)
+    j.set("re_swap_proposals", report.re_swap_proposals);
+  if (report.re_swap_accepts) j.set("re_swap_accepts", report.re_swap_accepts);
   util::Json samples = util::Json::array();
   for (const SolveSample& s : report.samples) samples.push(sample_to_json(s));
   j.set("samples", std::move(samples));
@@ -140,6 +153,10 @@ SolveReport report_from_json(const util::Json& json) {
     report.units_completed = static_cast<std::size_t>(u->as_number());
   if (const util::Json* f = json.find("fallback_count"))
     report.fallback_count = static_cast<std::size_t>(f->as_number());
+  if (const util::Json* p = json.find("re_swap_proposals"))
+    report.re_swap_proposals = static_cast<std::size_t>(p->as_number());
+  if (const util::Json* a = json.find("re_swap_accepts"))
+    report.re_swap_accepts = static_cast<std::size_t>(a->as_number());
   return report;
 }
 

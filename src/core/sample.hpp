@@ -37,6 +37,11 @@ struct SolveSample {
   /// exact-sa fallback path after the primary hardware unit failed; counted
   /// as SolveReport::fallback_count by summarize().
   bool fallback = false;
+  /// Replica-exchange provenance (SA ensemble winners only, 0 elsewhere):
+  /// the ensemble's temperature-swap proposal/accept totals, carried on the
+  /// winning sample so summarize() can aggregate them into the report.
+  std::size_t swap_proposals = 0;
+  std::size_t swap_accepts = 0;
 
   /// Stable dedup key across runs: the quantized profile key when present,
   /// the rounded distributions otherwise.

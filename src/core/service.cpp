@@ -47,6 +47,9 @@ struct SolverService::Job {
   std::size_t agg_valid = 0;
   double agg_best = std::numeric_limits<double>::quiet_NaN();
   std::chrono::steady_clock::time_point submitted;
+  /// First step (prepare or unit) already handed to a worker — the edge that
+  /// defines the job's queue-wait sample.
+  bool dispatched = false;
 
   // Anytime degradation (request.deadline_s > 0): once `expired` is set by a
   // worker scan, no further units are dispatched; the job finishes when its
@@ -58,7 +61,8 @@ struct SolverService::Job {
 
 SolverService::SolverService(ServiceOptions options)
     : registry_(options.registry ? options.registry
-                                 : &SolverRegistry::global()) {
+                                 : &SolverRegistry::global()),
+      telemetry_(options.telemetry) {
   const std::size_t pool = resolve_pool_size(options.threads);
   workers_.reserve(pool);
   for (std::size_t w = 0; w < pool; ++w)
@@ -234,6 +238,7 @@ void SolverService::worker_loop() {
     std::shared_ptr<Job> job;
     bool is_prepare = false;
     bool is_expiry_finish = false;
+    bool first_dispatch = false;
     std::size_t unit = 0;
     // Deadlines are checked lazily, during scans only: `now` is read once per
     // scan and only when some job carries a deadline. No timed waits are
@@ -258,6 +263,8 @@ void SolverService::worker_loop() {
         if (j->prepare_claimed) continue;
         j->prepare_claimed = true;
         j->in_flight++;
+        first_dispatch = !j->dispatched;
+        j->dispatched = true;
         job = j;
         is_prepare = true;
         break;
@@ -276,6 +283,8 @@ void SolverService::worker_loop() {
       if (j->next_unit < j->total && (j->cap == 0 || j->in_flight < j->cap)) {
         unit = j->next_unit++;
         j->in_flight++;
+        first_dispatch = !j->dispatched;
+        j->dispatched = true;
         job = j;
         jobs_.splice(jobs_.end(), jobs_, it);
         break;
@@ -297,17 +306,36 @@ void SolverService::worker_loop() {
     }
 
     lock.unlock();
+    const auto step_start = std::chrono::steady_clock::now();
+    if (first_dispatch) {
+      if (telemetry_.queue_wait_seconds)
+        telemetry_.queue_wait_seconds->record(
+            std::chrono::duration<double>(step_start - job->submitted)
+                .count());
+      if (telemetry_.trace)
+        telemetry_.trace->record("queue-wait", "service", job->submitted,
+                                 step_start, job->hooks.trace_id);
+    }
     std::exception_ptr error;
     std::unique_ptr<PreparedJob> prepared;
     std::vector<SolveSample> samples;
-    try {
-      if (is_prepare)
-        prepared = job->backend->prepare(*job->request);
-      else
-        samples = job->prepared->run_unit(unit);
-    } catch (...) {
-      error = std::current_exception();
+    {
+      obs::Span span(telemetry_.trace, is_prepare ? "prepare" : "unit",
+                     "service", job->hooks.trace_id);
+      try {
+        if (is_prepare)
+          prepared = job->backend->prepare(*job->request);
+        else
+          samples = job->prepared->run_unit(unit);
+      } catch (...) {
+        error = std::current_exception();
+      }
     }
+    if (obs::Histogram* h =
+            is_prepare ? telemetry_.prepare_seconds : telemetry_.unit_seconds)
+      h->record(std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - step_start)
+                    .count());
     lock.lock();
 
     job->in_flight--;

@@ -28,6 +28,8 @@
 #include <vector>
 
 #include "core/backend.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace cnash::core {
 
@@ -39,12 +41,28 @@ class ServiceDrainingError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Optional worker-pool telemetry (all pointers nullable and non-owning; the
+/// instruments must outlive the service). With everything null the scheduling
+/// hot path is untouched apart from two steady_clock reads per step.
+struct ServiceTelemetry {
+  /// Wall time of each backend prepare() step.
+  obs::Histogram* prepare_seconds = nullptr;
+  /// Wall time of each work unit (run_unit call).
+  obs::Histogram* unit_seconds = nullptr;
+  /// Submission → first dispatch (prepare claim or first unit), once per job.
+  obs::Histogram* queue_wait_seconds = nullptr;
+  /// Span sink for per-step "prepare"/"unit" spans, correlated with the
+  /// submitting request through JobHooks::trace_id.
+  obs::TraceRecorder* trace = nullptr;
+};
+
 struct ServiceOptions {
   /// Worker pool size; 0 = one worker per hardware thread.
   std::size_t threads = 0;
   /// Backend registry to resolve request.backend against;
   /// nullptr = SolverRegistry::global().
   const SolverRegistry* registry = nullptr;
+  ServiceTelemetry telemetry;
 };
 
 /// Best-so-far snapshot of a running job, emitted to JobHooks::on_progress
@@ -79,6 +97,10 @@ struct JobHooks {
   /// Terminal: exactly one of (report, error) is meaningful — error is the
   /// nullptr-free indicator (report is default-constructed when set).
   std::function<void(SolveReport&&, std::exception_ptr error)> on_complete;
+  /// Trace-span correlation id of the originating request (0 = untraced).
+  /// Worker-side "prepare"/"unit" spans carry it so a request's gateway
+  /// stages and its solver units line up in the exported trace.
+  std::uint64_t trace_id = 0;
 };
 
 class SolverService {
@@ -157,6 +179,7 @@ class SolverService {
   void finish(std::shared_ptr<Job> job);  // fulfil promise, job already delisted
 
   const SolverRegistry* registry_;
+  const ServiceTelemetry telemetry_;
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::list<std::shared_ptr<Job>> jobs_;

@@ -1,0 +1,89 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+namespace cnash::obs {
+
+namespace {
+
+double micros_between(TraceRecorder::Clock::time_point a,
+                      TraceRecorder::Clock::time_point b) {
+  return std::chrono::duration<double, std::micro>(b - a).count();
+}
+
+}  // namespace
+
+int TraceRecorder::tid_for_locked(std::thread::id id) {
+  for (std::size_t i = 0; i < threads_.size(); ++i)
+    if (threads_[i] == id) return static_cast<int>(i + 1);
+  threads_.push_back(id);
+  return static_cast<int>(threads_.size());
+}
+
+void TraceRecorder::record(const char* name, const char* cat,
+                           Clock::time_point begin, Clock::time_point end,
+                           std::uint64_t trace_id) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (events_.size() >= kMaxEvents) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Event ev;
+  ev.name = name;
+  ev.cat = cat;
+  ev.ts_us = micros_between(epoch_, begin);
+  ev.dur_us = micros_between(begin, end);
+  ev.tid = tid_for_locked(std::this_thread::get_id());
+  ev.trace_id = trace_id;
+  events_.push_back(ev);
+}
+
+std::size_t TraceRecorder::event_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+util::Json TraceRecorder::chrome_trace() const {
+  std::vector<Event> events;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    events = events_;
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+  util::Json doc = util::Json::object();
+  util::Json list = util::Json::array();
+  for (const Event& ev : events) {
+    util::Json j = util::Json::object();
+    j.set("name", ev.name);
+    j.set("cat", ev.cat);
+    j.set("ph", "X");
+    j.set("ts", ev.ts_us);
+    j.set("dur", ev.dur_us);
+    j.set("pid", 1);
+    j.set("tid", ev.tid);
+    if (ev.trace_id) {
+      util::Json args = util::Json::object();
+      args.set("request", static_cast<double>(ev.trace_id));
+      j.set("args", std::move(args));
+    }
+    list.push(std::move(j));
+  }
+  doc.set("traceEvents", std::move(list));
+  if (const std::size_t d = dropped())
+    doc.set("droppedEvents", static_cast<double>(d));
+  return doc;
+}
+
+bool TraceRecorder::write_chrome_trace(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << chrome_trace().dump() << '\n';
+  return static_cast<bool>(out);
+}
+
+}  // namespace cnash::obs

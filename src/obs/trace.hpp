@@ -1,0 +1,136 @@
+#pragma once
+// obs — per-request pipeline tracing. A TraceRecorder collects closed spans
+// (Chrome trace-event "X" complete events) from the gateway's event loops
+// and the SolverService workers; `nash_serve --trace-out <file>` writes the
+// run's trace as Chrome trace-event JSON, loadable in Perfetto / about:tracing.
+//
+// Cost contract: when disabled (the default) a Span construction is one
+// relaxed atomic load and a couple of pointer stores — no clock reads, no
+// locks — so the instrumentation can stay compiled into the hot path.
+// Enabled recording takes a mutex per closed span; tracing is a diagnostic
+// mode, not a production default.
+//
+// Span names/categories are `const char*` and must point at static storage
+// (string literals at every call site) — the recorder stores the pointers.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace cnash::obs {
+
+class TraceRecorder {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Spans recorded beyond this are counted but dropped (memory bound for
+  /// long soak runs).
+  static constexpr std::size_t kMaxEvents = 1u << 20;
+
+  TraceRecorder() : epoch_(Clock::now()) {}
+
+  void enable() { enabled_.store(true, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Fresh correlation id threading one request's spans together (gateway
+  /// pipeline stages and the service units it fans out to share the id).
+  std::uint64_t new_trace_id() {
+    return next_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Append one closed span. `name`/`cat` must be string literals.
+  void record(const char* name, const char* cat, Clock::time_point begin,
+              Clock::time_point end, std::uint64_t trace_id);
+
+  std::size_t event_count() const;
+  std::size_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// {"traceEvents":[...]} with events sorted by timestamp; ts/dur in
+  /// microseconds relative to the recorder's construction.
+  util::Json chrome_trace() const;
+
+  /// Write chrome_trace() to `path`; false on I/O failure.
+  bool write_chrome_trace(const std::string& path) const;
+
+ private:
+  struct Event {
+    const char* name;
+    const char* cat;
+    double ts_us;
+    double dur_us;
+    int tid;
+    std::uint64_t trace_id;
+  };
+
+  int tid_for_locked(std::thread::id id);
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> next_id_{1};
+  std::atomic<std::size_t> dropped_{0};
+  Clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  std::vector<Event> events_;
+  /// Thread ids in first-seen order → small stable tids for the trace view.
+  std::vector<std::thread::id> threads_;
+};
+
+/// RAII span: clocks its scope and reports to the recorder on destruction
+/// (or an explicit finish()). A Span built from a disabled/null recorder is
+/// inert and costs two pointer stores plus one relaxed load.
+class Span {
+ public:
+  Span() = default;
+  Span(TraceRecorder* recorder, const char* name, const char* cat,
+       std::uint64_t trace_id)
+      : recorder_(recorder && recorder->enabled() ? recorder : nullptr),
+        name_(name),
+        cat_(cat),
+        trace_id_(trace_id) {
+    if (recorder_) begin_ = TraceRecorder::Clock::now();
+  }
+
+  Span(Span&& other) noexcept { *this = std::move(other); }
+  Span& operator=(Span&& other) noexcept {
+    if (this != &other) {
+      finish();
+      recorder_ = other.recorder_;
+      name_ = other.name_;
+      cat_ = other.cat_;
+      trace_id_ = other.trace_id_;
+      begin_ = other.begin_;
+      other.recorder_ = nullptr;
+    }
+    return *this;
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  ~Span() { finish(); }
+
+  void finish() {
+    if (recorder_) {
+      recorder_->record(name_, cat_, begin_, TraceRecorder::Clock::now(),
+                        trace_id_);
+      recorder_ = nullptr;
+    }
+  }
+
+  bool active() const { return recorder_ != nullptr; }
+
+ private:
+  TraceRecorder* recorder_ = nullptr;
+  const char* name_ = nullptr;
+  const char* cat_ = nullptr;
+  std::uint64_t trace_id_ = 0;
+  TraceRecorder::Clock::time_point begin_{};
+};
+
+}  // namespace cnash::obs

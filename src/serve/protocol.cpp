@@ -202,10 +202,17 @@ WireRequest request_from_json(const util::Json& root,
       req.no_cache = bool_field(root, "no_cache", false);
       req.progress = bool_field(root, "progress", false);
       req.solve = solve_from_request(root, session);
+    } else if (req.method == "metrics") {
+      if (const util::Json* fmt = root.find("format")) {
+        if (!fmt->is_string() ||
+            (fmt->as_string() != "json" && fmt->as_string() != "text"))
+          bad("metrics \"format\" must be \"json\" or \"text\"");
+        req.metrics_text = fmt->as_string() == "text";
+      }
     } else if (req.method != "status" && req.method != "stats" &&
                req.method != "list-backends") {
       bad("unknown method \"" + req.method +
-          "\" (expected solve, status, stats or list-backends)");
+          "\" (expected solve, status, stats, list-backends or metrics)");
     }
   } catch (ProtocolError& e) {
     e.set_id(req.id);  // the id parsed fine; echo it on the error
@@ -272,6 +279,7 @@ const char* frame_method(unsigned char type) {
     case kFrameStatus: return "status";
     case kFrameStats: return "stats";
     case kFrameListBackends: return "list-backends";
+    case kFrameMetrics: return "metrics";
     default: return nullptr;
   }
 }
@@ -281,7 +289,8 @@ WireRequest parse_frame_request(unsigned char type, const std::string& payload,
   const char* method = frame_method(type);
   if (!method)
     bad("unknown request frame type " + std::to_string(type) +
-        " (expected 0x01 solve, 0x02 status, 0x03 stats, 0x04 list-backends)");
+        " (expected 0x01 solve, 0x02 status, 0x03 stats, 0x04 list-backends, "
+        "0x05 metrics)");
   util::Json root = util::Json::object();
   if (!payload.empty()) {
     try {

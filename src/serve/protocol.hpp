@@ -24,6 +24,10 @@
 //       miss that the store answers counts as cache.misses + store.hits, so
 //       tier-1 vs tier-2 hit ratios are directly observable.
 //   {"method":"list-backends"}→ registered backend keys + descriptions
+//   {"method":"metrics"}      → full instrument registry snapshot (counters,
+//     gauges, histogram quantiles) as {"metrics":{...}}; with
+//     {"format":"text"} the response instead carries the Prometheus text
+//     exposition as {"metrics_text":"..."}. Safe to scrape while solves run.
 //
 // Errors are structured, never a closed connection:
 //   {"ok":false,"id":1,"error":{"code":"bad_request","message":"..."}}
@@ -72,6 +76,9 @@ struct WireRequest {
   /// Solve only: client opted into interim best-so-far `progress` frames
   /// (wire field `"progress":true`). The final frame always follows.
   bool progress = false;
+  /// Metrics only: {"format":"text"} → Prometheus text exposition instead of
+  /// the JSON instrument snapshot.
+  bool metrics_text = false;
   /// Present iff method == "solve".
   std::optional<core::SolveRequest> solve;
 };
@@ -123,6 +130,7 @@ enum FrameType : unsigned char {
   kFrameStatus = 0x02,
   kFrameStats = 0x03,
   kFrameListBackends = 0x04,
+  kFrameMetrics = 0x05,
   // Responses (server → client); the high bit distinguishes final / interim /
   // error without parsing the payload.
   kFrameFinal = 0x81,

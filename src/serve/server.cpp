@@ -22,6 +22,9 @@
 #include <unordered_map>
 #include <utility>
 
+#include "simd/simd.hpp"
+#include "util/build_info.hpp"
+
 namespace cnash::serve {
 
 namespace {
@@ -53,6 +56,37 @@ bool frame_actionable(const std::string& in, std::size_t max_payload) {
   if (length > max_payload) return true;  // oversize: actionable error
   return in.size() >= kFrameHeaderSize + length;
 }
+
+/// One pipeline stage: times its scope into a histogram (always, when one is
+/// given) and emits a trace span (only while tracing is enabled). Inert —
+/// zero clock reads — when neither sink wants the sample, which is how the
+/// disabled-telemetry path stays under the <2% overhead budget.
+class Stage {
+ public:
+  Stage(obs::TraceRecorder& trace, const char* name, std::uint64_t trace_id,
+        obs::Histogram* hist)
+      : trace_(trace), name_(name), trace_id_(trace_id), hist_(hist) {
+    active_ = hist_ != nullptr || trace_.enabled();
+    if (active_) begin_ = obs::TraceRecorder::Clock::now();
+  }
+  Stage(const Stage&) = delete;
+  Stage& operator=(const Stage&) = delete;
+  ~Stage() {
+    if (!active_) return;
+    const auto end = obs::TraceRecorder::Clock::now();
+    if (hist_)
+      hist_->record(std::chrono::duration<double>(end - begin_).count());
+    trace_.record(name_, "gateway", begin_, end, trace_id_);
+  }
+
+ private:
+  obs::TraceRecorder& trace_;
+  const char* name_;
+  std::uint64_t trace_id_;
+  obs::Histogram* hist_;
+  bool active_ = false;
+  obs::TraceRecorder::Clock::time_point begin_{};
+};
 
 }  // namespace
 
@@ -93,6 +127,7 @@ struct NashServer::Delivery {
   // kProgress
   core::ProgressSnapshot snapshot;
   util::Json id;  // response correlation id (kFinal/kError/kProgress)
+  std::uint64_t trace_id = 0;  // span correlation of the originating request
 };
 
 /// One event loop: an epoll instance plus the connections sharded onto it.
@@ -165,7 +200,10 @@ NashServer::NashServer(ServeOptions options)
     : options_(options),
       cache_(options.cache_bytes),
       admission_(options.admission),
-      service_(core::ServiceOptions{options.service_threads, nullptr}) {
+      // service_options() reads registry_/trace_; both are declared (hence
+      // initialized) before service_, and init_telemetry() below registers
+      // the same instruments the options point at.
+      service_(service_options()) {
   if (!options_.store_dir.empty()) {
     store::StoreOptions store_options;
     store_options.byte_budget = options_.store_budget_bytes;
@@ -173,6 +211,129 @@ NashServer::NashServer(ServeOptions options)
                                                     store_options);
     cache_.attach_store(store_.get());
   }
+  init_telemetry();
+}
+
+core::ServiceOptions NashServer::service_options() {
+  if (!options_.trace_out.empty()) trace_.enable();
+  core::ServiceOptions svc;
+  svc.threads = options_.service_threads;
+  svc.telemetry.prepare_seconds =
+      &registry_.histogram("cnash_stage_prepare_seconds");
+  svc.telemetry.unit_seconds = &registry_.histogram("cnash_stage_unit_seconds");
+  svc.telemetry.queue_wait_seconds =
+      &registry_.histogram("cnash_stage_queue_wait_seconds");
+  svc.telemetry.trace = &trace_;
+  return svc;
+}
+
+void NashServer::init_telemetry() {
+  started_ = std::chrono::steady_clock::now();
+  stage_parse_ = &registry_.histogram("cnash_stage_parse_seconds");
+  stage_canonicalize_ =
+      &registry_.histogram("cnash_stage_canonicalize_seconds");
+  stage_cache_lookup_ =
+      &registry_.histogram("cnash_stage_cache_lookup_seconds");
+  stage_admit_ = &registry_.histogram("cnash_stage_admit_seconds");
+  stage_render_ = &registry_.histogram("cnash_stage_render_seconds");
+  stage_flush_ = &registry_.histogram("cnash_stage_flush_seconds");
+  stage_request_ = &registry_.histogram("cnash_request_handle_seconds");
+  solve_wall_ = &registry_.histogram("cnash_solve_wall_seconds");
+  re_swap_proposals_ = &registry_.counter("cnash_re_swap_proposals_total");
+  re_swap_accepts_ = &registry_.counter("cnash_re_swap_accepts_total");
+  fallback_samples_ = &registry_.counter("cnash_fallback_samples_total");
+  degraded_reports_ = &registry_.counter("cnash_degraded_reports_total");
+  registry_.on_collect([this] { collect_mirrors(); });
+}
+
+void NashServer::collect_mirrors() {
+  CacheStats cs;
+  AdmissionStats as;
+  std::size_t pending = 0;
+  {
+    std::lock_guard<std::mutex> lock(gate_);
+    cs = cache_.stats();
+    as = admission_.stats();
+    pending = pending_.size();
+  }
+  registry_.counter("cnash_cache_hits_total").set(cs.hits);
+  registry_.counter("cnash_cache_misses_total").set(cs.misses);
+  registry_.counter("cnash_cache_insertions_total").set(cs.insertions);
+  registry_.counter("cnash_cache_evictions_total").set(cs.evictions);
+  registry_.counter("cnash_cache_oversize_rejects_total")
+      .set(cs.oversize_rejects);
+  registry_.gauge("cnash_cache_entries").set(static_cast<double>(cs.entries));
+  registry_.gauge("cnash_cache_bytes").set(static_cast<double>(cs.bytes));
+  registry_.gauge("cnash_cache_byte_budget_bytes")
+      .set(static_cast<double>(cs.byte_budget));
+
+  registry_.counter("cnash_admission_admitted_total").set(as.admitted);
+  registry_.counter("cnash_admission_shed_queue_full_total")
+      .set(as.shed_queue_full);
+  registry_.counter("cnash_admission_shed_connection_cap_total")
+      .set(as.shed_connection_cap);
+  registry_.counter("cnash_admission_coalesced_total").set(as.coalesced);
+
+  // The tier-2 store keeps its own mutex: snapshot outside the gate. The
+  // instruments exist (all-zero) even without --store-dir so the exposition
+  // schema is stable.
+  const store::StoreStats sts = store_ ? store_->stats() : store::StoreStats{};
+  registry_.gauge("cnash_store_enabled").set(store_ ? 1.0 : 0.0);
+  registry_.counter("cnash_store_hits_total").set(sts.hits);
+  registry_.counter("cnash_store_misses_total").set(sts.misses);
+  registry_.counter("cnash_store_appends_total").set(sts.appends);
+  registry_.counter("cnash_store_evictions_total").set(sts.evictions);
+  registry_.counter("cnash_store_compactions_total").set(sts.compactions);
+  registry_.gauge("cnash_store_entries").set(static_cast<double>(sts.entries));
+  registry_.gauge("cnash_store_segments")
+      .set(static_cast<double>(sts.segments));
+  registry_.gauge("cnash_store_live_stored_bytes")
+      .set(static_cast<double>(sts.live_stored_bytes));
+
+  const ServedStats ss = served_stats();
+  registry_.counter("cnash_requests_total").set(ss.lines);
+  registry_.counter("cnash_served_solves_ok_total").set(ss.solves_ok);
+  registry_.counter("cnash_served_cache_hits_total").set(ss.cache_hits);
+  registry_.counter("cnash_served_coalesced_total").set(ss.coalesced);
+  registry_.counter("cnash_served_errors_total").set(ss.errors);
+  registry_.counter("cnash_served_jobs_submitted_total")
+      .set(ss.jobs_submitted);
+  registry_.counter("cnash_served_progress_frames_total")
+      .set(ss.progress_frames);
+  registry_.counter("cnash_served_fair_deferrals_total")
+      .set(ss.fair_deferrals);
+  registry_.counter("cnash_served_write_stalls_total").set(ss.write_stalls);
+  registry_.counter("cnash_served_injected_disconnects_total")
+      .set(ss.injected_disconnects);
+  registry_.counter("cnash_served_overflow_closed_total")
+      .set(ss.overflow_closed);
+  registry_.counter("cnash_served_uncached_reports_total")
+      .set(ss.uncached_reports);
+
+  const core::SolverService::QueueDepth depth = service_.queue_depth();
+  registry_.gauge("cnash_service_threads")
+      .set(static_cast<double>(service_.threads()));
+  registry_.gauge("cnash_service_jobs").set(static_cast<double>(depth.jobs));
+  registry_.gauge("cnash_service_queued_units")
+      .set(static_cast<double>(depth.queued_units));
+  registry_.gauge("cnash_service_in_flight_units")
+      .set(static_cast<double>(depth.in_flight_units));
+
+  registry_.gauge("cnash_pending_solves").set(static_cast<double>(pending));
+  registry_.gauge("cnash_connections")
+      .set(static_cast<double>(
+          connections_.load(std::memory_order_relaxed)));
+  registry_.gauge("cnash_uptime_seconds")
+      .set(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         started_)
+               .count());
+
+  // Derived Earl & Deem observable: the replica-exchange acceptance rate.
+  const std::uint64_t props = re_swap_proposals_->value();
+  registry_.gauge("cnash_re_swap_accept_rate")
+      .set(props ? static_cast<double>(re_swap_accepts_->value()) /
+                       static_cast<double>(props)
+                 : 0.0);
 }
 
 NashServer::~NashServer() {
@@ -316,6 +477,10 @@ void NashServer::run() {
   // Make the drain a durability point: every report persisted during this
   // run is on stable storage before run() returns.
   if (store_) store_->sync();
+  // All loops and workers are parked, so the event buffer is quiescent:
+  // write the Chrome trace (Perfetto-loadable) in one shot.
+  if (!options_.trace_out.empty())
+    trace_.write_chrome_trace(options_.trace_out);
 }
 
 // ---- Event loop -------------------------------------------------------------
@@ -388,12 +553,18 @@ void NashServer::Loop::process_inbox() {
     Connection& conn = it->second;
 
     switch (d.kind) {
-      case Delivery::kFinal:
+      case Delivery::kFinal: {
         server->counters_.solves_ok.fetch_add(1, std::memory_order_relaxed);
-        render_solve_ok_body(conn.session.body, d.id, /*cached=*/false,
-                             map_to_original(d.mapping, *d.report));
+        {
+          Stage stage(server->trace_, "render", d.trace_id,
+                      server->stage_render_);
+          render_solve_ok_body(conn.session.body, d.id, /*cached=*/false,
+                               map_to_original(d.mapping, *d.report));
+        }
+        Stage stage(server->trace_, "flush", d.trace_id, server->stage_flush_);
         send_body(conn, kFrameFinal, /*is_error=*/false);
         break;
+      }
       case Delivery::kError:
         render_error_body(conn.session.body, d.id, d.code, d.message,
                           d.retry_after_s);
@@ -417,19 +588,23 @@ void NashServer::Loop::read_ready(std::uint64_t conn_id) {
   const auto it = conns.find(conn_id);
   if (it == conns.end()) return;
   Connection& conn = it->second;
-  char buf[16384];
-  for (;;) {
-    const ssize_t got = ::recv(conn.fd, buf, sizeof buf, 0);
-    if (got > 0) {
-      conn.in.append(buf, static_cast<std::size_t>(got));
-      continue;
+  {
+    // Trace-only span (no request id yet — bytes may span many requests).
+    Stage stage(server->trace_, "read", /*trace_id=*/0, /*hist=*/nullptr);
+    char buf[16384];
+    for (;;) {
+      const ssize_t got = ::recv(conn.fd, buf, sizeof buf, 0);
+      if (got > 0) {
+        conn.in.append(buf, static_cast<std::size_t>(got));
+        continue;
+      }
+      if (got < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (got < 0 && errno == EINTR) continue;
+      // Peer closed (or hard error): serve what was already buffered, then
+      // close once owed responses are flushed.
+      conn.close_after_flush = true;
+      break;
     }
-    if (got < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
-    if (got < 0 && errno == EINTR) continue;
-    // Peer closed (or hard error): serve what was already buffered, then
-    // close once owed responses are flushed.
-    conn.close_after_flush = true;
-    break;
   }
   process_input(conn_id);
 }
@@ -467,8 +642,13 @@ void NashServer::Loop::process_input(std::uint64_t conn_id) {
       conn.in.erase(0, kFrameHeaderSize + header->length);
       handled++;
       server->counters_.lines.fetch_add(1, std::memory_order_relaxed);
+      const std::uint64_t tid =
+          server->trace_.enabled() ? server->trace_.new_trace_id() : 0;
+      Stage request_stage(server->trace_, "request", tid,
+                          server->stage_request_);
       WireRequest request;
       try {
+        Stage parse_stage(server->trace_, "parse", tid, server->stage_parse_);
         request = parse_frame_request(header->type, conn.scratch,
                                       &conn.session);
       } catch (const ProtocolError& e) {
@@ -482,7 +662,7 @@ void NashServer::Loop::process_input(std::uint64_t conn_id) {
         continue;
       }
       try {
-        server->handle_request(*this, conn, std::move(request));
+        server->handle_request(*this, conn, std::move(request), tid);
       } catch (const std::exception& e) {
         // Defensive: nothing may escape the event loop.
         render_error_body(conn.session.body, util::Json(), "internal",
@@ -499,8 +679,13 @@ void NashServer::Loop::process_input(std::uint64_t conn_id) {
       if (conn.scratch.empty()) continue;
       handled++;
       server->counters_.lines.fetch_add(1, std::memory_order_relaxed);
+      const std::uint64_t tid =
+          server->trace_.enabled() ? server->trace_.new_trace_id() : 0;
+      Stage request_stage(server->trace_, "request", tid,
+                          server->stage_request_);
       WireRequest request;
       try {
+        Stage parse_stage(server->trace_, "parse", tid, server->stage_parse_);
         request = parse_request(conn.scratch, &conn.session);
       } catch (const ProtocolError& e) {
         render_error_body(conn.session.body, e.id(), e.code(), e.what());
@@ -514,7 +699,7 @@ void NashServer::Loop::process_input(std::uint64_t conn_id) {
         continue;
       }
       try {
-        server->handle_request(*this, conn, std::move(request));
+        server->handle_request(*this, conn, std::move(request), tid);
       } catch (const std::exception& e) {
         render_error_body(conn.session.body, util::Json(), "internal",
                           e.what());
@@ -675,14 +860,25 @@ void NashServer::Loop::flush(Connection& conn) {
 // ---- Request handling -------------------------------------------------------
 
 void NashServer::handle_request(Loop& loop, Connection& conn,
-                                WireRequest request) {
+                                WireRequest request, std::uint64_t trace_id) {
   if (request.method == "solve") {
-    handle_solve(loop, conn, std::move(request));
+    handle_solve(loop, conn, std::move(request), trace_id);
   } else if (request.method == "status") {
     render_ok_body(conn.session.body, request.id, "status", status_payload());
     loop.send_body(conn, kFrameFinal, /*is_error=*/false);
   } else if (request.method == "stats") {
     render_ok_body(conn.session.body, request.id, "stats", stats_payload());
+    loop.send_body(conn, kFrameFinal, /*is_error=*/false);
+  } else if (request.method == "metrics") {
+    // Scrape path: the registry's collect callback takes the gate (briefly)
+    // to mirror the aggregate stats; we hold no lock here, so scraping is
+    // safe — and non-blocking for other loops — while solves run.
+    if (request.metrics_text)
+      render_ok_body(conn.session.body, request.id, "metrics_text",
+                     util::Json::string(registry_.text_exposition()));
+    else
+      render_ok_body(conn.session.body, request.id, "metrics",
+                     registry_.to_json());
     loop.send_body(conn, kFrameFinal, /*is_error=*/false);
   } else {  // list-backends (the parser rejected everything else)
     util::Json backends = util::Json::array();
@@ -699,7 +895,7 @@ void NashServer::handle_request(Loop& loop, Connection& conn,
 }
 
 void NashServer::handle_solve(Loop& loop, Connection& conn,
-                              WireRequest request) {
+                              WireRequest request, std::uint64_t trace_id) {
   if (draining_.load(std::memory_order_relaxed)) {
     render_error_body(conn.session.body, request.id, "draining",
                       "server is draining and accepts no new solves",
@@ -708,7 +904,10 @@ void NashServer::handle_solve(Loop& loop, Connection& conn,
     return;
   }
 
-  CanonicalRequest canonical = canonicalize(std::move(*request.solve));
+  CanonicalRequest canonical = [&] {
+    Stage stage(trace_, "canonicalize", trace_id, stage_canonicalize_);
+    return canonicalize(std::move(*request.solve));
+  }();
 
   // Everything the loops share sits behind the gate: cache, coalescing
   // registry and admission. The verdict is computed under the lock; the
@@ -729,7 +928,11 @@ void NashServer::handle_solve(Loop& loop, Connection& conn,
       // stored canonical report (modeled timing included) is mapped back to
       // the caller's action order; for an identical request that mapping is
       // the identity and the response is byte-identical to the first one.
-      if ((hit = cache_.lookup(canonical.key))) {
+      {
+        Stage stage(trace_, "cache", trace_id, stage_cache_lookup_);
+        hit = cache_.lookup(canonical.key);
+      }
+      if (hit) {
         counters_.solves_ok.fetch_add(1, std::memory_order_relaxed);
         counters_.cache_hits.fetch_add(1, std::memory_order_relaxed);
         outcome = Outcome::kHit;
@@ -752,7 +955,7 @@ void NashServer::handle_solve(Loop& loop, Connection& conn,
             conn.inflight++;
             pending->waiters.push_back({&loop, conn.id, request.id,
                                         std::move(canonical.mapping),
-                                        request.progress});
+                                        request.progress, trace_id});
             outcome = Outcome::kCoalesced;
           }
           break;
@@ -761,6 +964,7 @@ void NashServer::handle_solve(Loop& loop, Connection& conn,
     }
     if (outcome == Outcome::kSubmit) {
       // Layer 2: admission control.
+      Stage stage(trace_, "admit", trace_id, stage_admit_);
       const AdmissionController::Verdict verdict =
           admission_.admit(pending_.size(), conn.inflight);
       if (verdict != AdmissionController::Verdict::kAdmit) {
@@ -778,7 +982,7 @@ void NashServer::handle_solve(Loop& loop, Connection& conn,
         entry->store_in_cache = !request.no_cache;
         entry->waiters.push_back({&loop, conn.id, request.id,
                                   std::move(canonical.mapping),
-                                  request.progress});
+                                  request.progress, trace_id});
         pending_.push_back(std::move(owned));
         conn.inflight++;
         counters_.jobs_submitted.fetch_add(1, std::memory_order_relaxed);
@@ -787,11 +991,16 @@ void NashServer::handle_solve(Loop& loop, Connection& conn,
   }
 
   switch (outcome) {
-    case Outcome::kHit:
-      render_solve_ok_body(conn.session.body, request.id, /*cached=*/true,
-                           map_to_original(canonical.mapping, *hit));
+    case Outcome::kHit: {
+      {
+        Stage stage(trace_, "render", trace_id, stage_render_);
+        render_solve_ok_body(conn.session.body, request.id, /*cached=*/true,
+                             map_to_original(canonical.mapping, *hit));
+      }
+      Stage stage(trace_, "flush", trace_id, stage_flush_);
       loop.send_body(conn, kFrameFinal, /*is_error=*/false);
       return;
+    }
     case Outcome::kCoalesced:
       return;  // the in-flight job's completion answers this waiter
     case Outcome::kShed:
@@ -803,12 +1012,20 @@ void NashServer::handle_solve(Loop& loop, Connection& conn,
       break;
   }
 
+  // Per-backend solve counts, labeled Prometheus-style. Interned once per
+  // backend key; outside the gate (the registry has its own mutex).
+  registry_
+      .counter("cnash_solve_jobs_total{backend=\"" +
+               canonical.request.backend + "\"}")
+      .add(1);
+
   // Submit outside the gate: an immediately-resolved submission (service
   // draining) runs on_complete inline on this thread, and on_complete takes
   // the gate. Progress streaming is wired iff the submitting request asked
   // for it — a later coalescer onto a job without the hook gets the final
   // frame only.
   core::JobHooks hooks;
+  hooks.trace_id = trace_id;
   if (want_progress)
     hooks.on_progress = [this, entry](const core::ProgressSnapshot& snapshot) {
       deliver_progress(entry, snapshot);
@@ -861,8 +1078,17 @@ void NashServer::complete_solve(InFlight* entry, core::SolveReport&& report,
     }
   }
   std::shared_ptr<const core::SolveReport> shared;
-  if (!error)
+  if (!error) {
     shared = std::make_shared<const core::SolveReport>(std::move(report));
+    // Solve-outcome instruments (relaxed atomics; no lock needed, and kept
+    // off the gate on purpose — one bump per completed job, not per waiter).
+    solve_wall_->record(shared->wall_clock_s);
+    if (shared->re_swap_proposals)
+      re_swap_proposals_->add(shared->re_swap_proposals);
+    if (shared->re_swap_accepts) re_swap_accepts_->add(shared->re_swap_accepts);
+    if (shared->fallback_count) fallback_samples_->add(shared->fallback_count);
+    if (shared->degraded) degraded_reports_->add(1);
+  }
 
   std::lock_guard<std::mutex> lock(gate_);
   const auto it = std::find_if(
@@ -887,6 +1113,7 @@ void NashServer::complete_solve(InFlight* entry, core::SolveReport&& report,
     Delivery d;
     d.conn_id = waiter.conn_id;
     d.id = std::move(waiter.id);
+    d.trace_id = waiter.trace_id;
     if (error) {
       d.kind = Delivery::kError;
       d.code = service_draining ? "draining" : "internal";
@@ -944,6 +1171,15 @@ util::Json NashServer::status_payload() {
   svc.set("queued_units", depth.queued_units);
   svc.set("in_flight_units", depth.in_flight_units);
   status.set("service", std::move(svc));
+  // Deployment identity: which build is this, with which kernels, for how
+  // long — the fields an operator checks before blaming anything else.
+  status.set("git_sha", util::build_git_sha());
+  status.set("simd_level", simd::level_name(simd::active_level()));
+  status.set("store_enabled", store_ != nullptr);
+  status.set("uptime_s",
+             std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           started_)
+                 .count());
   return status;
 }
 

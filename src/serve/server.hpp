@@ -35,6 +35,7 @@
 // across all loops, flush, then drain the solver pool and return from run().
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -42,6 +43,8 @@
 #include <vector>
 
 #include "core/service.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/admission.hpp"
 #include "serve/cache.hpp"
 #include "serve/protocol.hpp"
@@ -90,6 +93,11 @@ struct ServeOptions {
   /// Print "LISTENING <port>" on stdout once bound (smoke scripts wait for
   /// this line to learn an ephemeral port).
   bool announce = false;
+  /// Non-empty: enable per-request pipeline tracing and write the run's
+  /// Chrome trace-event JSON (Perfetto-loadable) to this path when run()
+  /// returns. Empty (default): tracing is disabled and its call sites cost
+  /// one relaxed atomic load each.
+  std::string trace_out;
 };
 
 /// Counters for the `stats` wire method.
@@ -128,14 +136,23 @@ class NashServer {
   /// another thread).
   void request_stop() { stop_requested_.store(true, std::memory_order_relaxed); }
 
-  // Post-run introspection for tests and benches. cache_stats() and
-  // admission_stats() are NOT synchronised with running loops — read them
-  // only before run() starts or after it returns; served_stats() is a
-  // consistent-enough atomic snapshot at any time (the `stats` wire method
-  // uses it).
-  const CacheStats& cache_stats() const { return cache_.stats(); }
-  const AdmissionStats& admission_stats() const { return admission_.stats(); }
+  // Introspection for tests, benches and the `metrics` wire method — all
+  // safe while loops are running: cache_stats() / admission_stats() snapshot
+  // by value under the gate, served_stats() is an atomic-counter snapshot.
+  CacheStats cache_stats() const {
+    std::lock_guard<std::mutex> lock(gate_);
+    return cache_.stats();
+  }
+  AdmissionStats admission_stats() const {
+    std::lock_guard<std::mutex> lock(gate_);
+    return admission_.stats();
+  }
   ServedStats served_stats() const;
+  /// The server's instrument registry (the `metrics` wire method renders
+  /// it). Scrapes are safe at any time; collect callbacks take the gate.
+  obs::Registry& metrics_registry() { return registry_; }
+  /// The trace recorder (enabled iff options.trace_out was set).
+  obs::TraceRecorder& trace_recorder() { return trace_; }
   /// Tier-2 store (nullptr when store_dir was empty). The store is
   /// internally synchronised — its stats() are safe at any time.
   const store::SolutionStore* store() const { return store_.get(); }
@@ -158,6 +175,7 @@ class NashServer {
       util::Json id;
       ReportMapping mapping;  // slim: perms + name, not the payoff matrices
       bool progress = false;  // wants interim frames
+      std::uint64_t trace_id = 0;  // span correlation of the waiter's request
     };
     std::vector<Waiter> waiters;
   };
@@ -177,10 +195,18 @@ class NashServer {
   void shutdown_loops();
   util::Json status_payload();
   util::Json stats_payload();
+  /// Register the stage instruments and the scrape-time mirror collector.
+  void init_telemetry();
+  /// Collect callback: mirror the lock-guarded aggregate stats (cache,
+  /// admission, store, served, service depth) into registry instruments.
+  void collect_mirrors();
+  core::ServiceOptions service_options();
 
   // Request handling (called on a loop thread, for that loop's connection).
-  void handle_request(Loop& loop, Connection& conn, WireRequest request);
-  void handle_solve(Loop& loop, Connection& conn, WireRequest request);
+  void handle_request(Loop& loop, Connection& conn, WireRequest request,
+                      std::uint64_t trace_id);
+  void handle_solve(Loop& loop, Connection& conn, WireRequest request,
+                    std::uint64_t trace_id);
   // Solve callbacks (called on a service worker thread — or inline on a loop
   // thread for a submission that resolves immediately).
   void complete_solve(InFlight* entry, core::SolveReport&& report,
@@ -199,8 +225,28 @@ class NashServer {
   mutable AdmissionController admission_;  // guarded by gate_
   std::vector<std::unique_ptr<InFlight>> pending_;  // guarded by gate_
   /// The one cross-loop mutex: cache + admission + in-flight registry.
-  std::mutex gate_;
+  /// mutable: the by-value stats snapshots are const reads.
+  mutable std::mutex gate_;
   Counters counters_;
+
+  /// Telemetry. Declared before service_ (which holds pointers into both) so
+  /// they outlive the worker pool. Stage histogram/counter pointers are
+  /// cached here so the per-request path never takes the registry mutex.
+  obs::Registry registry_;
+  obs::TraceRecorder trace_;
+  std::chrono::steady_clock::time_point started_;
+  obs::Histogram* stage_parse_ = nullptr;
+  obs::Histogram* stage_canonicalize_ = nullptr;
+  obs::Histogram* stage_cache_lookup_ = nullptr;
+  obs::Histogram* stage_admit_ = nullptr;
+  obs::Histogram* stage_render_ = nullptr;
+  obs::Histogram* stage_flush_ = nullptr;
+  obs::Histogram* stage_request_ = nullptr;
+  obs::Histogram* solve_wall_ = nullptr;
+  obs::Counter* re_swap_proposals_ = nullptr;
+  obs::Counter* re_swap_accepts_ = nullptr;
+  obs::Counter* fallback_samples_ = nullptr;
+  obs::Counter* degraded_reports_ = nullptr;
 
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;

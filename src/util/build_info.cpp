@@ -1,0 +1,11 @@
+#include "util/build_info.hpp"
+
+#ifndef CNASH_GIT_SHA
+#define CNASH_GIT_SHA "unknown"
+#endif
+
+namespace cnash::util {
+
+const char* build_git_sha() { return CNASH_GIT_SHA; }
+
+}  // namespace cnash::util

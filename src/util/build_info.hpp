@@ -1,0 +1,13 @@
+#pragma once
+// util — build identity. The short git SHA is baked into this one
+// translation unit at configure time (CNASH_GIT_SHA, see CMakeLists.txt) so
+// the `status` wire method and archived bench artifacts can attribute a
+// running server to a commit without rebuilding the whole library whenever
+// HEAD moves.
+
+namespace cnash::util {
+
+/// Short (12-hex) git SHA of the build, or "unknown" outside a git checkout.
+const char* build_git_sha();
+
+}  // namespace cnash::util
